@@ -1,0 +1,68 @@
+"""Benchmark: ablation studies of the engine's design decisions.
+
+Timed versions of :mod:`repro.experiments.ablations` — semantic vs
+syntactic classification, class bounds on/off, sharing repair, and the
+lazy-vs-dense period-constraint formulations.  The extra_info fields
+carry the ablation's findings so a benchmark run doubles as the study.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    bounds_ablation,
+    classification_ablation,
+    constraints_ablation,
+    sharing_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def subject(mapped_designs):
+    name = "C5" if "C5" in mapped_designs else next(iter(mapped_designs))
+    return mapped_designs[name][1].circuit
+
+
+def test_ablation_classification(benchmark, subject):
+    result = benchmark(classification_ablation, subject)
+    assert result.semantic_classes <= result.syntactic_classes
+    benchmark.extra_info.update(
+        {
+            "semantic_classes": result.semantic_classes,
+            "syntactic_classes": result.syntactic_classes,
+            "extra_steps": result.extra_freedom,
+        }
+    )
+
+
+def test_ablation_bounds(benchmark, subject):
+    result = benchmark(bounds_ablation, subject)
+    benchmark.extra_info.update(
+        {
+            "phi_with": round(result.phi_with_bounds, 2),
+            "phi_without": round(result.phi_without_bounds, 2),
+            "illegal_vertices": result.illegal_vertices,
+        }
+    )
+
+
+def test_ablation_sharing(benchmark, subject):
+    result = benchmark(sharing_ablation, subject)
+    assert result.corrected_registers >= result.naive_registers
+    benchmark.extra_info.update(
+        {
+            "naive": result.naive_registers,
+            "corrected": result.corrected_registers,
+            "separations": result.separations,
+        }
+    )
+
+
+def test_ablation_constraints(benchmark, subject):
+    result = benchmark(constraints_ablation, subject)
+    assert result.phi_lazy == pytest.approx(result.phi_dense, abs=1e-6)
+    benchmark.extra_info.update(
+        {
+            "lazy_constraints": result.lazy_constraints,
+            "dense_constraints": result.dense_constraints,
+        }
+    )

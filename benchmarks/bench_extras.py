@@ -1,0 +1,60 @@
+"""Benchmark: the repo's extension artefacts (Pareto sweep, BDD sweep,
+Verilog I/O, register merging)."""
+
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.experiments.pareto import pareto_sweep
+from repro.mcretime import Classifier, merge_shareable_registers
+from repro.netlist import read_verilog, write_blif, write_verilog
+from repro.opt import sweep_equivalent_gates
+
+
+@pytest.fixture(scope="module")
+def subject(mapped_designs):
+    name = "C5" if "C5" in mapped_designs else next(iter(mapped_designs))
+    return mapped_designs[name][1].circuit
+
+
+def test_pareto_sweep(benchmark, subject):
+    result = benchmark(pareto_sweep, subject, 4)
+    assert result.phi_min <= result.phi_original + 1e-9
+    benchmark.extra_info.update(
+        {
+            "phi_min": round(result.phi_min, 2),
+            "phi_original": round(result.phi_original, 2),
+            "points": len(result.points),
+        }
+    )
+
+
+def test_bdd_sweep(benchmark, subject):
+    def run():
+        work = subject.clone()
+        return sweep_equivalent_gates(work)
+
+    merged = benchmark(run)
+    benchmark.extra_info["merged"] = merged
+
+
+def test_register_merge(benchmark, subject):
+    classifier = Classifier(subject)
+
+    def run():
+        work = subject.clone()
+        return merge_shareable_registers(work, classifier)
+
+    benchmark(run)
+
+
+def test_verilog_roundtrip(benchmark, subject):
+    def run():
+        return read_verilog(write_verilog(subject))
+
+    circuit = benchmark(run)
+    assert len(circuit.registers) == len(subject.registers)
+
+
+def test_blif_write(benchmark, subject):
+    text = benchmark(write_blif, subject)
+    assert text.startswith(".model")

@@ -1,0 +1,29 @@
+"""Benchmark: the Figure 1 / 4 / 5 reproductions.
+
+Each regenerates the corresponding paper figure's quantitative content
+(see ``mcretime-tables --only figures`` for the narrated output) and
+asserts the paper-matching results while being timed.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure1_enable_cost(benchmark):
+    result = benchmark(figures.figure1)
+    assert result.mc_advantage_ff == 2
+    assert result.mc_advantage_gates == 2
+
+
+def test_figure4_sharing_model(benchmark):
+    result = benchmark(figures.figure4)
+    assert (result.naive_count, result.true_count, result.corrected_count) == (
+        2,
+        3,
+        3,
+    )
+
+
+def test_figure5_global_justification(benchmark):
+    result = benchmark(figures.figure5)
+    assert result.global_steps == 1
+    assert result.equivalent

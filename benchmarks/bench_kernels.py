@@ -1,0 +1,91 @@
+"""Benchmark: algorithmic kernels (ablation view of the engine stages).
+
+The paper reports that ~90 % of runtime is the basic retiming engine,
+~7 % relocation, ~3 % multiple-class bookkeeping; these micro-benches
+time each stage separately so the split can be examined directly, plus
+the classic correlator optimum as a fixed reference point.
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.graph import build_mcgraph
+from repro.mcretime import Classifier, apply_sharing_transform, compute_bounds
+from repro.retime import min_area, min_period
+from repro.techmap import enumerate_cuts
+from repro.techmap.decompose import decompose_to_two_input
+from tests.retime.helpers import correlator
+
+
+@pytest.fixture(scope="module")
+def mapped_c5(mapped_designs):
+    if "C5" not in mapped_designs:
+        pytest.skip("C5 not in REPRO_BENCH_DESIGNS")
+    return mapped_designs["C5"][1].circuit
+
+
+@pytest.fixture(scope="module")
+def c5_graph(mapped_c5):
+    from repro.timing import XC4000E_DELAY
+
+    classifier = Classifier(mapped_c5)
+    return build_mcgraph(mapped_c5, XC4000E_DELAY, classifier.classify).graph
+
+
+def test_correlator_min_period(benchmark):
+    graph = correlator()
+    result = benchmark(min_period, graph)
+    assert result.phi == pytest.approx(13.0)
+
+
+def test_correlator_min_area(benchmark):
+    graph = correlator()
+    result = benchmark(min_area, graph, 13.0)
+    assert result.period <= 13.0 + 1e-9
+
+
+def test_classification(benchmark, mapped_c5):
+    classifier = benchmark(Classifier, mapped_c5)
+    assert classifier.n_classes >= 1
+
+
+def test_mcgraph_build(benchmark, mapped_c5):
+    from repro.timing import XC4000E_DELAY
+
+    classifier = Classifier(mapped_c5)
+    result = benchmark(
+        build_mcgraph, mapped_c5, XC4000E_DELAY, classifier.classify
+    )
+    assert len(result.graph.vertices) > 0
+
+
+def test_bounds_maximal_retiming(benchmark, c5_graph):
+    result = benchmark(compute_bounds, c5_graph)
+    assert result.steps_possible > 0
+
+
+def test_sharing_transform(benchmark, c5_graph):
+    bounds = compute_bounds(c5_graph)
+    result = benchmark(
+        apply_sharing_transform,
+        c5_graph,
+        bounds.bounds,
+        bounds.backward_graph,
+    )
+    result.graph.check()
+
+
+def test_min_period_on_design(benchmark, c5_graph):
+    bounds = compute_bounds(c5_graph)
+    transform = apply_sharing_transform(
+        c5_graph, bounds.bounds, bounds.backward_graph
+    )
+    result = benchmark(min_period, transform.graph, transform.bounds)
+    assert result.phi > 0
+
+
+def test_cut_enumeration(benchmark, mapped_c5):
+    work = mapped_c5.clone()
+    decompose_to_two_input(work)
+    db = benchmark(enumerate_cuts, work, 4, 8)
+    assert db.best

@@ -1,0 +1,17 @@
+"""Benchmark: Table 1 regeneration — generate + optimise + map + STA.
+
+Regenerates the paper's Table 1 rows (circuit characteristics after the
+minimal-area-for-best-delay script); run ``mcretime-tables --only
+table1`` for the full-scale printed table.
+"""
+
+from benchmarks.conftest import SCALE
+from repro.experiments import table1
+
+
+def test_table1_row(benchmark, design_name):
+    row, _flow = benchmark(table1.run_design, design_name, SCALE)
+    assert row.n_ff > 0 and row.n_lut > 0
+    benchmark.extra_info.update(
+        {"#FF": row.n_ff, "#LUT": row.n_lut, "Delay": round(row.delay, 2)}
+    )

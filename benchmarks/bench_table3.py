@@ -1,0 +1,23 @@
+"""Benchmark: Table 3 regeneration — retiming after EN decomposition.
+
+The paper's second experiment: decompose every load enable into a
+D-side hold mux, then retime.  Compare ``Rdelay``/``Rlut`` extra_info
+against bench_table2's to see the paper's headline trade-off.
+"""
+
+from repro.flows import decomposed_enable_flow
+
+
+def test_table3_row(benchmark, design_name, mapped_designs):
+    circuit, base = mapped_designs[design_name]
+    flow = benchmark(decomposed_enable_flow, circuit)
+    assert all(not r.has_enable for r in flow.circuit.registers.values())
+    benchmark.extra_info.update(
+        {
+            "#FF": flow.n_ff,
+            "#LUT": flow.n_lut,
+            "Delay": round(flow.delay, 2),
+            "Rlut1": round(flow.n_lut / max(base.n_lut, 1), 3),
+            "Rdelay1": round(flow.delay / base.delay, 3),
+        }
+    )

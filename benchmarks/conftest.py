@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Set ``REPRO_BENCH_SCALE`` (default 0.3) and ``REPRO_BENCH_DESIGNS``
+(default a representative small/medium subset) to control cost.  Full
+paper-scale regeneration is done by ``mcretime-tables`` (see
+EXPERIMENTS.md); the benchmarks are for tracking the *speed* of each
+regeneration stage.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.flows import baseline_flow
+from repro.synth import build_design
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+DESIGNS = os.environ.get("REPRO_BENCH_DESIGNS", "C1,C3,C5,C8").split(",")
+
+
+def pytest_generate_tests(metafunc):
+    if "design_name" in metafunc.fixturenames:
+        metafunc.parametrize("design_name", DESIGNS)
+
+
+@pytest.fixture(scope="session")
+def mapped_designs():
+    """Baseline-mapped designs, shared across benchmarks."""
+    result = {}
+    for name in DESIGNS:
+        circuit = build_design(name, SCALE).circuit
+        result[name] = (circuit, baseline_flow(circuit))
+    return result

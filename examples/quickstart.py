@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: retime a small circuit with load-enable registers.
+
+Builds the paper's Fig. 1-style scenario — two registers sharing a load
+enable in front of deep logic — and runs multiple-class retiming, which
+moves the registers *with* their enable instead of decomposing it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.logic.ternary import T0
+from repro.mcretime import mc_retime
+from repro.netlist import Circuit, GateFn, write_blif
+from repro.timing import UNIT_DELAY
+
+
+def build() -> Circuit:
+    """Two EN registers feeding a 4-gate chain (period 4 at unit delay)."""
+    c = Circuit("quickstart")
+    for net in ("clk", "en", "rst", "a", "b"):
+        c.add_input(net)
+    c.add_register(d="a", q="qa", clk="clk", en="en", ar="rst", aval=T0)
+    c.add_register(d="b", q="qb", clk="clk", en="en", ar="rst", aval=T0)
+    n1 = c.add_gate(GateFn.AND, ["qa", "qb"]).output
+    n2 = c.add_gate(GateFn.XOR, [n1, "qa"]).output
+    n3 = c.add_gate(GateFn.OR, [n2, n1]).output
+    n4 = c.add_gate(GateFn.NOT, [n3]).output
+    c.add_register(d=n4, q="qo", clk="clk", en="en", ar="rst", aval=T0)
+    c.add_output("qo")
+    return c
+
+
+def main() -> None:
+    circuit = build()
+    print("before:")
+    print(write_blif(circuit))
+
+    result = mc_retime(circuit, delay_model=UNIT_DELAY)
+
+    print(f"register classes : {result.n_classes}")
+    print(f"steps moved      : {result.steps_moved} of {result.steps_possible} possible")
+    print(f"clock period     : {result.period_before:.1f} -> {result.period_after:.1f}")
+    print(f"registers        : {result.ff_before} -> {result.ff_after}")
+    print(
+        "justification    : "
+        f"{result.stats.local_steps} local, {result.stats.global_steps} global"
+    )
+    print("\nafter:")
+    print(write_blif(result.circuit))
+
+
+if __name__ == "__main__":
+    main()

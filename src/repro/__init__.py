@@ -1,0 +1,28 @@
+"""mc-retiming: a reproduction of "A Practical Approach to
+Multiple-Class Retiming" (Eckl, Madre, Zepter, Legl — DAC 1999).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.netlist` — circuits, registers, BLIF I/O
+* :mod:`repro.mcretime` — the multiple-class retiming engine
+* :mod:`repro.retime` — the basic (Leiserson–Saxe) retiming engine
+* :mod:`repro.techmap` / :mod:`repro.opt` — FPGA mapping substrate
+* :mod:`repro.flows` / :mod:`repro.experiments` — the paper's scripts
+  and table/figure regenerators
+"""
+
+from .mcretime import MCRetimeResult, mc_retime
+from .netlist import Circuit, Gate, GateFn, Register, read_blif, write_blif
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateFn",
+    "MCRetimeResult",
+    "Register",
+    "mc_retime",
+    "read_blif",
+    "write_blif",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,5 @@
+"""From-scratch ROBDD engine (unique table + ITE + computed cache)."""
+
+from .manager import BDD, BDDError, FALSE, TRUE
+
+__all__ = ["BDD", "BDDError", "FALSE", "TRUE"]

@@ -1,0 +1,411 @@
+"""A from-scratch reduced ordered binary decision diagram (ROBDD) engine.
+
+The paper implements backward justification "using BDDs" (Sec. 5.2) and
+defines register classes up to *logical equivalence* of control signals
+(Def. 1).  Both need a canonical function representation; this module
+provides it with the classic Bryant construction:
+
+* a **unique table** guaranteeing one node per (var, low, high) triple,
+  so semantic equality is pointer equality;
+* an **ITE** (if-then-else) core with a computed-table cache;
+* derived operations (AND/OR/XOR/NOT via complement-free encoding),
+  restriction, composition, existential/universal quantification,
+  satisfiability helpers and model counting.
+
+Nodes are integers (indexes into flat arrays) for speed; 0 and 1 are the
+terminal FALSE/TRUE nodes.  Variables are ordered by their integer index
+(callers control the order by the sequence of :meth:`BDD.var` calls).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+
+class BDDError(Exception):
+    """Raised on API misuse (unknown variables, foreign nodes, ...)."""
+
+
+#: Terminal node encoding logic FALSE.
+FALSE: int = 0
+#: Terminal node encoding logic TRUE.
+TRUE: int = 1
+
+_TERMINAL_LEVEL = 1 << 30  # pseudo-level of terminals; below every variable
+
+
+class BDD:
+    """ROBDD manager.  All node handles are ints owned by one manager."""
+
+    def __init__(self) -> None:
+        # parallel arrays: node i has variable level, low child, high child
+        self._level: list[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._low: list[int] = [0, 1]
+        self._high: list[int] = [0, 1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._var_names: list[str] = []
+        self._var_index: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # variables
+
+    def var(self, name: str) -> int:
+        """Return (creating if needed) the node for variable *name*.
+
+        Variable order is creation order: earlier variables are tested
+        first (closer to the root).
+        """
+        idx = self._var_index.get(name)
+        if idx is None:
+            idx = len(self._var_names)
+            self._var_names.append(name)
+            self._var_index[name] = idx
+        return self._mk(idx, FALSE, TRUE)
+
+    def nvar(self, name: str) -> int:
+        """The negation of variable *name* (convenience)."""
+        return self.not_(self.var(name))
+
+    def var_name(self, level: int) -> str:
+        """Name of the variable at *level*."""
+        return self._var_names[level]
+
+    def var_count(self) -> int:
+        """Number of declared variables."""
+        return len(self._var_names)
+
+    def var_names(self) -> list[str]:
+        """All variable names in order."""
+        return list(self._var_names)
+
+    def level_of(self, node: int) -> int:
+        """Variable level tested at *node* (terminals return a sentinel)."""
+        return self._level[node]
+
+    # ------------------------------------------------------------------ #
+    # node construction
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def node(self, u: int) -> tuple[int, int, int]:
+        """Decompose a non-terminal node into (level, low, high)."""
+        if u <= TRUE:
+            raise BDDError("terminal nodes have no cofactors")
+        return self._level[u], self._low[u], self._high[u]
+
+    # ------------------------------------------------------------------ #
+    # the ITE core
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f ? g : h`` — the universal connective."""
+        # terminal short-cuts
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        result = self._mk(
+            level, self.ite(f0, g0, h0), self.ite(f1, g1, h1)
+        )
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, u: int, level: int) -> tuple[int, int]:
+        if self._level[u] == level:
+            return self._low[u], self._high[u]
+        return u, u
+
+    # ------------------------------------------------------------------ #
+    # boolean connectives
+
+    def not_(self, f: int) -> int:
+        """Logical negation."""
+        return self.ite(f, FALSE, TRUE)
+
+    def and_(self, f: int, g: int) -> int:
+        """Logical conjunction."""
+        return self.ite(f, g, FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        """Logical disjunction."""
+        return self.ite(f, TRUE, g)
+
+    def xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.ite(f, self.not_(g), g)
+
+    def xnor(self, f: int, g: int) -> int:
+        """Equivalence (biconditional)."""
+        return self.ite(f, g, self.not_(g))
+
+    def implies(self, f: int, g: int) -> int:
+        """Material implication f -> g."""
+        return self.ite(f, g, TRUE)
+
+    def and_all(self, nodes: Iterable[int]) -> int:
+        """Conjunction over an iterable (TRUE for empty)."""
+        acc = TRUE
+        for n in nodes:
+            acc = self.and_(acc, n)
+            if acc == FALSE:
+                break
+        return acc
+
+    def or_all(self, nodes: Iterable[int]) -> int:
+        """Disjunction over an iterable (FALSE for empty)."""
+        acc = FALSE
+        for n in nodes:
+            acc = self.or_(acc, n)
+            if acc == TRUE:
+                break
+        return acc
+
+    def from_truth_table(self, table: int, inputs: Sequence[int]) -> int:
+        """Build the function of a LUT: ``inputs[i]`` is minterm bit i.
+
+        *inputs* are BDD nodes (typically variables, but any functions
+        work — this doubles as function composition for gate networks).
+        """
+        inputs = list(inputs)
+        n = len(inputs)
+        if n == 0:
+            return TRUE if table & 1 else FALSE
+        half = 1 << (n - 1)
+        mask = (1 << half) - 1
+        low = self.from_truth_table(table & mask, inputs[:-1])
+        high = self.from_truth_table((table >> half) & mask, inputs[:-1])
+        return self.ite(inputs[-1], high, low)
+
+    # ------------------------------------------------------------------ #
+    # structure-walking operations
+
+    def restrict(self, f: int, assignment: dict[int, bool]) -> int:
+        """Cofactor *f* by fixing variable levels to constants."""
+        cache: dict[int, int] = {}
+
+        def walk(u: int) -> int:
+            if u <= TRUE:
+                return u
+            hit = cache.get(u)
+            if hit is not None:
+                return hit
+            level, low, high = self._level[u], self._low[u], self._high[u]
+            if level in assignment:
+                result = walk(high if assignment[level] else low)
+            else:
+                result = self._mk(level, walk(low), walk(high))
+            cache[u] = result
+            return result
+
+        return walk(f)
+
+    def compose(self, f: int, level: int, g: int) -> int:
+        """Substitute function *g* for the variable at *level* inside *f*."""
+        cache: dict[int, int] = {}
+
+        def walk(u: int) -> int:
+            if u <= TRUE:
+                return u
+            hit = cache.get(u)
+            if hit is not None:
+                return hit
+            lv, low, high = self._level[u], self._low[u], self._high[u]
+            if lv == level:
+                result = self.ite(g, high, low)
+            elif lv > level:
+                result = u  # variable already below the substituted one
+            else:
+                result = self.ite(self._mk(lv, FALSE, TRUE), walk(high), walk(low))
+            cache[u] = result
+            return result
+
+        return walk(f)
+
+    def exists(self, f: int, levels: Iterable[int]) -> int:
+        """Existential quantification over the given variable levels."""
+        level_set = set(levels)
+        cache: dict[int, int] = {}
+
+        def walk(u: int) -> int:
+            if u <= TRUE:
+                return u
+            hit = cache.get(u)
+            if hit is not None:
+                return hit
+            lv, low, high = self._level[u], self._low[u], self._high[u]
+            lo, hi = walk(low), walk(high)
+            if lv in level_set:
+                result = self.or_(lo, hi)
+            else:
+                result = self._mk(lv, lo, hi)
+            cache[u] = result
+            return result
+
+        return walk(f)
+
+    def forall(self, f: int, levels: Iterable[int]) -> int:
+        """Universal quantification over the given variable levels."""
+        return self.not_(self.exists(self.not_(f), levels))
+
+    def support(self, f: int) -> set[int]:
+        """Variable levels the function actually depends on."""
+        seen: set[int] = set()
+        result: set[int] = set()
+        stack = [f]
+        while stack:
+            u = stack.pop()
+            if u <= TRUE or u in seen:
+                continue
+            seen.add(u)
+            result.add(self._level[u])
+            stack.append(self._low[u])
+            stack.append(self._high[u])
+        return result
+
+    # ------------------------------------------------------------------ #
+    # satisfiability and counting
+
+    def is_tautology(self, f: int) -> bool:
+        """True iff *f* is the constant TRUE."""
+        return f == TRUE
+
+    def is_contradiction(self, f: int) -> bool:
+        """True iff *f* is the constant FALSE."""
+        return f == FALSE
+
+    def equiv(self, f: int, g: int) -> bool:
+        """Semantic equality — pointer equality by canonicity."""
+        return f == g
+
+    def sat_one(self, f: int) -> dict[int, bool] | None:
+        """One satisfying partial assignment (level -> bool), or None.
+
+        Unmentioned levels are don't-cares.
+        """
+        if f == FALSE:
+            return None
+        assignment: dict[int, bool] = {}
+        u = f
+        while u > TRUE:
+            level, low, high = self._level[u], self._low[u], self._high[u]
+            if low != FALSE:
+                assignment[level] = False
+                u = low
+            else:
+                assignment[level] = True
+                u = high
+        return assignment
+
+    def sat_count(self, f: int, n_vars: int | None = None) -> int:
+        """Number of satisfying assignments over *n_vars* variables.
+
+        ``n_vars`` defaults to the manager's declared variable count and
+        must cover the support of *f*.
+        """
+        if n_vars is None:
+            n_vars = len(self._var_names)
+        support = self.support(f)
+        if support and max(support) >= n_vars:
+            raise BDDError("n_vars smaller than the function's support")
+
+        def lv(u: int) -> int:
+            return n_vars if u <= TRUE else self._level[u]
+
+        cache: dict[int, int] = {}
+
+        def walk(u: int) -> int:
+            # satisfying count over variables at levels [level(u), n_vars)
+            if u == FALSE:
+                return 0
+            if u == TRUE:
+                return 1
+            hit = cache.get(u)
+            if hit is not None:
+                return hit
+            level, low, high = self._level[u], self._low[u], self._high[u]
+            result = walk(low) * (1 << (lv(low) - level - 1)) + walk(high) * (
+                1 << (lv(high) - level - 1)
+            )
+            cache[u] = result
+            return result
+
+        return walk(f) * (1 << lv(f))
+
+    def all_sat(self, f: int, levels: Sequence[int]) -> Iterator[dict[int, bool]]:
+        """Enumerate complete assignments over *levels* satisfying *f*.
+
+        Intended for small cones (justification); exponential in general.
+        """
+        level_list = sorted(levels)
+
+        def rec(u: int, pos: int, partial: dict[int, bool]) -> Iterator[dict[int, bool]]:
+            if pos == len(level_list):
+                # remaining (foreign) variables are free; any non-FALSE
+                # residue is extendable to a model
+                if u != FALSE:
+                    yield dict(partial)
+                return
+            lv = level_list[pos]
+            for value in (False, True):
+                partial[lv] = value
+                restricted = self.restrict(u, {lv: value})
+                if restricted != FALSE:
+                    yield from rec(restricted, pos + 1, partial)
+            del partial[lv]
+
+        if f != FALSE:
+            yield from rec(f, 0, {})
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def size(self, f: int) -> int:
+        """Number of nodes reachable from *f* (including terminals)."""
+        seen: set[int] = set()
+        stack = [f]
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            if u > TRUE:
+                stack.append(self._low[u])
+                stack.append(self._high[u])
+        return len(seen)
+
+    def node_count(self) -> int:
+        """Total nodes allocated by this manager."""
+        return len(self._level)
+
+    def to_expr(self, f: int) -> str:
+        """Human-readable nested ITE rendering (for debugging/tests)."""
+        if f == FALSE:
+            return "0"
+        if f == TRUE:
+            return "1"
+        level, low, high = self.node(f)
+        name = self._var_names[level]
+        return f"ite({name}, {self.to_expr(high)}, {self.to_expr(low)})"

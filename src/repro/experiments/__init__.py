@@ -1,0 +1,10 @@
+"""Regenerators for the paper's tables and figures.
+
+Import submodules directly (``from repro.experiments import table1``);
+the CLI entry point is ``repro.experiments.runner:main``
+(``mcretime-tables`` when installed).
+"""
+
+from . import ablations, figures, pareto, scaling, table1, table2, table3
+
+__all__ = ["ablations", "figures", "pareto", "scaling", "table1", "table2", "table3"]

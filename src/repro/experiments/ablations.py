@@ -1,0 +1,179 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Four questions, each isolating one mechanism of the paper:
+
+* :func:`classification_ablation` — Def. 1 demands *logical* signal
+  equivalence; how much freedom does BDD-based classification buy over
+  comparing control nets by name?
+* :func:`bounds_ablation` — what would plain Leiserson–Saxe retiming do
+  without the class constraints?  (It finds a "better" period but its
+  solution violates class legality — unimplementable moves.)
+* :func:`sharing_ablation` — how far does the naive sharing cost model
+  under-count multi-class registers, and what does the separation-vertex
+  repair report instead?
+* :func:`constraints_ablation` — lazy period-constraint generation vs
+  the dense W/D constraint set (count + wall time), the efficiency
+  argument of Sec. 5.1 / [16, 12, 11].
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..graph import build_mcgraph
+from ..graph.mcgraph import backward_layer_class, forward_layer_class
+from ..mcretime import Classifier, apply_sharing_transform, compute_bounds
+from ..retime import (
+    dense_period_system,
+    min_area,
+    min_period,
+    min_period_dense,
+    shared_register_count,
+)
+from ..netlist import Circuit
+from ..timing import XC4000E_DELAY
+
+
+@dataclass
+class ClassificationAblation:
+    """Semantic vs syntactic classification on one design."""
+
+    semantic_classes: int
+    syntactic_classes: int
+    semantic_steps_possible: int
+    syntactic_steps_possible: int
+
+    @property
+    def extra_freedom(self) -> int:
+        """Additional valid mc-steps unlocked by semantic equivalence."""
+        return self.semantic_steps_possible - self.syntactic_steps_possible
+
+
+def classification_ablation(circuit: Circuit) -> ClassificationAblation:
+    """Compare the two classifiers on a mapped circuit."""
+    results = {}
+    for semantic in (True, False):
+        classifier = Classifier(circuit, semantic=semantic)
+        build = build_mcgraph(circuit, XC4000E_DELAY, classifier.classify)
+        bounds = compute_bounds(build.graph)
+        results[semantic] = (classifier.n_classes, bounds.steps_possible)
+    return ClassificationAblation(
+        semantic_classes=results[True][0],
+        syntactic_classes=results[False][0],
+        semantic_steps_possible=results[True][1],
+        syntactic_steps_possible=results[False][1],
+    )
+
+
+@dataclass
+class BoundsAblation:
+    """Retiming with vs without the class constraints."""
+
+    phi_with_bounds: float
+    phi_without_bounds: float
+    #: vertices whose unconstrained lag falls outside the class bounds —
+    #: moves a real circuit cannot implement
+    illegal_vertices: int
+
+    @property
+    def speed_illusion(self) -> float:
+        """Apparent (but unimplementable) extra speed-up."""
+        if self.phi_with_bounds <= 0:
+            return 0.0
+        return 1.0 - self.phi_without_bounds / self.phi_with_bounds
+
+
+def bounds_ablation(circuit: Circuit) -> BoundsAblation:
+    """Quantify what ignoring register classes would pretend to gain."""
+    classifier = Classifier(circuit)
+    build = build_mcgraph(circuit, XC4000E_DELAY, classifier.classify)
+    bounds = compute_bounds(build.graph)
+    transform = apply_sharing_transform(
+        build.graph, bounds.bounds, bounds.backward_graph
+    )
+    constrained = min_period(transform.graph, transform.bounds)
+    unconstrained = min_period(build.graph, bounds=None)
+    illegal = 0
+    for name, (lo, hi) in bounds.bounds.items():
+        r = unconstrained.r.get(name, 0)
+        if r < lo or r > hi:
+            illegal += 1
+    return BoundsAblation(
+        phi_with_bounds=constrained.phi,
+        phi_without_bounds=unconstrained.phi,
+        illegal_vertices=illegal,
+    )
+
+
+@dataclass
+class SharingAblation:
+    """Min-area register estimates with and without separation vertices."""
+
+    naive_registers: int
+    corrected_registers: int
+    separations: int
+
+    @property
+    def undercount(self) -> int:
+        return self.corrected_registers - self.naive_registers
+
+
+def sharing_ablation(circuit: Circuit) -> SharingAblation:
+    """Solve min-area at φ_min with and without the Sec. 4.2 repair."""
+    classifier = Classifier(circuit)
+    build = build_mcgraph(circuit, XC4000E_DELAY, classifier.classify)
+    bounds = compute_bounds(build.graph)
+    transform = apply_sharing_transform(
+        build.graph, bounds.bounds, bounds.backward_graph
+    )
+    phi = min_period(transform.graph, transform.bounds).phi
+    naive = min_area(build.graph, phi, bounds.bounds)
+    corrected = min_area(transform.graph, phi, transform.bounds)
+    return SharingAblation(
+        naive_registers=naive.registers,
+        corrected_registers=corrected.registers,
+        separations=len(transform.separations),
+    )
+
+
+@dataclass
+class ConstraintsAblation:
+    """Lazy vs dense period-constraint generation."""
+
+    lazy_constraints: int
+    dense_constraints: int
+    lazy_seconds: float
+    dense_seconds: float
+    phi_lazy: float
+    phi_dense: float
+
+
+def constraints_ablation(circuit: Circuit) -> ConstraintsAblation:
+    """Count constraints and time for both formulation styles."""
+    classifier = Classifier(circuit)
+    build = build_mcgraph(circuit, XC4000E_DELAY, classifier.classify)
+    bounds = compute_bounds(build.graph)
+    transform = apply_sharing_transform(
+        build.graph, bounds.bounds, bounds.backward_graph
+    )
+    graph, b = transform.graph, transform.bounds
+
+    t0 = time.perf_counter()
+    lazy = min_period(graph, b)
+    lazy_seconds = time.perf_counter() - t0
+    area = min_area(graph, lazy.phi, b)
+
+    t0 = time.perf_counter()
+    dense = min_period_dense(graph, b)
+    dense_system = dense_period_system(graph, dense.phi, b)
+    dense_seconds = time.perf_counter() - t0
+
+    return ConstraintsAblation(
+        lazy_constraints=area.constraints,
+        dense_constraints=len(dense_system),
+        lazy_seconds=lazy_seconds,
+        dense_seconds=dense_seconds,
+        phi_lazy=lazy.phi,
+        phi_dense=dense.phi,
+    )

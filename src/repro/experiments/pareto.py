@@ -1,0 +1,95 @@
+"""Period-vs-registers trade-off sweep (min-area retiming's raison d'être).
+
+The paper notes min-area retiming "is of most practical interest": a
+designer rarely wants the absolute minimum period, but the cheapest
+register placement for a chosen target.  This sweep solves min-area for
+a ladder of target periods between φ_min and the original period,
+exposing the Pareto frontier a designer would pick from.
+
+The engine's bounds/sharing machinery is computed once and reused for
+every target, mirroring how an interactive tool would batch the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.build import build_mcgraph
+from ..mcretime import Classifier, apply_sharing_transform, compute_bounds
+from ..netlist import Circuit
+from ..retime import min_area, min_period
+from ..timing.delay_models import DelayModel, XC4000E_DELAY
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One sweep point."""
+
+    target_period: float
+    achieved_period: float
+    registers: int
+
+
+@dataclass
+class ParetoResult:
+    """The swept frontier."""
+
+    points: list[ParetoPoint]
+    phi_min: float
+    phi_original: float
+    registers_original: int
+
+    def frontier(self) -> list[ParetoPoint]:
+        """Non-dominated subset, fastest first."""
+        best: list[ParetoPoint] = []
+        for point in sorted(self.points, key=lambda p: p.achieved_period):
+            if not best or point.registers < best[-1].registers:
+                best.append(point)
+        return best
+
+
+def pareto_sweep(
+    circuit: Circuit,
+    steps: int = 6,
+    delay_model: DelayModel = XC4000E_DELAY,
+) -> ParetoResult:
+    """Sweep min-area retiming across *steps* period targets."""
+    classifier = Classifier(circuit)
+    build = build_mcgraph(circuit, delay_model, classifier.classify)
+    bounds = compute_bounds(build.graph)
+    transform = apply_sharing_transform(
+        build.graph, bounds.bounds, bounds.backward_graph
+    )
+    graph, class_bounds = transform.graph, transform.bounds
+
+    from ..retime.feas import clock_period
+
+    phi_original = clock_period(graph)
+    mp = min_period(graph, class_bounds)
+    phi_min = mp.phi
+
+    targets: list[float] = []
+    if steps < 2 or phi_original <= phi_min + 1e-9:
+        targets = [phi_min]
+    else:
+        span = phi_original - phi_min
+        targets = [
+            phi_min + span * i / (steps - 1) for i in range(steps)
+        ]
+    points = []
+    for target in targets:
+        area = min_area(graph, target, class_bounds)
+        points.append(
+            ParetoPoint(
+                target_period=target,
+                achieved_period=area.period,
+                registers=area.registers,
+            )
+        )
+    baseline = min_area(graph, phi_original, class_bounds)
+    return ParetoResult(
+        points=points,
+        phi_min=phi_min,
+        phi_original=phi_original,
+        registers_original=baseline.registers_before,
+    )

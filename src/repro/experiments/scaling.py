@@ -1,0 +1,87 @@
+"""Runtime scaling of the mc-retiming engine (the Sec. 6 efficiency claim).
+
+The paper's headline efficiency numbers — every design retimed within
+60 s, with ≈3 % of the time spent on the multiple-class machinery — are
+an asymptotic claim as much as a constant-factor one.  This study runs
+one design at a ladder of scales and reports, per scale, the phase
+breakdown and the LUT count, so the growth curves of the basic engine
+vs the mc bookkeeping can be compared directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..flows import baseline_flow
+from ..synth import build_design
+from ..timing import XC4000E_DELAY
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One scale's measurements."""
+
+    scale: float
+    n_luts: int
+    n_ff: int
+    retime_seconds: float
+    #: wall-clock split per engine phase
+    build_s: float
+    bounds_s: float
+    sharing_s: float
+    minperiod_s: float
+    minarea_s: float
+    relocate_s: float
+
+    @property
+    def mc_overhead_fraction(self) -> float:
+        """Share of runtime in the mc-specific phases (paper: ~3 %)."""
+        total = max(self.retime_seconds, 1e-9)
+        return (self.build_s + self.bounds_s + self.sharing_s) / total
+
+
+def scaling_study(
+    name: str = "C6", scales: tuple[float, ...] = (0.1, 0.2, 0.4, 0.7, 1.0)
+) -> list[ScalePoint]:
+    """Measure the retiming engine across design scales."""
+    from ..mcretime import mc_retime
+
+    points = []
+    for scale in scales:
+        design = build_design(name, scale)
+        base = baseline_flow(design.circuit)
+        t0 = time.perf_counter()
+        result = mc_retime(base.circuit, delay_model=XC4000E_DELAY)
+        elapsed = time.perf_counter() - t0
+        t = result.timings
+        points.append(
+            ScalePoint(
+                scale=scale,
+                n_luts=base.n_lut,
+                n_ff=base.n_ff,
+                retime_seconds=elapsed,
+                build_s=t.get("build", 0.0),
+                bounds_s=t.get("bounds", 0.0),
+                sharing_s=t.get("sharing", 0.0),
+                minperiod_s=t.get("minperiod", 0.0),
+                minarea_s=t.get("minarea", 0.0),
+                relocate_s=t.get("relocate", 0.0),
+            )
+        )
+    return points
+
+
+def format_study(points: list[ScalePoint]) -> str:
+    """Render the study as a fixed-width table."""
+    lines = [
+        "scale   #LUT   #FF   retime(s)   mc-overhead   minperiod   minarea",
+        "-----   ----   ---   ---------   -----------   ---------   -------",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.scale:5.2f}  {p.n_luts:5d}  {p.n_ff:4d}   "
+            f"{p.retime_seconds:9.2f}   {100 * p.mc_overhead_fraction:10.1f}%"
+            f"   {p.minperiod_s:9.2f}   {p.minarea_s:7.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Table 2: multiple-class retiming results.
+
+Columns mirror the paper: Name, #Class, #Step (moved / possible), #FF,
+#LUT, Delay, Rlut, Rdelay (ratios against Table 1), plus the Sec. 6
+prose statistics: the per-phase CPU split (the paper reports ≈90 %
+basic retiming / 7 % relocation / 3 % mc-graph bookkeeping) and the
+fraction of backward justifications resolved locally (paper: >99 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..flows import FlowResult, retime_flow
+from ..timing import XC4000E_DELAY
+from . import table1
+
+
+@dataclass
+class Table2Row:
+    """One design's retiming results."""
+
+    name: str
+    n_classes: int
+    steps_moved: int
+    steps_possible: int
+    n_ff: int
+    n_lut: int
+    delay: float
+    rlut: float
+    rdelay: float
+    #: Sec. 6 prose statistics
+    local_fraction: float
+    basic_fraction: float
+    relocate_fraction: float
+    overhead_fraction: float
+    cpu_seconds: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "Name": self.name,
+            "#Class": self.n_classes,
+            "#Step": f"{self.steps_moved}/{self.steps_possible}",
+            "#FF": self.n_ff,
+            "#LUT": self.n_lut,
+            "Delay": self.delay,
+            "Rlut": self.rlut,
+            "Rdelay": self.rdelay,
+        }
+
+
+def run_design(
+    name: str, baseline: tuple[table1.Table1Row, FlowResult], scale: float = 1.0
+) -> Table2Row:
+    """Retime one already-mapped design and build its Table 2 row."""
+    t1_row, base_flow = baseline
+    flow = retime_flow(
+        base_flow.circuit, XC4000E_DELAY, mapped=_as_mapped(base_flow)
+    )
+    result = flow.retime
+    fractions = result.timing_fractions()
+    return Table2Row(
+        name=name,
+        n_classes=result.n_classes,
+        steps_moved=result.steps_moved,
+        steps_possible=result.steps_possible,
+        n_ff=flow.n_ff,
+        n_lut=flow.n_lut,
+        delay=flow.delay,
+        rlut=flow.n_lut / max(t1_row.n_lut, 1),
+        rdelay=flow.delay / max(t1_row.delay, 1e-9),
+        local_fraction=result.stats.local_fraction,
+        basic_fraction=fractions["basic_retiming"],
+        relocate_fraction=fractions["relocation"],
+        overhead_fraction=fractions["mc_overhead"],
+        cpu_seconds=sum(result.timings.values()),
+    )
+
+
+def _as_mapped(flow: FlowResult) -> FlowResult:
+    """Reuse a Table-1 flow result as the mapped starting point."""
+    return flow
+
+
+def run(
+    scale: float = 1.0,
+    names: list[str] | None = None,
+    baselines: dict[str, FlowResult] | None = None,
+) -> tuple[list[Table2Row], dict[str, FlowResult]]:
+    """Regenerate Table 2 (and Table 1 internally if not provided)."""
+    if baselines is None:
+        t1_rows, flows = table1.run(scale, names)
+    else:
+        flows = baselines
+        t1_rows = [
+            table1.Table1Row(
+                name=n,
+                has_async=f.has_async,
+                has_enable=f.has_enable,
+                n_ff=f.n_ff,
+                n_lut=f.n_lut,
+                delay=f.delay,
+            )
+            for n, f in baselines.items()
+            if names is None or n in names
+        ]
+    rows = []
+    for t1_row in t1_rows:
+        rows.append(
+            run_design(t1_row.name, (t1_row, flows[t1_row.name]), scale)
+        )
+    return rows, flows
+
+
+def totals(rows: list[Table2Row]) -> dict[str, object]:
+    """The paper's Total row plus the aggregated prose statistics."""
+    n_lut = sum(r.n_lut for r in rows)
+    delay = sum(r.delay for r in rows)
+    backward_weight = sum(
+        r.steps_moved for r in rows
+    )  # weight CPU stats by activity
+    return {
+        "Name": "Total",
+        "#Class": "",
+        "#Step": "",
+        "#FF": sum(r.n_ff for r in rows),
+        "#LUT": n_lut,
+        "Delay": delay,
+        "Rlut": (
+            n_lut / max(sum(r.n_lut / max(r.rlut, 1e-9) for r in rows), 1e-9)
+        ),
+        "Rdelay": (
+            delay
+            / max(sum(r.delay / max(r.rdelay, 1e-9) for r in rows), 1e-9)
+        ),
+    }

@@ -1,0 +1,15 @@
+"""Synthesis-script flows mirroring the paper's experimental setups."""
+
+from .script import (
+    FlowResult,
+    baseline_flow,
+    decomposed_enable_flow,
+    retime_flow,
+)
+
+__all__ = [
+    "FlowResult",
+    "baseline_flow",
+    "decomposed_enable_flow",
+    "retime_flow",
+]

@@ -1,0 +1,34 @@
+"""Retiming graphs (basic + multiple-class) and circuit translation."""
+
+from .build import BuildResult, build_mcgraph, syntactic_classifier, trace_chain
+from .mcgraph import (
+    backward_layer_class,
+    forward_layer_class,
+    move_backward,
+    move_forward,
+)
+from .retiming_graph import (
+    HOST,
+    Edge,
+    GraphError,
+    RegInstance,
+    RetimingGraph,
+    Vertex,
+)
+
+__all__ = [
+    "BuildResult",
+    "Edge",
+    "GraphError",
+    "HOST",
+    "RegInstance",
+    "RetimingGraph",
+    "Vertex",
+    "backward_layer_class",
+    "build_mcgraph",
+    "forward_layer_class",
+    "move_backward",
+    "move_forward",
+    "syntactic_classifier",
+    "trace_chain",
+]

@@ -1,0 +1,160 @@
+"""Translate circuits into multiple-class retiming graphs (paper Sec. 3.2).
+
+Construction rules:
+
+* one vertex per combinational gate (delay = cell delay + output-net
+  delay under the chosen model), per primary input, per primary output;
+* a host vertex with zero-weight edges to all inputs and from all
+  outputs;
+* one edge per *connection* (gate pin / output), carrying the ordered
+  sequence of registers found between the driving cell and the sink —
+  ``l_1`` closest to the source, as in Fig. 2b;
+* for every register control signal except clocks, a synthetic *control
+  output vertex* with an edge from the signal's generating vertex, so
+  the signal keeps its temporal behaviour through retiming (Sec. 3.2);
+* constant-net connections produce no edges (constants are timeless).
+
+Classification is pluggable: the builder takes any callable mapping a
+:class:`~repro.netlist.cells.Register` to a class id.  The semantic
+(BDD-equivalence) classifier lives in :mod:`repro.mcretime.classes`;
+:func:`syntactic_classifier` here compares control nets by name only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..netlist import Circuit, Register
+from ..netlist.signals import is_const
+from ..timing.delay_models import DelayModel, UNIT_DELAY
+from .retiming_graph import HOST, GraphError, RegInstance, RetimingGraph
+
+
+def syntactic_classifier(circuit: Circuit) -> Callable[[Register], int]:
+    """Classifier comparing control tuples by net *name* (no BDDs).
+
+    Sound but potentially pessimistic: logically equivalent control nets
+    with different names land in different classes.
+    """
+    table: dict[tuple, int] = {}
+
+    def classify(reg: Register) -> int:
+        key = (reg.clk, reg.en, reg.sr, reg.ar)
+        if key not in table:
+            table[key] = len(table)
+        return table[key]
+
+    return classify
+
+
+@dataclass
+class BuildResult:
+    """The mc-graph plus the circuit↔graph correspondence."""
+
+    graph: RetimingGraph
+    #: control net -> its ctrl output vertex name
+    ctrl_vertices: dict[str, str] = field(default_factory=dict)
+    #: primary-output position -> its output vertex name
+    out_vertices: dict[int, str] = field(default_factory=dict)
+    #: register name -> class id (as assigned during the build)
+    reg_class: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct register classes present."""
+        return len(set(self.reg_class.values())) if self.reg_class else 0
+
+
+def trace_chain(circuit: Circuit, net: str) -> tuple[str, str, list[Register]]:
+    """Walk from *net* back through registers to the generating cell.
+
+    Returns ``(kind, name, regs)`` where kind is ``"gate"``, ``"input"``
+    or ``"const"``; *regs* are ordered source-closest first.
+
+    Raises :class:`GraphError` on a pure register loop (a cycle of
+    registers with no combinational cell): the retiming-graph model has
+    no vertex to anchor such a chain on, and the loop computes nothing —
+    sweep it (or break it with a gate) before building the graph.
+    """
+    regs: list[Register] = []
+    seen: set[str] = set()
+    current = net
+    while True:
+        drv = circuit.driver(current)
+        if drv is None:
+            raise GraphError(f"net {current!r} is undriven")
+        kind, name = drv
+        if kind == "register":
+            if name in seen:
+                raise GraphError(
+                    f"pure register loop through {name!r} (no combinational "
+                    "cell on the cycle) — unsupported by the retiming graph"
+                )
+            seen.add(name)
+            reg = circuit.registers[name]
+            regs.append(reg)
+            current = reg.d
+        else:
+            regs.reverse()
+            return kind, name, regs
+
+
+def build_mcgraph(
+    circuit: Circuit,
+    delay_model: DelayModel = UNIT_DELAY,
+    classify: Callable[[Register], int] | None = None,
+) -> BuildResult:
+    """Build the multiple-class retiming graph of *circuit*."""
+    if classify is None:
+        classify = syntactic_classifier(circuit)
+    graph = RetimingGraph(circuit.name)
+    graph.add_host()
+    result = BuildResult(graph)
+
+    fanout_count = {net: len(circuit.readers(net)) for net in circuit.nets()}
+    for name in circuit.inputs:
+        graph.add_vertex(name, 0.0, "input")
+        graph.add_edge(HOST, name, 0)
+    for gate in circuit.gates.values():
+        delay = delay_model.gate_delay(gate) + delay_model.net_delay(
+            fanout_count.get(gate.output, 0)
+        )
+        graph.add_vertex(gate.name, delay, "gate")
+
+    def instances(regs: list[Register]) -> list[RegInstance]:
+        out = []
+        for reg in regs:
+            cls = classify(reg)
+            result.reg_class[reg.name] = cls
+            out.append(RegInstance(cls, reg.sval, reg.aval, origin=reg.name))
+        return out
+
+    def connect(net: str, sink_vertex: str) -> None:
+        kind, name, regs = trace_chain(circuit, net)
+        if kind == "const":
+            return
+        source = name  # input vertex name == net name; gate vertex == gate name
+        graph.add_edge(source, sink_vertex, len(regs), instances(regs))
+
+    for gate in circuit.gates.values():
+        for net in gate.inputs:
+            if not is_const(net):
+                connect(net, gate.name)
+
+    for index, net in enumerate(circuit.outputs):
+        vertex = f"$out{index}_{net}"
+        graph.add_vertex(vertex, 0.0, "output")
+        result.out_vertices[index] = vertex
+        connect(net, vertex)
+        graph.add_edge(vertex, HOST, 0)
+
+    for net in circuit.control_nets():
+        vertex = f"$ctrl_{net}"
+        graph.add_vertex(vertex, 0.0, "ctrl")
+        result.ctrl_vertices[net] = vertex
+        connect(net, vertex)
+        graph.add_edge(vertex, HOST, 0)
+
+    graph.check()
+    return result

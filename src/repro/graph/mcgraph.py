@@ -1,0 +1,107 @@
+"""Valid multiple-class retiming steps on the mc-graph (paper Fig. 3).
+
+A *backward* step at vertex ``v`` requires a complete layer of
+*compatible* registers at the source side of every fanout edge: the
+first register of each fanout edge must exist and belong to one class.
+The step removes that layer and inserts a fresh layer of the same class
+at the sink side of every fanin edge.  A *forward* step is symmetric
+(last register of every fanin edge, inserted at the source side of the
+fanout edges).
+
+Reset values are deliberately ignored here (paper Sec. 4.1: bounds are
+computed without considering reset values; justification happens later,
+during relocation).  The inserted instances carry X values.
+"""
+
+from __future__ import annotations
+
+from ..logic.ternary import TX
+from .retiming_graph import GraphError, RegInstance, RetimingGraph
+
+
+def _require_mc(graph: RetimingGraph, v: str) -> None:
+    if v not in graph.vertices:
+        raise GraphError(f"no vertex {v!r}")
+
+
+def backward_layer_class(graph: RetimingGraph, v: str) -> int | None:
+    """Class of the layer a backward step at *v* would move, or None.
+
+    None means the step is invalid: *v* is not movable, has no fanout,
+    some fanout edge is empty, or the leading registers disagree on the
+    class.
+    """
+    _require_mc(graph, v)
+    vertex = graph.vertices[v]
+    if not vertex.movable:
+        return None
+    outs = graph.out_edges(v)
+    ins = graph.in_edges(v)
+    if not outs or not ins:
+        return None
+    cls: int | None = None
+    for edge in outs:
+        if edge.regs is None or not edge.regs:
+            return None
+        first = edge.regs[0]
+        if cls is None:
+            cls = first.cls
+        elif first.cls != cls:
+            return None
+    return cls
+
+
+def forward_layer_class(graph: RetimingGraph, v: str) -> int | None:
+    """Class of the layer a forward step at *v* would move, or None."""
+    _require_mc(graph, v)
+    vertex = graph.vertices[v]
+    if not vertex.movable:
+        return None
+    outs = graph.out_edges(v)
+    ins = graph.in_edges(v)
+    if not outs or not ins:
+        return None
+    cls: int | None = None
+    for edge in ins:
+        if edge.regs is None or not edge.regs:
+            return None
+        last = edge.regs[-1]
+        if cls is None:
+            cls = last.cls
+        elif last.cls != cls:
+            return None
+    return cls
+
+
+def move_backward(graph: RetimingGraph, v: str) -> int:
+    """Perform one backward mc-step at *v*; returns the moved class."""
+    cls = backward_layer_class(graph, v)
+    if cls is None:
+        raise GraphError(f"invalid backward mc-step at {v!r}")
+    for edge in graph.out_edges(v):
+        edge.regs.pop(0)
+        edge.w -= 1
+    fresh = RegInstance(cls, TX, TX)
+    for edge in graph.in_edges(v):
+        if edge.regs is None:
+            edge.regs = []
+        edge.regs.append(fresh)
+        edge.w += 1
+    return cls
+
+
+def move_forward(graph: RetimingGraph, v: str) -> int:
+    """Perform one forward mc-step at *v*; returns the moved class."""
+    cls = forward_layer_class(graph, v)
+    if cls is None:
+        raise GraphError(f"invalid forward mc-step at {v!r}")
+    for edge in graph.in_edges(v):
+        edge.regs.pop()
+        edge.w -= 1
+    fresh = RegInstance(cls, TX, TX)
+    for edge in graph.out_edges(v):
+        if edge.regs is None:
+            edge.regs = []
+        edge.regs.insert(0, fresh)
+        edge.w += 1
+    return cls

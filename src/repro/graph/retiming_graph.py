@@ -1,0 +1,292 @@
+"""Retiming graphs: the Leiserson–Saxe model and its multiple-class form.
+
+A retiming graph ``G = (V, E, d, w)`` has a vertex per combinational
+gate and per I/O port plus a *host* vertex modelling the environment
+(paper Sec. 2).  Every edge records its register count ``w``; in the
+*multiple-class* graph (paper Sec. 3.2) it additionally carries the
+ordered register sequence ``l(e) = [l_1 .. l_w]`` where ``l_1`` is the
+register closest to the edge's source and each register is tagged with
+its class and its (s, a) reset values.
+
+The same class serves both roles: plain (basic) graphs simply leave the
+per-edge sequences as ``None``.  Algorithm layers on top:
+
+* :mod:`repro.retime` — FEAS / min-period / min-area on weights only;
+* :mod:`repro.mcretime` — class bounds, sharing transform, relocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+#: Reserved vertex name for the environment host.
+HOST = "$host"
+
+#: Vertex kinds.  ``gate`` vertices are the only freely movable ones;
+#: ``sep`` (separation, Sec. 4.2) and ``mirror`` (min-area fanout model)
+#: vertices are synthetic; everything else has a fixed retiming value 0.
+VERTEX_KINDS = ("gate", "input", "output", "host", "ctrl", "sep", "mirror")
+
+
+class GraphError(Exception):
+    """Raised on structural misuse of the retiming graph."""
+
+
+@dataclass(frozen=True)
+class RegInstance:
+    """One register on an edge of the mc-graph.
+
+    Attributes:
+        cls: register-class id (index into the class table owned by the
+            classifier; see :mod:`repro.mcretime.classes`).
+        sval: synchronous reset value (ternary).
+        aval: asynchronous reset value (ternary).
+        origin: name of the circuit register this instance descends
+            from, when known (debugging / reporting only).
+    """
+
+    cls: int
+    sval: int = 2  # TX
+    aval: int = 2  # TX
+    origin: str | None = None
+
+    def with_values(self, sval: int, aval: int) -> "RegInstance":
+        """Copy with different reset values."""
+        return replace(self, sval=sval, aval=aval)
+
+
+@dataclass
+class Vertex:
+    """A retiming-graph vertex."""
+
+    name: str
+    delay: float = 0.0
+    kind: str = "gate"
+
+    def __post_init__(self) -> None:
+        if self.kind not in VERTEX_KINDS:
+            raise GraphError(f"unknown vertex kind {self.kind!r}")
+        if self.delay < 0:
+            raise GraphError(f"vertex {self.name!r} has negative delay")
+
+    @property
+    def movable(self) -> bool:
+        """True iff retiming may assign this vertex a nonzero value.
+
+        Separation vertices are movable within explicit bounds; host,
+        ports and control-signal outputs are pinned at r = 0 (the paper
+        does not allow registers to cross circuit inputs/outputs).
+        """
+        return self.kind in ("gate", "sep", "mirror")
+
+
+@dataclass
+class Edge:
+    """A directed edge with a register count and optional sequence."""
+
+    eid: int
+    u: str
+    v: str
+    w: int = 0
+    regs: list[RegInstance] | None = None
+
+    def check(self) -> None:
+        """Verify the weight/sequence invariant."""
+        if self.w < 0:
+            raise GraphError(f"edge {self.u}->{self.v} has negative weight")
+        if self.regs is not None and len(self.regs) != self.w:
+            raise GraphError(
+                f"edge {self.u}->{self.v}: |regs|={len(self.regs)} != w={self.w}"
+            )
+
+
+class RetimingGraph:
+    """Mutable retiming graph with multi-edge support."""
+
+    def __init__(self, name: str = "g") -> None:
+        self.name = name
+        self.vertices: dict[str, Vertex] = {}
+        self.edges: dict[int, Edge] = {}
+        self._out: dict[str, list[int]] = {}
+        self._in: dict[str, list[int]] = {}
+        self._next_eid = 0
+        #: Model the environment as combinational logic (the classic
+        #: Leiserson–Saxe treatment, where critical paths may wrap
+        #: through the host).  Circuit-derived graphs leave this False:
+        #: the environment is sequential, so combinational propagation
+        #: stops at the host.
+        self.combinational_host: bool = False
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def add_vertex(self, name: str, delay: float = 0.0, kind: str = "gate") -> Vertex:
+        """Create a vertex; names must be unique."""
+        if name in self.vertices:
+            raise GraphError(f"vertex {name!r} already exists")
+        vertex = Vertex(name, delay, kind)
+        self.vertices[name] = vertex
+        self._out[name] = []
+        self._in[name] = []
+        return vertex
+
+    def add_host(self) -> Vertex:
+        """Create the host vertex (idempotent)."""
+        if HOST in self.vertices:
+            return self.vertices[HOST]
+        return self.add_vertex(HOST, 0.0, "host")
+
+    def add_edge(
+        self,
+        u: str,
+        v: str,
+        w: int = 0,
+        regs: list[RegInstance] | None = None,
+    ) -> Edge:
+        """Create an edge; *regs*, when given, must have length *w*."""
+        if u not in self.vertices or v not in self.vertices:
+            raise GraphError(f"edge endpoints missing: {u!r} -> {v!r}")
+        edge = Edge(self._next_eid, u, v, w, regs)
+        edge.check()
+        self._next_eid += 1
+        self.edges[edge.eid] = edge
+        self._out[u].append(edge.eid)
+        self._in[v].append(edge.eid)
+        return edge
+
+    def remove_edge(self, eid: int) -> Edge:
+        """Delete an edge by id."""
+        edge = self.edges.pop(eid)
+        self._out[edge.u].remove(eid)
+        self._in[edge.v].remove(eid)
+        return edge
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def out_edges(self, v: str) -> list[Edge]:
+        """Edges leaving *v*."""
+        return [self.edges[e] for e in self._out[v]]
+
+    def in_edges(self, v: str) -> list[Edge]:
+        """Edges entering *v*."""
+        return [self.edges[e] for e in self._in[v]]
+
+    def successors(self, v: str) -> list[str]:
+        """Distinct successor vertex names."""
+        seen: dict[str, None] = {}
+        for e in self._out[v]:
+            seen.setdefault(self.edges[e].v)
+        return list(seen)
+
+    def predecessors(self, v: str) -> list[str]:
+        """Distinct predecessor vertex names."""
+        seen: dict[str, None] = {}
+        for e in self._in[v]:
+            seen.setdefault(self.edges[e].u)
+        return list(seen)
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """All edges in id order."""
+        return iter(sorted(self.edges.values(), key=lambda e: e.eid))
+
+    def total_weight(self) -> int:
+        """Sum of edge weights (the unshared register count)."""
+        return sum(e.w for e in self.edges.values())
+
+    def is_multiclass(self) -> bool:
+        """True iff any edge carries a register sequence."""
+        return any(e.regs is not None for e in self.edges.values())
+
+    def movable_vertices(self) -> list[str]:
+        """Names of vertices retiming may move."""
+        return [v.name for v in self.vertices.values() if v.movable]
+
+    def gate_vertices(self) -> list[str]:
+        """Names of real gate vertices."""
+        return [v.name for v in self.vertices.values() if v.kind == "gate"]
+
+    # ------------------------------------------------------------------ #
+    # invariants and transforms
+
+    def check(self) -> None:
+        """Verify structural invariants (weights, sequences, indexes)."""
+        for edge in self.edges.values():
+            edge.check()
+            if edge.u not in self.vertices or edge.v not in self.vertices:
+                raise GraphError(f"dangling edge {edge.u}->{edge.v}")
+        for v, eids in self._out.items():
+            for eid in eids:
+                if self.edges[eid].u != v:
+                    raise GraphError("out-index corrupt")
+        for v, eids in self._in.items():
+            for eid in eids:
+                if self.edges[eid].v != v:
+                    raise GraphError("in-index corrupt")
+
+    def copy(self, name: str | None = None) -> "RetimingGraph":
+        """Deep copy preserving edge ids (register sequences are copied
+        lists), so callers can correlate edges across transformed copies."""
+        other = RetimingGraph(name or self.name)
+        other.combinational_host = self.combinational_host
+        for v in self.vertices.values():
+            other.add_vertex(v.name, v.delay, v.kind)
+        for edge in self.iter_edges():
+            regs = list(edge.regs) if edge.regs is not None else None
+            clone = Edge(edge.eid, edge.u, edge.v, edge.w, regs)
+            other.edges[clone.eid] = clone
+            other._out[clone.u].append(clone.eid)
+            other._in[clone.v].append(clone.eid)
+        other._next_eid = self._next_eid
+        return other
+
+    def retimed_weight(self, edge: Edge, r: dict[str, int]) -> int:
+        """``w_r(e) = w(e) + r(v) − r(u)`` (paper Sec. 2)."""
+        return edge.w + r.get(edge.v, 0) - r.get(edge.u, 0)
+
+    def apply_retiming(self, r: dict[str, int]) -> "RetimingGraph":
+        """Return a weight-only copy with weights updated by *r*.
+
+        Register sequences are dropped: after an arbitrary relabeling the
+        class sequences are no longer derivable locally (that is the job
+        of relocation, which replays individual moves on the circuit).
+        Raises :class:`GraphError` if any weight would become negative.
+        """
+        other = RetimingGraph(self.name)
+        for v in self.vertices.values():
+            other.add_vertex(v.name, v.delay, v.kind)
+        for edge in self.iter_edges():
+            w = self.retimed_weight(edge, r)
+            if w < 0:
+                raise GraphError(
+                    f"retiming illegal: edge {edge.u}->{edge.v} weight {w}"
+                )
+            other.add_edge(edge.u, edge.v, w)
+        return other
+
+    def zero_weight_cyclic(self) -> bool:
+        """True iff some cycle has zero total weight (unretimeable loop)."""
+        # Kahn peeling on the subgraph of zero-weight edges
+        zero_out: dict[str, list[str]] = {v: [] for v in self.vertices}
+        indeg: dict[str, int] = {v: 0 for v in self.vertices}
+        for edge in self.edges.values():
+            if edge.w == 0:
+                zero_out[edge.u].append(edge.v)
+                indeg[edge.v] += 1
+        queue = [v for v, d in indeg.items() if d == 0]
+        seen = 0
+        while queue:
+            v = queue.pop()
+            seen += 1
+            for s in zero_out[v]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    queue.append(s)
+        return seen != len(self.vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<RetimingGraph {self.name!r}: {len(self.vertices)} vertices, "
+            f"{len(self.edges)} edges, w={self.total_weight()}>"
+        )

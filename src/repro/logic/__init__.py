@@ -1,0 +1,39 @@
+"""Ternary logic, simulation, and justification utilities."""
+
+from .ternary import (
+    T0,
+    T1,
+    TX,
+    TERNARY_VALUES,
+    compatible,
+    meet,
+    ternary_and,
+    ternary_and_all,
+    ternary_char,
+    ternary_from_char,
+    ternary_mux,
+    ternary_not,
+    ternary_or,
+    ternary_or_all,
+    ternary_xor,
+    vector_str,
+)
+
+__all__ = [
+    "T0",
+    "T1",
+    "TX",
+    "TERNARY_VALUES",
+    "compatible",
+    "meet",
+    "ternary_and",
+    "ternary_and_all",
+    "ternary_char",
+    "ternary_from_char",
+    "ternary_mux",
+    "ternary_not",
+    "ternary_or",
+    "ternary_or_all",
+    "ternary_xor",
+    "vector_str",
+]

@@ -1,0 +1,53 @@
+"""Ternary evaluation of gate functions.
+
+Evaluates a gate's truth table under three-valued inputs: the output is
+a binary value iff *every* binary completion of the X inputs agrees,
+otherwise X.  This is the exact (not merely Kleene-approximate)
+semantics, which matters for justification — e.g. ``XOR(a, a)`` style
+patterns inside a LUT still evaluate to 0.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..netlist.cells import Gate
+from .ternary import T0, T1, TX
+
+#: Above this many unknown inputs the exact completion sweep is skipped
+#: and X is returned (exponential guard; never hit by mapped 4-LUTs).
+MAX_EXACT_UNKNOWNS = 12
+
+
+def eval_table(table: int, values: Sequence[int]) -> int:
+    """Evaluate a truth table on a ternary input vector."""
+    unknowns = [i for i, v in enumerate(values) if v == TX]
+    base = 0
+    for i, v in enumerate(values):
+        if v == T1:
+            base |= 1 << i
+    if not unknowns:
+        return T1 if (table >> base) & 1 else T0
+    if len(unknowns) > MAX_EXACT_UNKNOWNS:
+        return TX
+    first = None
+    for combo in range(1 << len(unknowns)):
+        idx = base
+        for j, pos in enumerate(unknowns):
+            if (combo >> j) & 1:
+                idx |= 1 << pos
+        bit = (table >> idx) & 1
+        if first is None:
+            first = bit
+        elif bit != first:
+            return TX
+    return T1 if first else T0
+
+
+def eval_gate(gate: Gate, values: Sequence[int]) -> int:
+    """Ternary-evaluate *gate* on per-pin values (same order as inputs)."""
+    if len(values) != gate.n_inputs:
+        raise ValueError(
+            f"gate {gate.name!r} expects {gate.n_inputs} values, got {len(values)}"
+        )
+    return eval_table(gate.truth_table(), values)

@@ -1,0 +1,181 @@
+"""Backward justification of reset values (paper Sec. 5.2 machinery).
+
+Two levels, mirroring the paper:
+
+* **Local justification** (:func:`justify_gate`): given a required
+  binary output value of one gate, find a ternary input vector that
+  produces it, *selecting as many don't-cares as possible* — the paper's
+  heuristic for avoiding conflicts in later steps and improving register
+  sharing.  Exhaustive over the 3^n ternary vectors for narrow gates
+  (n ≤ 4 after mapping, 81 candidates), BDD-backed for wider ones.
+
+* **Cone (global) justification** (:func:`justify_cone`): given required
+  values on several nets, find a ternary assignment to a cut of nets
+  such that forward implication through the cone reproduces every
+  requirement.  Implemented with BDDs, as in the paper.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Mapping, Sequence
+
+from ..bdd import BDD, FALSE, TRUE
+from ..netlist import Circuit
+from ..netlist.cells import Gate
+from .functions import eval_table
+from .netfn import net_functions
+from .ternary import T0, T1, TX
+
+#: Gates up to this many inputs are justified by exhaustive ternary
+#: enumeration; wider gates fall back to the BDD path.
+MAX_ENUM_INPUTS = 4
+
+
+def _ternary_vectors_by_dontcares(n: int):
+    """All ternary vectors of length n, most don't-cares first."""
+    vectors = sorted(
+        product((T0, T1, TX), repeat=n),
+        key=lambda v: -sum(1 for x in v if x == TX),
+    )
+    return vectors
+
+
+def justify_gate(gate: Gate, required: int) -> list[int] | None:
+    """Find input values making *gate* output exactly *required* (0/1).
+
+    Returns the ternary input vector with the maximum number of
+    don't-cares, or None if the gate cannot produce the value (constant
+    gate of the other polarity).  ``required`` must be binary; X would
+    mean "no requirement" and needs no justification.
+    """
+    if required not in (T0, T1):
+        raise ValueError("justify_gate needs a binary required value")
+    table = gate.truth_table()
+    n = gate.n_inputs
+    if n <= MAX_ENUM_INPUTS:
+        for vec in _ternary_vectors_by_dontcares(n):
+            if eval_table(table, vec) == required:
+                return list(vec)
+        return None
+    # BDD fallback: a sat path of f (or ~f) is a partial assignment whose
+    # unassigned variables are exactly the don't-cares.
+    bdd = BDD()
+    vs = [bdd.var(f"i{i}") for i in range(n)]
+    f = bdd.from_truth_table(table, vs)
+    target = f if required == T1 else bdd.not_(f)
+    model = bdd.sat_one(target)
+    if model is None:
+        return None
+    vec = [TX] * n
+    for level, value in model.items():
+        vec[level] = T1 if value else T0
+    return vec
+
+
+def justification_choices(gate: Gate, required: int) -> list[list[int]]:
+    """All maximal-don't-care justifications (ties included), best first.
+
+    Used by conflict resolution to try alternatives before escalating to
+    global justification.  Only supported for enumerable gate widths.
+    """
+    if gate.n_inputs > MAX_ENUM_INPUTS:
+        one = justify_gate(gate, required)
+        return [one] if one is not None else []
+    table = gate.truth_table()
+    hits = [
+        list(vec)
+        for vec in _ternary_vectors_by_dontcares(gate.n_inputs)
+        if eval_table(table, vec) == required
+    ]
+    return hits
+
+
+def justify_cone(
+    circuit: Circuit,
+    required: Mapping[str, int],
+    cut: set[str],
+    prefer_dontcare: bool = True,
+    assume: Mapping[str, int] | None = None,
+) -> dict[str, int] | None:
+    """Global justification over a logic cone.
+
+    Args:
+        circuit: the design (only the cone feeding the required nets is
+            examined).
+        required: net -> binary value constraints (X entries are ignored).
+        cut: nets to solve for; they become free BDD variables.  Any
+            required net must be expressible as a function of the cut
+            (plus other nets, which stay free and end up X).
+        assume: nets with already-committed binary values (e.g. reset
+            values of registers outside the cut); X assumptions are
+            ignored and the net is treated as uncontrolled.
+
+    Returns:
+        A ternary assignment for every net in *cut* (X = don't-care)
+        whose forward implication satisfies all requirements, or None
+        if no assignment exists.
+    """
+    hard = {net: val for net, val in required.items() if val != TX}
+    if not hard:
+        return {net: TX for net in cut}
+    bdd = BDD()
+    bindings = {}
+    for net, val in (assume or {}).items():
+        if net in cut or val == TX:
+            continue
+        bindings[net] = TRUE if val == T1 else FALSE
+    fns = net_functions(circuit, list(hard), bdd, cut=set(cut), bindings=bindings)
+    constraint = TRUE
+    for net, val in hard.items():
+        f = fns[net]
+        constraint = bdd.and_(constraint, f if val == T1 else bdd.not_(f))
+        if constraint == FALSE:
+            return None
+    # nets outside the cut (side inputs we do not control) must not be
+    # relied upon: the justification has to hold for every value they
+    # may take, so quantify them universally
+    foreign = [
+        level
+        for level in bdd.support(constraint)
+        if bdd.var_name(level) not in cut
+    ]
+    if foreign:
+        constraint = bdd.forall(constraint, foreign)
+        if constraint == FALSE:
+            return None
+    model = bdd.sat_one(constraint)
+    if model is None:
+        return None
+    result = {net: TX for net in cut}
+    name_of = bdd.var_names()
+    for level, value in model.items():
+        net = name_of[level]
+        if net in result:
+            result[net] = T1 if value else T0
+    if not prefer_dontcare:
+        for net, val in result.items():
+            if val == TX:
+                result[net] = T0
+    return result
+
+
+def implication_satisfies(
+    circuit: Circuit,
+    assignment: Mapping[str, int],
+    required: Mapping[str, int],
+) -> bool:
+    """Check a justification: forward-implicate and compare.
+
+    ``assignment`` provides cut values; every non-X requirement must be
+    reproduced exactly.
+    """
+    from .simulate import eval_nets
+
+    values = eval_nets(circuit, dict(assignment))
+    for net, val in required.items():
+        if val == TX:
+            continue
+        if values.get(net, TX) != val:
+            return False
+    return True

@@ -1,0 +1,97 @@
+"""Build BDD functions of circuit nets over a variable cut.
+
+Register classification (paper Def. 1) compares control signals up to
+*logical equivalence*: two control nets belong to the same class signal
+iff they compute the same function of the primary inputs and register
+outputs.  Justification (Sec. 5.2) needs gate-cone functions over an
+arbitrary cut.  Both reduce to: "give me the BDD of net *n* with the
+nets in *cut* as free variables", which this module provides.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..bdd import BDD, FALSE, TRUE
+from ..netlist import Circuit
+from ..netlist.signals import CONST0, CONST1
+
+
+def default_cut(circuit: Circuit) -> set[str]:
+    """The canonical cut: primary inputs plus register Q outputs."""
+    cut = set(circuit.inputs)
+    for reg in circuit.registers.values():
+        cut.add(reg.q)
+    return cut
+
+
+def net_functions(
+    circuit: Circuit,
+    nets: Iterable[str],
+    bdd: BDD,
+    cut: set[str] | None = None,
+    bindings: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """Compute BDD nodes for the given *nets*.
+
+    Args:
+        circuit: the design.
+        nets: target nets to express.
+        bdd: manager in which to build (variables are named by net).
+        cut: nets treated as free variables; defaults to
+            :func:`default_cut`.  Undriven nets also become variables.
+        bindings: optional pre-assigned functions for specific nets
+            (overrides both cut membership and drivers) — used by
+            justification to plug in required values.
+
+    Returns:
+        mapping net -> BDD node.
+    """
+    if cut is None:
+        cut = default_cut(circuit)
+    bindings = dict(bindings or {})
+    cache: dict[str, int] = {}
+
+    def resolve(net: str) -> int:
+        if net in cache:
+            return cache[net]
+        if net in bindings:
+            result = bindings[net]
+        elif net == CONST0:
+            result = FALSE
+        elif net == CONST1:
+            result = TRUE
+        elif net in cut:
+            result = bdd.var(net)
+        else:
+            gate = circuit.driver_gate(net)
+            if gate is None:
+                # register Q outside the cut or undriven net: free variable
+                result = bdd.var(net)
+            else:
+                ins = [resolve(i) for i in gate.inputs]
+                result = bdd.from_truth_table(gate.truth_table(), ins)
+        cache[net] = result
+        return result
+
+    # visit the cone in topological order first so `resolve` never
+    # recurses deeper than one gate (keeps deep circuits off the Python
+    # recursion limit)
+    targets = list(nets)
+    cone = circuit.transitive_fanin_gates(targets)
+    for gate in cone:
+        stop = gate.output in cut or gate.output in bindings
+        if not stop:
+            resolve(gate.output)
+    return {net: resolve(net) for net in targets}
+
+
+def nets_equivalent(
+    circuit: Circuit, net_a: str, net_b: str, bdd: BDD | None = None
+) -> bool:
+    """Decide logical equivalence of two nets over the canonical cut."""
+    if net_a == net_b:
+        return True
+    bdd = bdd or BDD()
+    fns = net_functions(circuit, [net_a, net_b], bdd)
+    return fns[net_a] == fns[net_b]

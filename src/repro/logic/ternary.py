@@ -1,0 +1,137 @@
+"""Three-valued logic domain {0, 1, X}.
+
+The paper labels registers with synchronous/asynchronous reset values
+``s, a ∈ {0, 1, -}`` (Sec. 3.2).  The dash — called *X* here — means the
+value is unconstrained (a don't-care).  This module provides the value
+domain and the Kleene-style operations used by forward implication and
+backward justification (Sec. 5.2).
+
+Values are plain small integers so they hash fast and serialize trivially:
+
+* ``T0``  — logic 0
+* ``T1``  — logic 1
+* ``TX``  — unknown / don't-care ("-")
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Logic zero.
+T0: int = 0
+#: Logic one.
+T1: int = 1
+#: Unknown / don't-care (printed as ``-``).
+TX: int = 2
+
+#: All ternary values, in canonical order.
+TERNARY_VALUES: tuple[int, int, int] = (T0, T1, TX)
+
+_CHARS = {T0: "0", T1: "1", TX: "-"}
+_FROM_CHAR = {"0": T0, "1": T1, "-": TX, "x": TX, "X": TX, "2": TX}
+
+
+def is_ternary(value: object) -> bool:
+    """Return True iff *value* is one of T0, T1, TX."""
+    return value in (T0, T1, TX)
+
+
+def ternary_char(value: int) -> str:
+    """Render a ternary value as the paper's one-character notation."""
+    return _CHARS[value]
+
+
+def ternary_from_char(char: str) -> int:
+    """Parse ``0``, ``1``, ``-`` (or ``x``/``X``) into a ternary value."""
+    try:
+        return _FROM_CHAR[char]
+    except KeyError:
+        raise ValueError(f"not a ternary character: {char!r}") from None
+
+
+def ternary_not(a: int) -> int:
+    """Kleene negation: X maps to X."""
+    if a == TX:
+        return TX
+    return T1 - a
+
+
+def ternary_and(a: int, b: int) -> int:
+    """Kleene conjunction: 0 dominates X."""
+    if a == T0 or b == T0:
+        return T0
+    if a == TX or b == TX:
+        return TX
+    return T1
+
+
+def ternary_or(a: int, b: int) -> int:
+    """Kleene disjunction: 1 dominates X."""
+    if a == T1 or b == T1:
+        return T1
+    if a == TX or b == TX:
+        return TX
+    return T0
+
+
+def ternary_xor(a: int, b: int) -> int:
+    """Kleene exclusive-or: X taints the result."""
+    if a == TX or b == TX:
+        return TX
+    return a ^ b
+
+
+def ternary_and_all(values: Iterable[int]) -> int:
+    """Conjunction over an iterable (empty iterable yields 1)."""
+    result = T1
+    for v in values:
+        result = ternary_and(result, v)
+        if result == T0:
+            return T0
+    return result
+
+
+def ternary_or_all(values: Iterable[int]) -> int:
+    """Disjunction over an iterable (empty iterable yields 0)."""
+    result = T0
+    for v in values:
+        result = ternary_or(result, v)
+        if result == T1:
+            return T1
+    return result
+
+
+def ternary_mux(sel: int, a: int, b: int) -> int:
+    """Ternary multiplexer: returns *b* when sel=1, *a* when sel=0.
+
+    When the select is X the output is known only if both data inputs
+    agree on a binary value.
+    """
+    if sel == T0:
+        return a
+    if sel == T1:
+        return b
+    if a == b and a != TX:
+        return a
+    return TX
+
+
+def compatible(a: int, b: int) -> bool:
+    """True iff the two values do not contradict (X matches anything)."""
+    return a == TX or b == TX or a == b
+
+
+def meet(a: int, b: int) -> int:
+    """Most specific value consistent with both; raises on 0/1 conflict."""
+    if a == TX:
+        return b
+    if b == TX:
+        return a
+    if a != b:
+        raise ValueError("ternary meet of conflicting binary values")
+    return a
+
+
+def vector_str(values: Iterable[int]) -> str:
+    """Render an iterable of ternary values as e.g. ``"01-1"``."""
+    return "".join(_CHARS[v] for v in values)

@@ -1,0 +1,145 @@
+"""MC-retiming bounds by maximal backward / forward retiming (Sec. 4.1).
+
+``r_max^mc(v)`` — how many layers may move backward across v — equals
+the number of registers moved across v when the mc-graph is *maximally
+backward retimed* (valid mc-steps applied until none remains), and
+symmetrically ``r_min^mc(v)`` is minus the count from maximal forward
+retiming.  Reset values are ignored here, exactly as the paper argues
+(unique constraint set; justification deferred to relocation).
+
+The pass also produces the paper's "#Step possible" statistic: the total
+number of valid mc-steps executed across both maximal phases.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..graph.mcgraph import (
+    backward_layer_class,
+    forward_layer_class,
+    move_backward,
+    move_forward,
+)
+from ..graph.retiming_graph import GraphError, RetimingGraph
+
+
+class BoundsError(GraphError):
+    """Raised when maximal retiming fails to terminate (dead ring)."""
+
+
+@dataclass
+class BoundsResult:
+    """Bounds plus the two maximally retimed graphs (the backward one
+    feeds the sharing transform of Sec. 4.2)."""
+
+    #: vertex -> (r_min, r_max); only movable vertices appear.
+    bounds: dict[str, tuple[int, int]]
+    #: graph copy after maximal backward retiming.
+    backward_graph: RetimingGraph
+    #: graph copy after maximal forward retiming.
+    forward_graph: RetimingGraph
+    #: total valid mc-steps found (backward + forward) — paper's
+    #: "#Step possible".
+    steps_possible: int = 0
+
+    def r_max(self, v: str) -> int:
+        return self.bounds.get(v, (0, 0))[1]
+
+    def r_min(self, v: str) -> int:
+        return self.bounds.get(v, (0, 0))[0]
+
+
+def _maximal_retime(
+    graph: RetimingGraph,
+    direction: str,
+    move_cap: int,
+    per_vertex_cap: int,
+) -> tuple[dict[str, int], int]:
+    """Apply valid mc-steps of one direction until exhaustion.
+
+    Mutates *graph*; returns (moves per vertex, total moves).  FIFO
+    worklist; after a move the vertices whose step validity can have
+    changed (the vertex itself and its predecessors/successors for
+    backward/forward respectively) are re-enqueued.
+
+    ``per_vertex_cap`` truncates the exploration: register loops that
+    are not reachable from the host (free-running counters, toggle
+    flip-flops) admit unboundedly many forward steps — every lap leaves
+    one more register on each tap edge — so the true bound can be
+    infinite.  Capping is *sound*: bounds only restrict the solution
+    space, and no useful retiming lags exceed the circuit's sequential
+    depth, let alone the cap.
+    """
+    if direction == "backward":
+        probe, move = backward_layer_class, move_backward
+    else:
+        probe, move = forward_layer_class, move_forward
+    counts: dict[str, int] = {}
+    total = 0
+    movable = [v for v in graph.vertices.values() if v.movable]
+    queue: deque[str] = deque(v.name for v in movable)
+    queued = {v.name for v in movable}
+    while queue:
+        name = queue.popleft()
+        queued.discard(name)
+        while (
+            counts.get(name, 0) < per_vertex_cap
+            and probe(graph, name) is not None
+        ):
+            move(graph, name)
+            counts[name] = counts.get(name, 0) + 1
+            total += 1
+            if total > move_cap:
+                raise BoundsError(
+                    "maximal retiming exceeded its move budget despite "
+                    "the per-vertex cap — graph is pathological"
+                )
+            neighbors = (
+                graph.predecessors(name)
+                if direction == "backward"
+                else graph.successors(name)
+            )
+            for n in neighbors:
+                if graph.vertices[n].movable and n not in queued:
+                    queue.append(n)
+                    queued.add(n)
+    return counts, total
+
+
+def compute_bounds(
+    graph: RetimingGraph,
+    move_cap: int | None = None,
+    per_vertex_cap: int = 64,
+) -> BoundsResult:
+    """Compute mc-retiming bounds of a multiple-class graph.
+
+    The input graph is left untouched (maximal retiming runs on copies).
+    ``per_vertex_cap`` bounds the lag explored per vertex (see
+    :func:`_maximal_retime` for why this is sound and necessary).
+    """
+    if move_cap is None:
+        move_cap = max(100_000, per_vertex_cap * (len(graph.vertices) + 1))
+    backward = graph.copy()
+    bwd_counts, bwd_total = _maximal_retime(
+        backward, "backward", move_cap, per_vertex_cap
+    )
+    forward = graph.copy()
+    fwd_counts, fwd_total = _maximal_retime(
+        forward, "forward", move_cap, per_vertex_cap
+    )
+    bounds: dict[str, tuple[int, int]] = {}
+    for vertex in graph.vertices.values():
+        if not vertex.movable:
+            continue
+        bounds[vertex.name] = (
+            -fwd_counts.get(vertex.name, 0),
+            bwd_counts.get(vertex.name, 0),
+        )
+    return BoundsResult(
+        bounds=bounds,
+        backward_graph=backward,
+        forward_graph=forward,
+        steps_possible=bwd_total + fwd_total,
+    )

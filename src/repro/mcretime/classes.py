@@ -1,0 +1,162 @@
+"""Register classification (paper Def. 1).
+
+A register class is the tuple ``(clk, load, r_sync, r_async)`` of
+control *signals*, compared up to **logical equivalence**: two registers
+are compatible iff each control signal computes the same Boolean
+function of the primary inputs and register outputs.  We decide
+equivalence with BDDs over the canonical cut (one variable per PI and
+per register Q); by ROBDD canonicity, equal functions are equal node
+handles, so a class is simply a tuple of node ids.
+
+Normalisations (all direct consequences of the generic-register
+semantics of Fig. 2a):
+
+* a missing EN pin behaves as constant 1, so ``en=None`` and an enable
+  net that provably computes TRUE share a key;
+* missing SR / AR pins behave as constant 0 (never reset);
+* reset *values* (s, a) are **not** part of the class — they are labels
+  on individual registers (Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bdd import BDD, FALSE, TRUE
+from ..logic.netfn import default_cut, net_functions
+from ..netlist import Circuit, Register
+from ..netlist.signals import CONST0, CONST1
+
+
+@dataclass(frozen=True)
+class RegisterClass:
+    """One register class, with representative nets for materialisation.
+
+    The representative nets are taken from the first register observed
+    in the class; any member's nets would do, since they are logically
+    equivalent (and relocation always copies nets from an actual member
+    register anyway).
+    """
+
+    cid: int
+    clk: str
+    en: str | None
+    sr: str | None
+    ar: str | None
+
+    @property
+    def has_enable(self) -> bool:
+        return self.en is not None
+
+    @property
+    def has_sync_reset(self) -> bool:
+        return self.sr is not None
+
+    @property
+    def has_async_reset(self) -> bool:
+        return self.ar is not None
+
+    def describe(self) -> str:
+        """Compact human-readable form."""
+        parts = [f"clk={self.clk}"]
+        if self.en is not None:
+            parts.append(f"en={self.en}")
+        if self.sr is not None:
+            parts.append(f"sr={self.sr}")
+        if self.ar is not None:
+            parts.append(f"ar={self.ar}")
+        return f"C{self.cid}(" + ", ".join(parts) + ")"
+
+
+class Classifier:
+    """Maps registers of one circuit to class ids.
+
+    With ``semantic=True`` (the default and the paper's definition),
+    control nets are compared by BDD function; otherwise by net name.
+    The classifier is built eagerly over the whole circuit so repeated
+    queries are dictionary lookups.
+    """
+
+    def __init__(self, circuit: Circuit, semantic: bool = True) -> None:
+        self.circuit = circuit
+        self.semantic = semantic
+        self.classes: list[RegisterClass] = []
+        self._by_reg: dict[str, int] = {}
+        self._key_to_cid: dict[tuple, int] = {}
+        self._net_keys: dict[str, object] = {}
+        if semantic:
+            self._build_net_keys()
+        for reg in circuit.registers.values():
+            self._by_reg[reg.name] = self._classify(reg)
+
+    def _build_net_keys(self) -> None:
+        nets: set[str] = set()
+        for reg in self.circuit.registers.values():
+            nets.add(reg.clk)
+            for net in (reg.en, reg.sr, reg.ar):
+                if net is not None:
+                    nets.add(net)
+        nets.discard(CONST0)
+        nets.discard(CONST1)
+        if not nets:
+            return
+        bdd = BDD()
+        fns = net_functions(self.circuit, sorted(nets), bdd)
+        self._net_keys = dict(fns)
+        self._net_keys[CONST0] = FALSE
+        self._net_keys[CONST1] = TRUE
+        self._true_key = TRUE
+        self._false_key = FALSE
+
+    def _key(self, net: str | None, absent: object) -> object:
+        """Key of one control net; *absent* is the missing-pin value."""
+        if net is None:
+            return absent
+        if self.semantic:
+            key = self._net_keys.get(net)
+            if key is None:  # net never seen (shouldn't happen) — by name
+                return ("name", net)
+            return key
+        if net == CONST1:
+            return TRUE if absent is TRUE else ("name", net)
+        if net == CONST0:
+            return FALSE if absent is FALSE else ("name", net)
+        return ("name", net)
+
+    def _classify(self, reg: Register) -> int:
+        key = (
+            self._key(reg.clk, ("name", reg.clk)),
+            self._key(reg.en, TRUE),  # no enable == always enabled
+            self._key(reg.sr, FALSE),  # no sync reset == never resets
+            self._key(reg.ar, FALSE),
+        )
+        cid = self._key_to_cid.get(key)
+        if cid is None:
+            cid = len(self.classes)
+            self._key_to_cid[key] = cid
+            self.classes.append(
+                RegisterClass(cid, reg.clk, reg.en, reg.sr, reg.ar)
+            )
+        return cid
+
+    def classify(self, reg: Register) -> int:
+        """Class id of *reg* (registers added after construction are
+        classified on the fly)."""
+        cid = self._by_reg.get(reg.name)
+        if cid is None:
+            cid = self._classify(reg)
+            self._by_reg[reg.name] = cid
+        return cid
+
+    def class_of(self, cid: int) -> RegisterClass:
+        """The class record for an id."""
+        return self.classes[cid]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct classes among classified registers."""
+        return len(self.classes)
+
+    def compatible(self, a: Register, b: Register) -> bool:
+        """Paper Def. 1: same class."""
+        return self.classify(a) == self.classify(b)

@@ -1,0 +1,395 @@
+"""Register relocation: implement a computed mc-retiming on the circuit.
+
+Step 6 of the paper's flow: given per-gate retiming values, perform the
+corresponding sequence of *valid mc-retiming steps* directly on the
+netlist, computing equivalent reset states on the way (Sec. 5.2):
+
+* **forward step** (r < 0): bypass the register layer at the gate's
+  inputs, insert one register after the gate; its reset values are the
+  forward implication of the source values.
+* **backward step** (r > 0): remove the register layer at the gate's
+  output, insert one register per (non-constant) input net; values come
+  from local justification, or from a BDD global justification over the
+  cone back to the registers' original positions when the local step
+  conflicts (paper Fig. 5).
+
+Every register created by a backward step records the flattened set of
+*terminal requirements* — ``(net, sval, aval)`` at original register
+positions — it is responsible for.  A global justification solves those
+requirements jointly for the new layer *and* any sibling registers
+carrying a subset of the same requirements (the paper's "other
+registers involved in moving backward the conflicting registers"),
+assuming the committed values of all other registers and universally
+quantifying primary inputs.
+
+If even the global step fails, :class:`JustificationConflict` reports
+the gate and how many backward moves succeeded there, so the engine can
+clamp ``r_max^mc`` and re-solve (paper Sec. 5.2, last paragraph).
+
+Scheduling: repeatedly sweep the gates with outstanding moves and apply
+any step that is currently valid; a full sweep without progress on a
+legal retiming indicates an upstream bug and raises RelocationError.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..logic.justify import justify_cone
+from ..logic.ternary import TX, meet
+from ..netlist import Circuit, Register
+from ..netlist.signals import is_const
+from .classes import Classifier
+from .reset import JustificationStats, implied_value, justify_pins
+
+
+class RelocationError(Exception):
+    """Raised when a supposedly legal retiming cannot be replayed."""
+
+
+class JustificationConflict(Exception):
+    """An unresolvable reset conflict at a backward step.
+
+    Attributes:
+        gate: vertex where the conflict occurred.
+        moves_done: backward moves successfully performed there before
+            the conflict — the paper's new upper bound for that vertex.
+    """
+
+    def __init__(self, gate: str, moves_done: int) -> None:
+        super().__init__(f"unjustifiable backward move at {gate!r}")
+        self.gate = gate
+        self.moves_done = moves_done
+
+
+@dataclass
+class RelocationResult:
+    """Retimed circuit plus bookkeeping."""
+
+    circuit: Circuit
+    stats: JustificationStats
+    #: layers actually moved (Σ |r(v)|) — the paper's first #Step number
+    steps_moved: int = 0
+    #: registers created minus removed (net area movement)
+    register_delta: int = 0
+    #: per-register terminal requirements (register -> {(net, s, a)})
+    requirements: dict[str, frozenset] = field(default_factory=dict)
+
+
+def relocate(
+    circuit: Circuit,
+    r: dict[str, int],
+    classifier: Classifier | None = None,
+) -> RelocationResult:
+    """Apply retiming *r* (gate name -> lag) to a clone of *circuit*."""
+    work = circuit.clone()
+    classifier = classifier or Classifier(circuit)
+    stats = JustificationStats()
+    pending: dict[str, int] = {
+        name: value
+        for name, value in r.items()
+        if value and name in work.gates
+    }
+    requirements: dict[str, frozenset] = {}
+    performed: dict[str, int] = {}
+    steps_moved = 0
+    regs_before = len(work.registers)
+
+    while pending:
+        progress = False
+        for name in list(pending):
+            direction = pending[name]
+            gate = work.gates[name]
+            if direction > 0:
+                applied = _try_backward(
+                    work, gate, classifier, requirements, stats, performed
+                )
+            else:
+                applied = _try_forward(work, gate, classifier, requirements, stats)
+            if applied:
+                progress = True
+                steps_moved += 1
+                pending[name] += -1 if direction > 0 else 1
+                if pending[name] == 0:
+                    del pending[name]
+        if not progress:
+            raise RelocationError(
+                f"relocation deadlocked with pending moves: {pending}"
+            )
+
+    merge_shareable_registers(work, classifier, requirements)
+
+    return RelocationResult(
+        circuit=work,
+        stats=stats,
+        steps_moved=steps_moved,
+        register_delta=len(work.registers) - regs_before,
+        requirements=requirements,
+    )
+
+
+def merge_shareable_registers(
+    work: Circuit,
+    classifier: Classifier,
+    requirements: dict[str, frozenset] | None = None,
+) -> int:
+    """Merge registers with one driver, one class, and compatible values.
+
+    Relocation materialises one register per gate input, so several
+    gates reading the same net end up with duplicate registers; the
+    min-area cost model already assumed those share (Leiserson–Saxe
+    fanout sharing), and this pass realises it.  Reset values are met
+    (X yields to a binary sibling); incompatible values keep separate
+    registers.  Returns the number of registers removed.
+    """
+    from ..logic.ternary import compatible as t_compatible
+
+    requirements = requirements if requirements is not None else {}
+    removed = 0
+    groups: dict[tuple, list[Register]] = {}
+    for reg in work.registers.values():
+        groups.setdefault((reg.d, classifier.classify(reg)), []).append(reg)
+    for (_, _), members in groups.items():
+        if len(members) < 2:
+            continue
+        keeper = members[0]
+        for other in members[1:]:
+            if not (
+                t_compatible(keeper.sval, other.sval)
+                and t_compatible(keeper.aval, other.aval)
+            ):
+                continue
+            keeper.sval = meet(keeper.sval, other.sval)
+            keeper.aval = meet(keeper.aval, other.aval)
+            if other.name in requirements:
+                merged = requirements.get(keeper.name, frozenset()) | (
+                    requirements.pop(other.name)
+                )
+                requirements[keeper.name] = merged
+            work.remove_register(other.name)
+            work.replace_net(other.q, keeper.q)
+            removed += 1
+    return removed
+
+
+def _meet_all(values: list[int]) -> int | None:
+    """Meet of ternary values, or None on a 0/1 conflict."""
+    acc = TX
+    for v in values:
+        try:
+            acc = meet(acc, v)
+        except ValueError:
+            return None
+    return acc
+
+
+def _try_backward(
+    work: Circuit,
+    gate,
+    classifier: Classifier,
+    requirements: dict[str, frozenset],
+    stats: JustificationStats,
+    performed: dict[str, int],
+) -> bool:
+    """One backward layer move across *gate*, if currently valid."""
+    out_net = gate.output
+    readers = work.readers(out_net)
+    if not readers:
+        return False
+    removed: list[Register] = []
+    for kind, name, pin in readers:
+        if kind != "register" or pin != 0:
+            return False  # some fanout connection has no adjacent register
+        removed.append(work.registers[name])
+    cids = {classifier.classify(reg) for reg in removed}
+    if len(cids) != 1:
+        return False
+    in_nets = [n for n in gate.inputs if not is_const(n)]
+    if not in_nets:
+        return False  # constant generator: no fanin edges to receive a layer
+
+    # terminal requirements carried by the removed layer
+    req_items: set[tuple[str, int, int]] = set()
+    for reg in removed:
+        stored = requirements.get(reg.name)
+        if stored is not None:
+            req_items |= stored
+        else:
+            req_items.add((out_net, reg.sval, reg.aval))
+
+    # --- try the cheap local justification first -----------------------
+    # the new layer must reproduce the removed layer's values AND any
+    # terminal requirement anchored at this gate's output net: a derived
+    # X-valued register at `out_net` may coexist with a hard requirement
+    # (net, s, a) that deeper logic satisfied until now — inserting the
+    # new layer cuts that path, so the layer must carry it itself
+    local_values: tuple[dict[str, int], dict[str, int]] | None = None
+    req_s = _meet_all(
+        [reg.sval for reg in removed]
+        + [s for net, s, _a in req_items if net == out_net]
+    )
+    req_a = _meet_all(
+        [reg.aval for reg in removed]
+        + [a for net, _s, a in req_items if net == out_net]
+    )
+    if req_s is not None and req_a is not None:
+        vs = justify_pins(gate, req_s)
+        va = justify_pins(gate, req_a)
+        if vs is not None and va is not None:
+            local_values = (vs, va)
+
+    # --- structural rewiring (shared by both justification paths) ------
+    template = removed[0]
+    new_regs: dict[str, Register] = {}
+    for net in dict.fromkeys(in_nets):
+        new_regs[net] = work.add_register(
+            d=net,
+            clk=template.clk,
+            en=template.en,
+            sr=template.sr,
+            ar=template.ar,
+            sval=TX,
+            aval=TX,
+        )
+    for i, net in enumerate(gate.inputs):
+        if not is_const(net):
+            gate.inputs[i] = new_regs[net].q
+    for reg in removed:
+        work.remove_register(reg.name)
+        work.replace_net(reg.q, out_net)
+        requirements.pop(reg.name, None)
+
+    frozen = frozenset(req_items)
+    if local_values is not None:
+        vs, va = local_values
+        for net, reg in new_regs.items():
+            reg.sval = vs.get(net, TX)
+            reg.aval = va.get(net, TX)
+            requirements[reg.name] = frozen
+        stats.local_steps += 1
+        performed[gate.name] = performed.get(gate.name, 0) + 1
+        return True
+
+    # --- global justification over the cone ----------------------------
+    ok = _global_justify(work, new_regs, frozen, requirements, stats)
+    if not ok:
+        stats.unresolvable += 1
+        raise JustificationConflict(gate.name, performed.get(gate.name, 0))
+    stats.global_steps += 1
+    performed[gate.name] = performed.get(gate.name, 0) + 1
+    return True
+
+
+def _global_justify(
+    work: Circuit,
+    new_regs: dict[str, Register],
+    req_items: frozenset,
+    requirements: dict[str, frozenset],
+    stats: JustificationStats,
+) -> bool:
+    """Joint BDD justification of the requirement set (paper Fig. 5b)."""
+    # requirements per net, with per-net meets (a hard clash here means
+    # two original registers at one position disagreed — unresolvable).
+    # Iterate in sorted order: req_items is a set, and its hash-dependent
+    # order would otherwise leak into the BDD variable order and thereby
+    # into which (equally valid) justification gets picked, making runs
+    # irreproducible across interpreter hash seeds.
+    required_s: dict[str, int] = {}
+    required_a: dict[str, int] = {}
+    for net, sval, aval in sorted(req_items):
+        s = _meet_all([required_s.get(net, TX), sval])
+        a = _meet_all([required_a.get(net, TX), aval])
+        if s is None or a is None:
+            return False
+        required_s[net] = s
+        required_a[net] = a
+
+    # the solvable cut: the new layer plus sibling registers whose whole
+    # responsibility is a subset of the requirements being solved
+    cut = {reg.q for reg in new_regs.values()}
+    revisable: dict[str, Register] = {reg.q: reg for reg in new_regs.values()}
+    for name in sorted(requirements):
+        reqs = requirements[name]
+        if reqs and reqs <= req_items:
+            reg = work.registers.get(name)
+            if reg is not None:
+                cut.add(reg.q)
+                revisable[reg.q] = reg
+
+    # committed values of every other register act as assumptions
+    assume_s: dict[str, int] = {}
+    assume_a: dict[str, int] = {}
+    for reg in work.registers.values():
+        if reg.q in cut:
+            continue
+        assume_s[reg.q] = reg.sval
+        assume_a[reg.q] = reg.aval
+
+    sol_s = justify_cone(work, required_s, cut, assume=assume_s)
+    if sol_s is None:
+        return False
+    sol_a = justify_cone(work, required_a, cut, assume=assume_a)
+    if sol_a is None:
+        return False
+    for q_net, reg in revisable.items():
+        reg.sval = sol_s.get(q_net, TX)
+        reg.aval = sol_a.get(q_net, TX)
+        if reg.name not in requirements or reg.q in {
+            nr.q for nr in new_regs.values()
+        }:
+            requirements[reg.name] = req_items
+    return True
+
+
+def _try_forward(
+    work: Circuit,
+    gate,
+    classifier: Classifier,
+    requirements: dict[str, frozenset],
+    stats: JustificationStats,
+) -> bool:
+    """One forward layer move across *gate*, if currently valid."""
+    in_nets = [n for n in gate.inputs if not is_const(n)]
+    if not in_nets:
+        return False
+    drivers: dict[str, Register] = {}
+    for net in in_nets:
+        reg = work.driver_register(net)
+        if reg is None:
+            return False
+        drivers[net] = reg
+    cids = {classifier.classify(reg) for reg in drivers.values()}
+    if len(cids) != 1:
+        return False
+
+    # forward implication of the reset values (exact ternary)
+    sval = implied_value(gate, {n: r.sval for n, r in drivers.items()})
+    aval = implied_value(gate, {n: r.aval for n, r in drivers.items()})
+
+    template = next(iter(drivers.values()))
+    # bypass the source registers at this gate's pins
+    for i, net in enumerate(gate.inputs):
+        if not is_const(net):
+            gate.inputs[i] = drivers[net].d
+    # drop sources that became unobservable
+    for reg in drivers.values():
+        if reg.name in work.registers and not work.readers(reg.q):
+            work.remove_register(reg.name)
+            requirements.pop(reg.name, None)
+    # insert the new layer after the gate
+    old_out = gate.output
+    new_net = work.new_net("fwd")
+    work.rewire_gate_output(gate, new_net)
+    work.add_register(
+        d=new_net,
+        q=old_out,
+        clk=template.clk,
+        en=template.en,
+        sr=template.sr,
+        ar=template.ar,
+        sval=sval,
+        aval=aval,
+    )
+    stats.forward_steps += 1
+    return True

@@ -1,0 +1,71 @@
+"""Run reports in the vocabulary of the paper's Table 2 and Sec. 6 prose."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .engine import MCRetimeResult
+
+
+@dataclass(frozen=True)
+class RetimeReport:
+    """One Table-2 style row (area columns filled in by the flow layer)."""
+
+    name: str
+    n_classes: int
+    steps_moved: int
+    steps_possible: int
+    ff: int
+    period: float
+    local_fraction: float
+    basic_fraction: float
+    relocation_fraction: float
+    overhead_fraction: float
+    resolve_attempts: int
+
+    def step_column(self) -> str:
+        """The paper's ``moved/possible`` rendering."""
+        return f"{self.steps_moved}/{self.steps_possible}"
+
+
+def report_from_result(name: str, result: MCRetimeResult) -> RetimeReport:
+    """Summarise an engine result."""
+    fractions = result.timing_fractions()
+    return RetimeReport(
+        name=name,
+        n_classes=result.n_classes,
+        steps_moved=result.steps_moved,
+        steps_possible=result.steps_possible,
+        ff=result.ff_after,
+        period=result.period_after,
+        local_fraction=result.stats.local_fraction,
+        basic_fraction=fractions["basic_retiming"],
+        relocation_fraction=fractions["relocation"],
+        overhead_fraction=fractions["mc_overhead"],
+        resolve_attempts=result.resolve_attempts,
+    )
+
+
+def format_table(rows: list[dict[str, object]], floatfmt: str = ".1f") -> str:
+    """Minimal fixed-width table printer for the experiment scripts."""
+    if not rows:
+        return "(empty table)"
+    headers = list(rows[0])
+    rendered = []
+    for row in rows:
+        rendered.append(
+            {
+                h: (f"{v:{floatfmt}}" if isinstance(v, float) else str(v))
+                for h, v in row.items()
+            }
+        )
+    widths = {
+        h: max(len(h), *(len(r[h]) for r in rendered)) for h in headers
+    }
+    lines = [
+        "  ".join(h.ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for r in rendered:
+        lines.append("  ".join(r[h].rjust(widths[h]) for h in headers))
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Reset-value computation for mc-retiming steps (paper Sec. 5.2).
+
+Three layers, matching the paper:
+
+* forward implication — a forward-moved layer's values are the gate
+  function applied to the source values (exact ternary evaluation);
+* local justification — one gate at a time, choosing as many don't-cares
+  as possible (cheap, used for >99 % of steps in the paper);
+* global justification — on a local conflict, re-justify over the whole
+  cone back to the registers' original positions with BDDs, possibly
+  revising sibling registers created by the same chain of moves.
+
+This module owns the gate-level vector helpers and the statistics
+record; the cone bookkeeping lives in :mod:`repro.mcretime.relocate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic.functions import eval_table
+from ..logic.justify import justification_choices
+from ..logic.ternary import T0, T1, TX, meet
+from ..netlist.cells import Gate
+from ..netlist.signals import const_value, is_const
+
+
+@dataclass
+class JustificationStats:
+    """Counters mirroring the paper's Sec. 6 prose claims."""
+
+    #: backward layer moves justified by the one-gate local method
+    local_steps: int = 0
+    #: backward layer moves that needed a global (cone) justification
+    global_steps: int = 0
+    #: forward layer moves (pure implication, no search)
+    forward_steps: int = 0
+    #: unresolvable conflicts (each forces a retiming re-solve)
+    unresolvable: int = 0
+
+    @property
+    def backward_steps(self) -> int:
+        """Total backward layer moves."""
+        return self.local_steps + self.global_steps
+
+    @property
+    def local_fraction(self) -> float:
+        """Fraction of backward justifications done locally (paper: >99 %)."""
+        total = self.backward_steps
+        return 1.0 if total == 0 else self.local_steps / total
+
+    def merged(self, other: "JustificationStats") -> "JustificationStats":
+        """Sum of two stat records."""
+        return JustificationStats(
+            self.local_steps + other.local_steps,
+            self.global_steps + other.global_steps,
+            self.forward_steps + other.forward_steps,
+            self.unresolvable + other.unresolvable,
+        )
+
+
+def implied_value(gate: Gate, value_of: dict[str, int]) -> int:
+    """Forward implication: ternary gate output for per-net values.
+
+    Constant input nets contribute their constant; any net missing from
+    *value_of* contributes X.
+    """
+    vector = []
+    for net in gate.inputs:
+        if is_const(net):
+            vector.append(T1 if const_value(net) else T0)
+        else:
+            vector.append(value_of.get(net, TX))
+    return eval_table(gate.truth_table(), vector)
+
+
+def justify_pins(gate: Gate, required: int) -> dict[str, int] | None:
+    """Per-net input values making *gate* output *required* (binary).
+
+    Honors two circuit-level constraints the plain gate-level search
+    doesn't know about: constant input nets cannot be assigned (the
+    vector must already agree with them), and pins wired to the same net
+    must receive compatible values (they become one register).  Returns
+    the first (maximal-don't-care) consistent choice as a net→value map
+    over the non-constant inputs, or None.
+    """
+    if required == TX:
+        return {net: TX for net in gate.inputs if not is_const(net)}
+    for vector in justification_choices(gate, required):
+        values: dict[str, int] = {}
+        ok = True
+        for net, val in zip(gate.inputs, vector):
+            if is_const(net):
+                const = T1 if const_value(net) else T0
+                if val not in (TX, const):
+                    ok = False
+                    break
+                continue
+            try:
+                values[net] = meet(values.get(net, TX), val)
+            except ValueError:
+                ok = False
+                break
+        if ok:
+            return values
+    return None

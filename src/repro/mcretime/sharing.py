@@ -1,0 +1,158 @@
+"""Multiple-class register sharing transform (paper Sec. 4.2, Eq. 3).
+
+The Leiserson–Saxe sharing cost (max over fanout edges) under-counts
+when a fanout layer mixes classes — mixed-class registers cannot share
+hardware (Fig. 4a reports 2 where the true cost is 3).  The paper's
+repair:
+
+1. maximally backward-retime the graph (we reuse the copy produced by
+   the bounds pass);
+2. at each multi-fanout vertex, walk the fanout register layers from
+   source to sink, keeping at each layer the largest set of
+   class-compatible registers among the edges still "inside" the cut —
+   that greedy frontier is the *cutline* separating sharable registers
+   (left) from non-sharable ones (right);
+3. insert a zero-delay *separation vertex* s_i on each fanout edge with
+   non-sharable registers, redistribute the original edge's registers
+   around s_i (by rewinding the maximal backward retiming), and bound
+
+       r_max^mc(s_i) = max(r_max^mc(v_i) − w_b(e_{s_i v_i}), 0)    (3)
+
+   so the solver can never pull a non-sharable register into the shared
+   region beyond what undoing the maximal backward retiming allows.
+
+The separated tail edges are single-fanout, so the standard sharing
+cost then counts each non-sharable register individually — an over-
+rather than under-estimate, as the paper prefers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.retiming_graph import Edge, RegInstance, RetimingGraph
+
+
+@dataclass
+class Separation:
+    """Record of one inserted separation vertex."""
+
+    sep: str
+    u: str
+    v: str
+    original_eid: int
+    #: registers that stayed on the u-side edge (sharable side)
+    head_regs: int
+    #: registers moved to the sep→v edge (non-sharable side)
+    tail_regs: int
+    #: Eq. 3 bound for the separation vertex
+    r_max: int
+    r_min: int
+
+
+@dataclass
+class SharingTransformResult:
+    """Transformed graph plus updated bounds."""
+
+    graph: RetimingGraph
+    #: bounds including entries for the new separation vertices
+    bounds: dict[str, tuple[int, int]]
+    separations: list[Separation] = field(default_factory=list)
+
+
+def _cut_positions(sequences: list[list[RegInstance]]) -> list[int]:
+    """Greedy cutline: sharable prefix length per fanout edge.
+
+    Walks layers source→sink; at each layer the largest compatible class
+    among still-active edges survives (ties broken by smaller class id
+    for determinism); edges falling out keep their prefix length.
+    """
+    n = len(sequences)
+    shar = [0] * n
+    active = [i for i in range(n)]
+    layer = 0
+    while True:
+        groups: dict[int, list[int]] = {}
+        for i in active:
+            if len(sequences[i]) > layer:
+                groups.setdefault(sequences[i][layer].cls, []).append(i)
+        if not groups:
+            break
+        winner = max(groups, key=lambda cls: (len(groups[cls]), -cls))
+        survivors = groups[winner]
+        for i in survivors:
+            shar[i] = layer + 1
+        active = survivors
+        layer += 1
+    return shar
+
+
+def apply_sharing_transform(
+    graph: RetimingGraph,
+    bounds: dict[str, tuple[int, int]],
+    backward_graph: RetimingGraph,
+) -> SharingTransformResult:
+    """Insert separation vertices into a copy of *graph*.
+
+    Args:
+        graph: the original mc-graph (untouched).
+        bounds: mc-retiming bounds from :func:`~repro.mcretime.bounds.
+            compute_bounds` (vertex -> (r_min, r_max)).
+        backward_graph: the maximally backward-retimed copy (edge ids
+            aligned with *graph*).
+    """
+    out = graph.copy()
+    new_bounds = dict(bounds)
+    separations: list[Separation] = []
+
+    def r_max_of(v: str) -> int:
+        return new_bounds.get(v, (0, 0))[1]
+
+    def r_min_of(v: str) -> int:
+        return new_bounds.get(v, (0, 0))[0]
+
+    for name, vertex in graph.vertices.items():
+        if vertex.kind not in ("gate", "input"):
+            continue
+        original_edges = graph.out_edges(name)
+        if len(original_edges) < 2:
+            continue
+        sequences = []
+        for edge in original_edges:
+            bwd_edge = backward_graph.edges[edge.eid]
+            sequences.append(list(bwd_edge.regs or []))
+        shar = _cut_positions(sequences)
+        for edge, seq, prefix in zip(original_edges, sequences, shar):
+            non_sharable = len(seq) - prefix
+            if non_sharable <= 0:
+                continue
+            v_i = edge.v
+            sep = f"$sep{edge.eid}_{name}"
+            out.add_vertex(sep, 0.0, "sep")
+            # rewind the maximal backward retiming to place the original
+            # registers: tail registers that never crossed the cut
+            tail = max(non_sharable - r_max_of(v_i), 0)
+            tail = min(tail, edge.w)
+            head = edge.w - tail
+            old = out.edges[edge.eid]
+            regs = list(old.regs or [])
+            out.remove_edge(edge.eid)
+            out.add_edge(name, sep, head, regs[:head])
+            out.add_edge(sep, v_i, tail, regs[head:])
+            sep_r_max = max(r_max_of(v_i) - non_sharable, 0)
+            sep_r_min = r_min_of(v_i) - tail
+            new_bounds[sep] = (sep_r_min, sep_r_max)
+            separations.append(
+                Separation(
+                    sep=sep,
+                    u=name,
+                    v=v_i,
+                    original_eid=edge.eid,
+                    head_regs=head,
+                    tail_regs=tail,
+                    r_max=sep_r_max,
+                    r_min=sep_r_min,
+                )
+            )
+    out.check()
+    return SharingTransformResult(out, new_bounds, separations)

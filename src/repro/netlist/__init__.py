@@ -1,0 +1,44 @@
+"""Netlist substrate: circuits of gates and multiple-class registers.
+
+Public surface:
+
+* :class:`Circuit` — the flat netlist container.
+* :class:`Gate`, :class:`Register`, :class:`GateFn`, :class:`Port` — cells.
+* :func:`read_blif` / :func:`write_blif` — extended-BLIF persistence.
+* :func:`check_circuit` / :func:`is_valid` — structural validation.
+* :func:`circuit_stats` — Table-1 style summaries.
+* :data:`CONST0` / :data:`CONST1` — the reserved constant nets.
+"""
+
+from .blif import BlifError, read_blif, write_blif
+from .cells import Gate, GateFn, Port, Register, make_lut
+from .circuit import Circuit, NetlistError
+from .signals import CONST0, CONST1, const_net, const_value, is_const
+from .stats import CircuitStats, circuit_stats
+from .validate import check_circuit, is_valid
+from .verilog import VerilogError, read_verilog, write_verilog
+
+__all__ = [
+    "BlifError",
+    "CONST0",
+    "CONST1",
+    "Circuit",
+    "CircuitStats",
+    "Gate",
+    "GateFn",
+    "NetlistError",
+    "Port",
+    "Register",
+    "VerilogError",
+    "check_circuit",
+    "circuit_stats",
+    "const_net",
+    "const_value",
+    "is_const",
+    "is_valid",
+    "make_lut",
+    "read_blif",
+    "read_verilog",
+    "write_blif",
+    "write_verilog",
+]

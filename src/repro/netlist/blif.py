@@ -1,0 +1,253 @@
+"""Extended-BLIF reader/writer.
+
+The format is standard BLIF (``.model/.inputs/.outputs/.names/.latch``)
+plus one extension, ``.mcff``, that round-trips the paper's generic
+register with all control pins and reset values::
+
+    .mcff <name> d=<net> q=<net> clk=<net> [en=<net>]
+          [sr=<net>] [sval=0|1|-] [ar=<net>] [aval=0|1|-]
+
+``.names`` bodies are single-output covers; they are compiled into LUT
+truth tables on read and regenerated as minterm covers on write (our
+LUTs are at most :data:`~repro.netlist.cells.MAX_TABLE_INPUTS` wide, and
+post-mapping at most 4, so covers stay small).  A classic ``.latch``
+line is accepted and becomes a plain register on the named clock.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, TextIO
+
+from ..logic.ternary import TX, ternary_char, ternary_from_char
+from .cells import GateFn
+from .circuit import Circuit, NetlistError
+from .signals import CONST0, CONST1, is_const
+
+
+class BlifError(NetlistError):
+    """Raised on malformed BLIF input."""
+
+
+def _logical_lines(text: Iterable[str]) -> Iterable[tuple[int, str]]:
+    """Yield (line number, line) with ``\\`` continuations joined."""
+    buffer = ""
+    start = 0
+    for i, raw in enumerate(text, 1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not buffer:
+            start = i
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+            continue
+        buffer += line
+        if buffer.strip():
+            yield start, buffer.strip()
+        buffer = ""
+    if buffer.strip():
+        yield start, buffer.strip()
+
+
+def _cover_to_table(n_inputs: int, cover: list[tuple[str, str]], lineno: int) -> int:
+    """Compile on-set/off-set cover lines into a truth-table bitmask."""
+    if not cover:
+        return 0
+    out_values = {out for _, out in cover}
+    if len(out_values) != 1:
+        raise BlifError(f"line {lineno}: mixed on-set/off-set cover")
+    polarity = cover[0][1]
+    mask = 0
+    for pattern, _ in cover:
+        if len(pattern) != n_inputs:
+            raise BlifError(
+                f"line {lineno}: cover width {len(pattern)} != {n_inputs} inputs"
+            )
+        free = [i for i, ch in enumerate(pattern) if ch == "-"]
+        base = 0
+        for i, ch in enumerate(pattern):
+            if ch == "1":
+                base |= 1 << i
+            elif ch not in "0-":
+                raise BlifError(f"line {lineno}: bad cover character {ch!r}")
+        for combo in range(1 << len(free)):
+            idx = base
+            for j, pos in enumerate(free):
+                if (combo >> j) & 1:
+                    idx |= 1 << pos
+            mask |= 1 << idx
+    if polarity == "0":
+        mask = ((1 << (1 << n_inputs)) - 1) ^ mask
+    return mask
+
+
+def _parse_kv(tokens: list[str], lineno: int) -> dict[str, str]:
+    result = {}
+    for tok in tokens:
+        if "=" not in tok:
+            raise BlifError(f"line {lineno}: expected key=value, got {tok!r}")
+        key, value = tok.split("=", 1)
+        result[key] = value
+    return result
+
+
+def read_blif(stream: TextIO | str, name_hint: str | None = None) -> Circuit:
+    """Parse extended BLIF from a stream or string into a Circuit."""
+    if isinstance(stream, str):
+        stream = io.StringIO(stream)
+    circuit: Circuit | None = None
+    pending_names: tuple[int, list[str]] | None = None
+    pending_cover: list[tuple[str, str]] = []
+    lut_counter = 0
+
+    def flush_names() -> None:
+        nonlocal pending_names, pending_cover, lut_counter
+        if pending_names is None:
+            return
+        lineno, signals = pending_names
+        *ins, out = signals
+        table = _cover_to_table(len(ins), pending_cover, lineno)
+        if is_const(out):
+            pass  # constants are implicitly driven; ignore re-declaration
+        else:
+            assert circuit is not None
+            lut_counter += 1
+            circuit.add_gate(
+                GateFn.LUT, ins, out, name=f"lut{lut_counter}", table=table
+            )
+        pending_names = None
+        pending_cover = []
+
+    for lineno, line in _logical_lines(stream):
+        tokens = line.split()
+        keyword = tokens[0]
+        if not keyword.startswith("."):
+            if pending_names is None:
+                raise BlifError(f"line {lineno}: cover line outside .names")
+            if len(tokens) == 1 and len(pending_names[1]) == 1:
+                pending_cover.append(("", tokens[0]))
+            elif len(tokens) == 2:
+                pending_cover.append((tokens[0], tokens[1]))
+            else:
+                raise BlifError(f"line {lineno}: malformed cover line")
+            continue
+        flush_names()
+        if keyword == ".model":
+            if circuit is not None:
+                raise BlifError(f"line {lineno}: multiple .model sections")
+            circuit = Circuit(tokens[1] if len(tokens) > 1 else (name_hint or "top"))
+        elif circuit is None:
+            raise BlifError(f"line {lineno}: {keyword} before .model")
+        elif keyword == ".inputs":
+            for net in tokens[1:]:
+                circuit.add_input(net)
+        elif keyword == ".outputs":
+            for net in tokens[1:]:
+                circuit.add_output(net)
+        elif keyword == ".names":
+            if len(tokens) < 2:
+                raise BlifError(f"line {lineno}: .names needs at least an output")
+            pending_names = (lineno, tokens[1:])
+        elif keyword == ".latch":
+            # .latch <input> <output> [<type> <control>] [<init-val>]
+            rest = tokens[1:]
+            if len(rest) < 2:
+                raise BlifError(f"line {lineno}: malformed .latch")
+            d, q = rest[0], rest[1]
+            clk = "clk"
+            if len(rest) >= 4:
+                clk = rest[3]
+            circuit.add_register(d=d, q=q, clk=clk)
+        elif keyword == ".mcgate":
+            # .mcgate carry <name> <a> <b> <cin> <out>
+            if len(tokens) != 7 or tokens[1] != "carry":
+                raise BlifError(f"line {lineno}: malformed .mcgate")
+            circuit.add_gate(
+                GateFn.CARRY, tokens[3:6], tokens[6], name=tokens[2]
+            )
+        elif keyword == ".mcff":
+            if len(tokens) < 2:
+                raise BlifError(f"line {lineno}: .mcff needs a name")
+            kv = _parse_kv(tokens[2:], lineno)
+            for required in ("d", "q", "clk"):
+                if required not in kv:
+                    raise BlifError(f"line {lineno}: .mcff missing {required}=")
+            circuit.add_register(
+                d=kv["d"],
+                q=kv["q"],
+                clk=kv["clk"],
+                name=tokens[1],
+                en=kv.get("en"),
+                sr=kv.get("sr"),
+                ar=kv.get("ar"),
+                sval=ternary_from_char(kv.get("sval", "-")),
+                aval=ternary_from_char(kv.get("aval", "-")),
+            )
+        elif keyword == ".end":
+            break
+        else:
+            raise BlifError(f"line {lineno}: unknown directive {keyword}")
+    flush_names()
+    if circuit is None:
+        raise BlifError("no .model section found")
+    return circuit
+
+
+def _table_to_cover(n_inputs: int, table: int) -> list[str]:
+    """Emit one cover line per on-set minterm (plus degenerate cases)."""
+    size = 1 << n_inputs
+    full = (1 << size) - 1
+    if table == 0:
+        return []  # empty cover = constant 0 in BLIF
+    if n_inputs == 0:
+        return ["1"]
+    if table == full:
+        return ["-" * n_inputs + " 1"]
+    lines = []
+    for minterm in range(size):
+        if (table >> minterm) & 1:
+            bits = "".join("1" if (minterm >> i) & 1 else "0" for i in range(n_inputs))
+            lines.append(f"{bits} 1")
+    return lines
+
+
+def write_blif(circuit: Circuit, stream: TextIO | None = None) -> str:
+    """Serialize a circuit to extended BLIF; returns the text."""
+    out = io.StringIO()
+    out.write(f".model {circuit.name}\n")
+    if circuit.inputs:
+        out.write(".inputs " + " ".join(circuit.inputs) + "\n")
+    if circuit.outputs:
+        out.write(".outputs " + " ".join(circuit.outputs) + "\n")
+    used = circuit.nets()
+    for const in (CONST0, CONST1):
+        if const in used:
+            out.write(f".names {const}\n")
+            if const == CONST1:
+                out.write("1\n")
+    for gate in circuit.gates.values():
+        if gate.fn is GateFn.CARRY:
+            pins = " ".join(gate.inputs + [gate.output])
+            out.write(f".mcgate carry {gate.name} {pins}\n")
+            continue
+        table = gate.truth_table()
+        out.write(".names " + " ".join(gate.inputs + [gate.output]) + "\n")
+        for line in _table_to_cover(gate.n_inputs, table):
+            out.write(line + "\n")
+    for reg in circuit.registers.values():
+        fields = [f"d={reg.d}", f"q={reg.q}", f"clk={reg.clk}"]
+        if reg.en is not None:
+            fields.append(f"en={reg.en}")
+        if reg.sr is not None:
+            fields.append(f"sr={reg.sr}")
+        if reg.sval != TX:
+            fields.append(f"sval={ternary_char(reg.sval)}")
+        if reg.ar is not None:
+            fields.append(f"ar={reg.ar}")
+        if reg.aval != TX:
+            fields.append(f"aval={ternary_char(reg.aval)}")
+        out.write(f".mcff {reg.name} " + " ".join(fields) + "\n")
+    out.write(".end\n")
+    text = out.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text

@@ -1,0 +1,262 @@
+"""Cell types: combinational gates and the generic register.
+
+Combinational cells are either named primitive functions (AND, OR, ...)
+or LUTs carrying an explicit truth table.  Every primitive normalizes to
+a truth table, so downstream code (simulation, BDD construction, mapping)
+only ever deals with one representation.
+
+The sequential cell is the paper's *generic register* (Fig. 2a): a
+D-flip-flop with optional synchronous load enable EN, a synchronous
+set/clear signal, and an asynchronous set/clear signal, plus the reset
+values ``s, a ∈ {0, 1, -}`` the register assumes when the respective
+reset asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Sequence
+
+from ..logic.ternary import T0, T1, TX, ternary_char
+
+
+class GateFn(Enum):
+    """Primitive combinational functions.
+
+    ``LUT`` marks a gate whose function is given by an explicit truth
+    table; all other members have a fixed function of their input count.
+    """
+
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"  # inputs (sel, a, b): sel=0 -> a, sel=1 -> b
+    LUT = "lut"
+    #: XC4000-style hardwired carry element: inputs (a, b, cin),
+    #: output = majority(a, b, cin).  Kept as a primitive through
+    #: mapping (the dedicated carry logic is much faster than a LUT).
+    CARRY = "carry"
+
+
+#: Maximum input count for which truth tables are materialised eagerly.
+MAX_TABLE_INPUTS = 16
+
+
+def _table_from_fn(fn: GateFn, n_inputs: int) -> int:
+    """Truth table (bitmask over minterm indices) of a primitive."""
+    size = 1 << n_inputs
+    mask = 0
+    for minterm in range(size):
+        bits = [(minterm >> i) & 1 for i in range(n_inputs)]
+        if fn is GateFn.BUF:
+            value = bits[0]
+        elif fn is GateFn.NOT:
+            value = 1 - bits[0]
+        elif fn is GateFn.AND:
+            value = int(all(bits))
+        elif fn is GateFn.NAND:
+            value = int(not all(bits))
+        elif fn is GateFn.OR:
+            value = int(any(bits))
+        elif fn is GateFn.NOR:
+            value = int(not any(bits))
+        elif fn is GateFn.XOR:
+            value = sum(bits) & 1
+        elif fn is GateFn.XNOR:
+            value = 1 - (sum(bits) & 1)
+        elif fn is GateFn.MUX:
+            if n_inputs != 3:
+                raise ValueError("MUX requires exactly 3 inputs (sel, a, b)")
+            value = bits[2] if bits[0] else bits[1]
+        elif fn is GateFn.CARRY:
+            if n_inputs != 3:
+                raise ValueError("CARRY requires exactly 3 inputs (a, b, cin)")
+            value = int(sum(bits) >= 2)
+        else:
+            raise ValueError(f"no fixed table for {fn}")
+        if value:
+            mask |= 1 << minterm
+    return mask
+
+
+_ARITY_CHECKS = {
+    GateFn.BUF: (1, 1),
+    GateFn.NOT: (1, 1),
+    GateFn.AND: (1, None),
+    GateFn.OR: (1, None),
+    GateFn.NAND: (1, None),
+    GateFn.NOR: (1, None),
+    GateFn.XOR: (1, None),
+    GateFn.XNOR: (1, None),
+    GateFn.MUX: (3, 3),
+    GateFn.LUT: (0, None),
+    GateFn.CARRY: (3, 3),
+}
+
+
+@dataclass
+class Gate:
+    """A combinational cell.
+
+    Attributes:
+        name: unique instance name within the circuit.
+        fn: primitive function tag.
+        inputs: driving nets, in pin order (bit ``i`` of a minterm index
+            corresponds to ``inputs[i]``).
+        output: the single driven net.
+        table: truth table bitmask; required when ``fn`` is LUT, derived
+            on demand otherwise.
+    """
+
+    name: str
+    fn: GateFn
+    inputs: list[str]
+    output: str
+    table: int | None = None
+
+    def __post_init__(self) -> None:
+        lo, hi = _ARITY_CHECKS[self.fn]
+        n = len(self.inputs)
+        if n < lo or (hi is not None and n > hi):
+            raise ValueError(f"{self.fn.value} gate {self.name!r} has {n} inputs")
+        if self.fn is GateFn.LUT:
+            if self.table is None:
+                raise ValueError(f"LUT gate {self.name!r} needs a truth table")
+            if n > MAX_TABLE_INPUTS:
+                raise ValueError(f"LUT gate {self.name!r} too wide ({n} inputs)")
+            if self.table >> (1 << n):
+                raise ValueError(f"LUT gate {self.name!r} table wider than 2^{n} bits")
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of input pins."""
+        return len(self.inputs)
+
+    def truth_table(self) -> int:
+        """Truth table bitmask over ``2**n_inputs`` minterms.
+
+        For primitives the table is computed once and cached on the gate.
+        """
+        if self.table is None:
+            self.table = _table_from_fn(self.fn, len(self.inputs))
+        return self.table
+
+    def eval_binary(self, values: Sequence[int]) -> int:
+        """Evaluate on fully binary inputs (0/1 per pin)."""
+        index = 0
+        for i, v in enumerate(values):
+            if v:
+                index |= 1 << i
+        return (self.truth_table() >> index) & 1
+
+    def is_constant(self) -> int | None:
+        """Return 0/1 if the gate ignores all inputs, else None."""
+        table = self.truth_table()
+        size = 1 << len(self.inputs)
+        if table == 0:
+            return 0
+        if table == (1 << size) - 1:
+            return 1
+        return None
+
+    def clone(self) -> "Gate":
+        """Deep copy (input list is copied)."""
+        return Gate(self.name, self.fn, list(self.inputs), self.output, self.table)
+
+
+@dataclass
+class Register:
+    """The generic register of paper Fig. 2a.
+
+    Control pins are nets; ``None`` means the capability is absent (for
+    EN this is equivalent to tying the pin to constant 1).  ``sval`` /
+    ``aval`` are the ternary values the register assumes when the
+    synchronous / asynchronous reset signal asserts — the paper's labels
+    ``s`` and ``a``.  A register with ``sr`` set and ``sval == T1``
+    models a synchronous set (SS); ``sval == T0`` a synchronous clear
+    (SC); likewise ``ar``/``aval`` for AS/AC.
+
+    Update semantics (active-high controls, rising clock edge)::
+
+        if ar:            Q <= aval            (asynchronous, immediate)
+        elif rising(clk):
+            if sr:        Q <= sval
+            elif en:      Q <= D
+            else:         Q <= Q
+    """
+
+    name: str
+    d: str
+    q: str
+    clk: str
+    en: str | None = None
+    sr: str | None = None
+    ar: str | None = None
+    sval: int = TX
+    aval: int = TX
+
+    def __post_init__(self) -> None:
+        if self.sval not in (T0, T1, TX):
+            raise ValueError(f"register {self.name!r}: bad sval {self.sval!r}")
+        if self.aval not in (T0, T1, TX):
+            raise ValueError(f"register {self.name!r}: bad aval {self.aval!r}")
+
+    @property
+    def has_enable(self) -> bool:
+        """True iff the register has a real (non-constant-1) load enable."""
+        from .signals import CONST1
+
+        return self.en is not None and self.en != CONST1
+
+    @property
+    def has_sync_reset(self) -> bool:
+        """True iff a synchronous set/clear signal is connected."""
+        from .signals import CONST0
+
+        return self.sr is not None and self.sr != CONST0
+
+    @property
+    def has_async_reset(self) -> bool:
+        """True iff an asynchronous set/clear signal is connected."""
+        from .signals import CONST0
+
+        return self.ar is not None and self.ar != CONST0
+
+    def control_nets(self) -> list[str]:
+        """All connected control nets except the clock, in pin order."""
+        nets = []
+        for net in (self.en, self.sr, self.ar):
+            if net is not None:
+                nets.append(net)
+        return nets
+
+    def reset_label(self) -> str:
+        """The paper's ``(s, a)`` annotation, e.g. ``"s=1,a=-"``."""
+        return f"s={ternary_char(self.sval)},a={ternary_char(self.aval)}"
+
+    def clone(self) -> "Register":
+        """Field-wise copy."""
+        return replace(self)
+
+
+@dataclass(frozen=True)
+class Port:
+    """A primary input or output; the port name is also its net name."""
+
+    name: str
+    direction: str  # "input" | "output"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("input", "output"):
+            raise ValueError(f"bad port direction {self.direction!r}")
+
+
+def make_lut(name: str, inputs: Sequence[str], output: str, table: int) -> Gate:
+    """Convenience constructor for a LUT gate."""
+    return Gate(name, GateFn.LUT, list(inputs), output, table)

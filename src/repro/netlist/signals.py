@@ -1,0 +1,69 @@
+"""Net naming conventions and constant signals.
+
+Nets in :mod:`repro.netlist` are identified by plain strings.  Two reserved
+names denote the constant-0 and constant-1 signals; they are considered
+driven in every circuit, so gates and register control pins may reference
+them freely.  A load-enable pin tied to :data:`CONST1` is the paper's way
+of saying "this register has no enable" (Sec. 3.1: the EN input of the
+generic register is deactivated by connecting it to constant 1).
+"""
+
+from __future__ import annotations
+
+#: Reserved net carrying constant logic 0.
+CONST0: str = "$const0"
+#: Reserved net carrying constant logic 1.
+CONST1: str = "$const1"
+
+#: Both constant nets, for membership tests.
+CONST_NETS: frozenset[str] = frozenset((CONST0, CONST1))
+
+
+def is_const(net: str | None) -> bool:
+    """True iff *net* names one of the two constant signals."""
+    return net in CONST_NETS
+
+
+def const_value(net: str) -> int:
+    """Return 0 or 1 for a constant net; raises ValueError otherwise."""
+    if net == CONST0:
+        return 0
+    if net == CONST1:
+        return 1
+    raise ValueError(f"not a constant net: {net!r}")
+
+
+def const_net(value: int) -> str:
+    """Return the reserved net name carrying the given constant bit."""
+    return CONST1 if value else CONST0
+
+
+class NetNamer:
+    """Generates fresh, collision-free net/instance names.
+
+    The circuit container owns one of these; passes that create new logic
+    (decomposition, mapping, retiming relocation) pull names from it so
+    the emitted netlists stay readable and deterministic.
+    """
+
+    def __init__(self, taken: set[str] | None = None) -> None:
+        self._taken: set[str] = set(taken or ())
+        self._counters: dict[str, int] = {}
+
+    def claim(self, name: str) -> None:
+        """Record an externally chosen name as taken."""
+        self._taken.add(name)
+
+    def fresh(self, prefix: str) -> str:
+        """Return a new unique name of the form ``prefix$N``."""
+        n = self._counters.get(prefix, 0)
+        while True:
+            candidate = f"{prefix}${n}"
+            n += 1
+            if candidate not in self._taken:
+                self._counters[prefix] = n
+                self._taken.add(candidate)
+                return candidate
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._taken

@@ -1,0 +1,62 @@
+"""Circuit statistics in the vocabulary of the paper's Table 1.
+
+``#FF`` is the register count, ``#LUT`` the LUT/gate count, and the
+AS/AC / EN flags say whether any register uses asynchronous set/clear or
+a synchronous load enable.  :func:`circuit_stats` also reports the
+register-class profile used in Table 2's ``#Class`` column (delegating
+classification to :mod:`repro.mcretime.classes` when requested there;
+here we only count *syntactically* distinct control tuples, which is an
+upper bound on the semantic class count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cells import GateFn
+from .circuit import Circuit
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary row mirroring the columns of paper Table 1."""
+
+    name: str
+    has_async: bool
+    has_enable: bool
+    n_ff: int
+    n_lut: int
+    n_gates: int
+    n_syntactic_classes: int
+
+    def row(self) -> dict[str, object]:
+        """Render as a plain dict for table printers."""
+        return {
+            "Name": self.name,
+            "AS/AC": "y" if self.has_async else "",
+            "EN": "y" if self.has_enable else "",
+            "#FF": self.n_ff,
+            "#LUT": self.n_lut,
+        }
+
+
+def syntactic_class_key(reg) -> tuple:
+    """Control tuple compared *by net name* (not logical equivalence)."""
+    return (reg.clk, reg.en, reg.sr, reg.ar)
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute the Table-1 style summary of a circuit."""
+    has_async = any(r.has_async_reset for r in circuit.registers.values())
+    has_enable = any(r.has_enable for r in circuit.registers.values())
+    n_lut = sum(1 for g in circuit.gates.values() if g.fn is GateFn.LUT)
+    classes = {syntactic_class_key(r) for r in circuit.registers.values()}
+    return CircuitStats(
+        name=circuit.name,
+        has_async=has_async,
+        has_enable=has_enable,
+        n_ff=len(circuit.registers),
+        n_lut=n_lut,
+        n_gates=len(circuit.gates),
+        n_syntactic_classes=len(classes),
+    )

@@ -1,0 +1,89 @@
+"""Structural validation of circuits.
+
+Checks the invariants every pass must preserve:
+
+* every used net has exactly one driver (constants count as driven);
+* no combinational cycles;
+* every primary output is driven;
+* register control pins reference real nets;
+* cell names and net driver indexes are consistent.
+
+Passes call :func:`check_circuit` in tests and after complex surgery
+(relocation, decomposition) so corruption is caught at the source.
+"""
+
+from __future__ import annotations
+
+from .circuit import Circuit, NetlistError
+from .signals import is_const
+
+
+def check_circuit(circuit: Circuit) -> None:
+    """Raise :class:`NetlistError` on the first violated invariant."""
+    driven: dict[str, str] = {}
+    for name in circuit.inputs:
+        if name in driven:
+            raise NetlistError(f"input {name!r} declared twice")
+        driven[name] = f"input {name}"
+    for gate in circuit.gates.values():
+        if gate.output in driven:
+            raise NetlistError(
+                f"net {gate.output!r} driven by both {driven[gate.output]} "
+                f"and gate {gate.name}"
+            )
+        if is_const(gate.output):
+            raise NetlistError(f"gate {gate.name!r} drives a constant net")
+        driven[gate.output] = f"gate {gate.name}"
+    for reg in circuit.registers.values():
+        if reg.q in driven:
+            raise NetlistError(
+                f"net {reg.q!r} driven by both {driven[reg.q]} and register {reg.name}"
+            )
+        if is_const(reg.q):
+            raise NetlistError(f"register {reg.name!r} drives a constant net")
+        driven[reg.q] = f"register {reg.name}"
+
+    def need(net: str | None, what: str) -> None:
+        if net is None:
+            return
+        if is_const(net):
+            return
+        if net not in driven:
+            raise NetlistError(f"{what} reads undriven net {net!r}")
+
+    for gate in circuit.gates.values():
+        for net in gate.inputs:
+            need(net, f"gate {gate.name}")
+    for reg in circuit.registers.values():
+        need(reg.d, f"register {reg.name} D")
+        need(reg.clk, f"register {reg.name} CLK")
+        need(reg.en, f"register {reg.name} EN")
+        need(reg.sr, f"register {reg.name} SR")
+        need(reg.ar, f"register {reg.name} AR")
+    for net in circuit.outputs:
+        need(net, "primary output")
+
+    # driver index consistency
+    for net, (kind, name) in circuit._driver.items():
+        if kind == "input" and net not in circuit.inputs:
+            raise NetlistError(f"driver index stale for input net {net!r}")
+        if kind == "gate" and circuit.gates.get(name) is None:
+            raise NetlistError(f"driver index stale for gate {name!r}")
+        if kind == "gate" and circuit.gates[name].output != net:
+            raise NetlistError(f"driver index stale: gate {name!r} vs net {net!r}")
+        if kind == "register" and circuit.registers.get(name) is None:
+            raise NetlistError(f"driver index stale for register {name!r}")
+        if kind == "register" and circuit.registers[name].q != net:
+            raise NetlistError(f"driver index stale: register {name!r} vs {net!r}")
+
+    # no combinational cycles (raises on its own)
+    circuit.topo_gates()
+
+
+def is_valid(circuit: Circuit) -> bool:
+    """Boolean wrapper around :func:`check_circuit`."""
+    try:
+        check_circuit(circuit)
+    except NetlistError:
+        return False
+    return True

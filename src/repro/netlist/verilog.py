@@ -1,0 +1,401 @@
+"""Structural Verilog writer and (subset) reader.
+
+The paper's designs are RT-level VHDL/Verilog run through an HDL
+analyzer; our interchange format of record is extended BLIF, but a
+structural Verilog view makes the netlists usable with ordinary EDA
+tooling.  The writer emits a flat module of ``assign`` equations and
+``always`` blocks implementing the generic-register semantics of
+Fig. 2a; the reader accepts exactly that subset back (it is a
+round-trip format, not a general Verilog front end).
+
+Emitted register template (active-high controls)::
+
+    always @(posedge clk or posedge AR)        // AR present
+        if (AR) q <= 1'b<aval>;
+        else if (SR) q <= 1'b<sval>;           // SR present
+        else if (EN) q <= d;                   // EN present
+        // else hold (no final else)
+
+Don't-care reset values are materialised as 0 on write (a legal
+refinement) and recorded as such on read.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import TextIO
+
+from ..logic.ternary import T0, T1, TX
+from .cells import GateFn
+from .circuit import Circuit, NetlistError
+from .signals import CONST0, CONST1
+
+
+class VerilogError(NetlistError):
+    """Raised on input outside the supported structural subset."""
+
+
+# writer-side: identifiers we pass through unmangled (no "$": legal in
+# Verilog but reserved here for the reader's fresh internal names)
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+# parser-side: accept $ in identifiers for robustness with foreign files
+_PARSE_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _mangle(net: str, table: dict[str, str]) -> str:
+    """Map arbitrary internal names to legal Verilog identifiers."""
+    if net in table:
+        return table[net]
+    if net == CONST0:
+        return "1'b0"
+    if net == CONST1:
+        return "1'b1"
+    if _ID_RE.match(net):
+        table[net] = net
+        return net
+    safe = re.sub(r"[^A-Za-z0-9_]", "_", net)
+    if not safe or not re.match(r"[A-Za-z_]", safe[0]):
+        safe = "n_" + safe
+    candidate = safe
+    suffix = 0
+    existing = set(table.values())
+    while candidate in existing:
+        suffix += 1
+        candidate = f"{safe}_{suffix}"
+    table[net] = candidate
+    return candidate
+
+
+def _gate_expression(gate, names: dict[str, str]) -> str:
+    ins = [_mangle(n, names) for n in gate.inputs]
+    fn = gate.fn
+    if fn is GateFn.BUF:
+        return ins[0]
+    if fn is GateFn.NOT:
+        return f"~{ins[0]}"
+    if fn is GateFn.AND:
+        return " & ".join(ins)
+    if fn is GateFn.NAND:
+        return "~(" + " & ".join(ins) + ")"
+    if fn is GateFn.OR:
+        return " | ".join(ins)
+    if fn is GateFn.NOR:
+        return "~(" + " | ".join(ins) + ")"
+    if fn is GateFn.XOR:
+        return " ^ ".join(ins)
+    if fn is GateFn.XNOR:
+        return "~(" + " ^ ".join(ins) + ")"
+    if fn is GateFn.MUX:
+        return f"{ins[0]} ? {ins[2]} : {ins[1]}"
+    if fn is GateFn.CARRY:
+        a, b, cin = ins
+        return f"({a} & {b}) | ({a} & {cin}) | ({b} & {cin})"
+    # LUT: sum of on-set minterms
+    table = gate.truth_table()
+    n = gate.n_inputs
+    if n == 0:
+        return "1'b1" if table & 1 else "1'b0"
+    if table == 0:
+        return "1'b0"
+    if table == (1 << (1 << n)) - 1:
+        return "1'b1"
+    terms = []
+    for minterm in range(1 << n):
+        if not (table >> minterm) & 1:
+            continue
+        literals = [
+            ins[i] if (minterm >> i) & 1 else f"~{ins[i]}" for i in range(n)
+        ]
+        terms.append("(" + " & ".join(literals) + ")")
+    return " | ".join(terms)
+
+
+def write_verilog(circuit: Circuit, stream: TextIO | None = None) -> str:
+    """Serialise a circuit as one flat structural Verilog module."""
+    out = io.StringIO()
+    names: dict[str, str] = {}
+    module = re.sub(r"[^A-Za-z0-9_]", "_", circuit.name) or "top"
+    ports = [_mangle(n, names) for n in circuit.inputs] + [
+        _mangle(n, names) for n in circuit.outputs
+    ]
+    out.write(f"module {module}(" + ", ".join(dict.fromkeys(ports)) + ");\n")
+    for net in circuit.inputs:
+        out.write(f"  input {_mangle(net, names)};\n")
+    for net in dict.fromkeys(circuit.outputs):
+        out.write(f"  output {_mangle(net, names)};\n")
+    declared = set(circuit.inputs) | set(circuit.outputs)
+    for gate in circuit.gates.values():
+        if gate.output not in declared:
+            out.write(f"  wire {_mangle(gate.output, names)};\n")
+            declared.add(gate.output)
+    for reg in circuit.registers.values():
+        if reg.q in circuit.inputs:
+            raise VerilogError(f"register Q {reg.q!r} collides with an input")
+        # outputs may be re-declared as reg (classic Verilog style)
+        out.write(f"  reg {_mangle(reg.q, names)};\n")
+    out.write("\n")
+    for gate in circuit.gates.values():
+        expr = _gate_expression(gate, names)
+        out.write(f"  assign {_mangle(gate.output, names)} = {expr};\n")
+    out.write("\n")
+    for reg in circuit.registers.values():
+        q = _mangle(reg.q, names)
+        d = _mangle(reg.d, names)
+        clk = _mangle(reg.clk, names)
+        aval = 1 if reg.aval == T1 else 0
+        sval = 1 if reg.sval == T1 else 0
+        if reg.ar is not None:
+            ar = _mangle(reg.ar, names)
+            out.write(f"  always @(posedge {clk} or posedge {ar})\n")
+            out.write(f"    if ({ar}) {q} <= 1'b{aval};\n")
+            prefix = "    else "
+        else:
+            out.write(f"  always @(posedge {clk})\n")
+            prefix = "    "
+        if reg.sr is not None:
+            sr = _mangle(reg.sr, names)
+            out.write(f"{prefix}if ({sr}) {q} <= 1'b{sval};\n")
+            prefix = "    else "
+        if reg.en is not None:
+            en = _mangle(reg.en, names)
+            out.write(f"{prefix}if ({en}) {q} <= {d};\n")
+        else:
+            if prefix.strip() == "else":
+                out.write(f"{prefix}{q} <= {d};\n")
+            else:
+                out.write(f"{prefix}{q} <= {d};\n")
+    out.write("endmodule\n")
+    text = out.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+# --------------------------------------------------------------------- #
+# reader (round-trip subset)
+
+_TOKEN_RE = re.compile(
+    r"\s*(module|endmodule|input|output|wire|reg|assign|always|if|else|"
+    r"posedge|or|<=|[A-Za-z_][A-Za-z0-9_$]*|1'b[01]|[@()=;,?:~&|^])"
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    # strip comments
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise VerilogError(f"unexpected character {text[pos]!r} at {pos}")
+        tokens.append(m.group(1))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for the writer's output subset."""
+
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expected: str | None = None) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise VerilogError("unexpected end of input")
+        if expected is not None and tok != expected:
+            raise VerilogError(f"expected {expected!r}, got {tok!r}")
+        self.pos += 1
+        return tok
+
+    # expression parsing (precedence: ?: < | < ^ < & < ~ < atom)
+    def expr(self) -> tuple:
+        condition = self.or_expr()
+        if self.peek() == "?":
+            self.take("?")
+            then = self.expr()
+            self.take(":")
+            other = self.expr()
+            return ("mux", condition, other, then)
+        return condition
+
+    def or_expr(self) -> tuple:
+        left = self.xor_expr()
+        while self.peek() == "|":
+            self.take("|")
+            left = ("or", left, self.xor_expr())
+        return left
+
+    def xor_expr(self) -> tuple:
+        left = self.and_expr()
+        while self.peek() == "^":
+            self.take("^")
+            left = ("xor", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> tuple:
+        left = self.unary()
+        while self.peek() == "&":
+            self.take("&")
+            left = ("and", left, self.unary())
+        return left
+
+    def unary(self) -> tuple:
+        if self.peek() == "~":
+            self.take("~")
+            return ("not", self.unary())
+        if self.peek() == "(":
+            self.take("(")
+            inner = self.expr()
+            self.take(")")
+            return inner
+        tok = self.take()
+        if tok in ("1'b0", "1'b1"):
+            return ("const", tok == "1'b1")
+        if not _PARSE_ID_RE.match(tok):
+            raise VerilogError(f"expected identifier, got {tok!r}")
+        return ("net", tok)
+
+
+def _build_expr(circuit: Circuit, node: tuple) -> str:
+    kind = node[0]
+    if kind == "net":
+        return node[1]
+    if kind == "const":
+        return CONST1 if node[1] else CONST0
+    if kind == "not":
+        return circuit.add_gate(GateFn.NOT, [_build_expr(circuit, node[1])]).output
+    if kind == "mux":
+        sel = _build_expr(circuit, node[1])
+        a = _build_expr(circuit, node[2])
+        b = _build_expr(circuit, node[3])
+        return circuit.add_gate(GateFn.MUX, [sel, a, b]).output
+    fn = {"and": GateFn.AND, "or": GateFn.OR, "xor": GateFn.XOR}[kind]
+    a = _build_expr(circuit, node[1])
+    b = _build_expr(circuit, node[2])
+    return circuit.add_gate(fn, [a, b]).output
+
+
+def read_verilog(stream: TextIO | str) -> Circuit:
+    """Parse the writer's structural subset back into a circuit."""
+    text = stream if isinstance(stream, str) else stream.read()
+    p = _Parser(_tokenize(text))
+    p.take("module")
+    name = p.take()
+    circuit = Circuit(name)
+    p.take("(")
+    while p.peek() != ")":
+        p.take()
+        if p.peek() == ",":
+            p.take(",")
+    p.take(")")
+    p.take(";")
+
+    outputs: list[str] = []
+    pending_assigns: list[tuple[str, tuple]] = []
+    regs: list[dict] = []
+
+    while p.peek() != "endmodule":
+        tok = p.take()
+        if tok in ("input", "output", "wire", "reg"):
+            net = p.take()
+            p.take(";")
+            if tok == "input":
+                circuit.add_input(net)
+            elif tok == "output":
+                outputs.append(net)
+        elif tok == "assign":
+            target = p.take()
+            p.take("=")
+            pending_assigns.append((target, p.expr()))
+            p.take(";")
+        elif tok == "always":
+            regs.append(_parse_always(p))
+        else:
+            raise VerilogError(f"unexpected token {tok!r}")
+    p.take("endmodule")
+
+    # materialise assigns: expression trees become gates; the top node
+    # is rewired onto the assign target net
+    for target, tree in pending_assigns:
+        result = _build_expr(circuit, tree)
+        gate = circuit.driver_gate(result)
+        if gate is None:  # plain alias: assign y = x;
+            circuit.add_gate(GateFn.BUF, [result], target)
+        elif gate.output != target:
+            circuit.rewire_gate_output(gate, target)
+    for reg in regs:
+        circuit.add_register(**reg)
+    for net in outputs:
+        circuit.add_output(net)
+    return circuit
+
+
+def _parse_always(p: _Parser) -> dict:
+    p.take("@")
+    p.take("(")
+    p.take("posedge")
+    clk = p.take()
+    ar = None
+    if p.peek() == "or":
+        p.take("or")
+        p.take("posedge")
+        ar = p.take()
+    p.take(")")
+    fields: dict = {"clk": clk, "ar": ar, "sr": None, "en": None}
+    aval = sval = TX
+
+    def value_of(tok: str) -> int:
+        return T1 if tok == "1'b1" else T0
+
+    # optional: if (ar) q <= 1'bX; else ...
+    first = True
+    while True:
+        if p.peek() == "else":
+            p.take("else")
+        if p.peek() == "if":
+            p.take("if")
+            p.take("(")
+            cond = p.take()
+            p.take(")")
+            q = p.take()
+            p.take("<=")
+            rhs = p.take()
+            p.take(";")
+            fields["q"] = q
+            if first and ar is not None and cond == ar:
+                aval = value_of(rhs)
+            elif rhs in ("1'b0", "1'b1") and fields["sr"] is None and (
+                p.peek() == "else"
+            ):
+                fields["sr"] = cond
+                sval = value_of(rhs)
+            else:
+                fields["en"] = cond
+                fields["d"] = {"1'b0": CONST0, "1'b1": CONST1}.get(rhs, rhs)
+            first = False
+            if p.peek() != "else":
+                break
+        else:
+            q = p.take()
+            p.take("<=")
+            d = p.take()
+            p.take(";")
+            fields["q"] = q
+            fields["d"] = {"1'b0": CONST0, "1'b1": CONST1}.get(d, d)
+            break
+    fields["aval"] = aval
+    fields["sval"] = sval
+    if "d" not in fields:
+        raise VerilogError(f"register {fields.get('q')} never loads D")
+    return fields

@@ -1,0 +1,19 @@
+"""Technology-independent logic optimisation passes."""
+
+from .bdd_sweep import sweep_equivalent_gates
+from .passes import (
+    collapse_buffers,
+    optimize,
+    propagate_constants,
+    share_structural,
+    sweep_dead,
+)
+
+__all__ = [
+    "collapse_buffers",
+    "optimize",
+    "propagate_constants",
+    "share_structural",
+    "sweep_dead",
+    "sweep_equivalent_gates",
+]

@@ -1,0 +1,67 @@
+"""BDD sweeping: merge functionally equivalent gates.
+
+Structural hashing (:func:`repro.opt.passes.share_structural`) only
+merges gates with identical inputs; BDD sweeping catches *semantic*
+duplicates — different structures computing the same function of the
+primary inputs and register outputs (or its complement, which is folded
+through an inverter-aware rewrite of downstream readers... kept simple
+here: complement pairs are left alone, only exact duplicates merge).
+
+Guarded by a node budget: if the manager exceeds it mid-build, the pass
+stops merging deeper cones and returns what it has — sweeping is an
+optimisation, never a requirement.
+"""
+
+from __future__ import annotations
+
+from ..bdd import BDD
+from ..netlist import Circuit
+from ..netlist.signals import CONST0, CONST1, const_net, is_const
+
+
+def sweep_equivalent_gates(
+    circuit: Circuit, node_budget: int = 200_000
+) -> int:
+    """Merge gates computing identical functions; returns #merged.
+
+    Gates reduced to constants are replaced by the constant nets.
+    Iterates in topological order so upstream merges simplify
+    downstream functions before they are compared.
+    """
+    bdd = BDD()
+    functions: dict[str, int] = {}
+    representative: dict[int, str] = {}
+    merged = 0
+
+    def fn_of(net: str) -> int:
+        if net == CONST0:
+            return 0
+        if net == CONST1:
+            return 1
+        hit = functions.get(net)
+        if hit is not None:
+            return hit
+        return bdd.var(net)  # cut: PI, register Q, or budget-skipped
+
+    for gate in circuit.topo_gates():
+        if gate.name not in circuit.gates:
+            continue
+        if bdd.node_count() > node_budget:
+            break
+        ins = [fn_of(n) for n in gate.inputs]
+        f = bdd.from_truth_table(gate.truth_table(), ins)
+        out = gate.output
+        if f <= 1:  # constant gate
+            circuit.remove_gate(gate.name)
+            circuit.replace_net(out, const_net(f))
+            merged += 1
+            continue
+        keeper = representative.get(f)
+        if keeper is None:
+            representative[f] = out
+            functions[out] = f
+            continue
+        circuit.remove_gate(gate.name)
+        circuit.replace_net(out, keeper)
+        merged += 1
+    return merged

@@ -1,0 +1,191 @@
+"""Minimum-cost flow by successive shortest paths with potentials.
+
+The min-area retiming ILP is the linear-programming dual of a min-cost
+transshipment problem (Leiserson–Saxe [9] Sec. 8); this module is the
+from-scratch solver used to compute it.  Capacities default to
+"infinite" (bounded by total supply), costs must be non-negative on the
+first iteration (satisfied by retiming constraint bounds, which are all
+≥ −1 with the −1 cases rejected earlier as infeasibility), and node
+potentials keep reduced costs non-negative so Dijkstra stays valid.
+
+The network API is deliberately tiny: named nodes with supplies, arcs
+with cost/capacity, ``solve()``, then per-arc flows and node potentials.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+INF = float("inf")
+
+
+class FlowInfeasibleError(Exception):
+    """Raised when supplies cannot be routed to demands."""
+
+
+@dataclass
+class Arc:
+    """One directed arc (public view)."""
+
+    u: str
+    v: str
+    cost: int
+    capacity: float
+    flow: int = 0
+
+
+class MinCostFlow:
+    """Successive-shortest-path min-cost flow over named nodes."""
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._index: dict[str, int] = {}
+        self._supply: list[int] = []
+        # arc storage: forward/backward pairs at even/odd slots
+        self._to: list[int] = []
+        self._cap: list[float] = []
+        self._cost: list[int] = []
+        self._adj: list[list[int]] = []
+        self._public: list[tuple[int, Arc]] = []  # (slot, view)
+        self._solved = False
+
+    def add_node(self, name: str, supply: int = 0) -> None:
+        """Create a node (or add to its supply if it exists).
+
+        Positive supply = source of flow, negative = demand.
+        """
+        idx = self._index.get(name)
+        if idx is None:
+            idx = len(self._names)
+            self._index[name] = idx
+            self._names.append(name)
+            self._supply.append(0)
+            self._adj.append([])
+        self._supply[idx] += supply
+
+    def add_arc(self, u: str, v: str, cost: int, capacity: float = INF) -> Arc:
+        """Create an arc u→v; returns a live view whose ``flow`` fills in
+        after :meth:`solve`.
+
+        Negative costs are allowed only when :meth:`solve` is given
+        initial potentials that make every reduced cost non-negative.
+        """
+        self.add_node(u)
+        self.add_node(v)
+        ui, vi = self._index[u], self._index[v]
+        slot = len(self._to)
+        self._to.extend((vi, ui))
+        self._cap.extend((capacity, 0.0))
+        self._cost.extend((cost, -cost))
+        self._adj[ui].append(slot)
+        self._adj[vi].append(slot + 1)
+        view = Arc(u, v, cost, capacity)
+        self._public.append((slot, view))
+        return view
+
+    def node_names(self) -> list[str]:
+        """All node names."""
+        return list(self._names)
+
+    def solve(self, initial_potentials: dict[str, float] | None = None) -> int:
+        """Route all supplies; returns the total cost.
+
+        *initial_potentials* must make every arc's reduced cost
+        non-negative (callers with negative arc costs obtain them from a
+        shortest-path / difference-constraint solution).  Raises
+        :class:`FlowInfeasibleError` if supplies don't balance or cannot
+        reach the demands.
+        """
+        n = len(self._names)
+        if sum(self._supply) != 0:
+            raise FlowInfeasibleError("supplies do not balance")
+        excess = list(self._supply)
+        potential = [0.0] * n
+        if initial_potentials:
+            for name, value in initial_potentials.items():
+                idx = self._index.get(name)
+                if idx is not None:
+                    potential[idx] = value
+        for slot in range(0, len(self._to), 2):
+            if self._cap[slot] > 0:
+                u = self._to[slot ^ 1]
+                v = self._to[slot]
+                if self._cost[slot] + potential[u] - potential[v] < -1e-9:
+                    raise ValueError(
+                        "initial potentials leave a negative reduced cost"
+                    )
+        self._potential = potential
+
+        while True:
+            sources = [i for i in range(n) if excess[i] > 0]
+            if not sources:
+                break
+            # Dijkstra over reduced costs from all excess sources
+            dist = [INF] * n
+            prev_arc: list[int] = [-1] * n
+            heap: list[tuple[float, int]] = []
+            for s in sources:
+                dist[s] = 0.0
+                heapq.heappush(heap, (0.0, s))
+            while heap:
+                d, vi = heapq.heappop(heap)
+                if d > dist[vi]:
+                    continue
+                for slot in self._adj[vi]:
+                    if self._cap[slot] <= 0:
+                        continue
+                    to = self._to[slot]
+                    nd = d + self._cost[slot] + potential[vi] - potential[to]
+                    if nd < dist[to] - 1e-12:
+                        dist[to] = nd
+                        prev_arc[to] = slot
+                        heapq.heappush(heap, (nd, to))
+            target = -1
+            best = INF
+            for i in range(n):
+                if excess[i] < 0 and dist[i] < best:
+                    best = dist[i]
+                    target = i
+            if target < 0:
+                raise FlowInfeasibleError("no augmenting path to a demand")
+            # update potentials (unreached nodes keep a large offset)
+            for i in range(n):
+                potential[i] += dist[i] if dist[i] < INF else best
+            # trace the path, find bottleneck
+            bottleneck = -excess[target]
+            node = target
+            while prev_arc[node] != -1:
+                slot = prev_arc[node]
+                bottleneck = min(bottleneck, self._cap[slot])
+                node = self._to[slot ^ 1]
+            bottleneck = min(bottleneck, excess[node])
+            # push
+            amount = int(bottleneck)
+            node = target
+            while prev_arc[node] != -1:
+                slot = prev_arc[node]
+                self._cap[slot] -= amount
+                self._cap[slot ^ 1] += amount
+                node = self._to[slot ^ 1]
+            excess[node] -= amount
+            excess[target] += amount
+
+        total = 0
+        for slot, view in self._public:
+            view.flow = int(self._cap[slot ^ 1]) if view.capacity == INF else int(
+                view.capacity - self._cap[slot]
+            )
+            total += view.flow * view.cost
+        self._solved = True
+        return total
+
+    def potentials(self) -> dict[str, float]:
+        """Node potentials after :meth:`solve` (Johnson shifts)."""
+        if not self._solved:
+            raise RuntimeError("solve() first")
+        return {name: self._potential[i] for i, name in enumerate(self._names)}
+
+    def arcs(self) -> list[Arc]:
+        """All public arc views (flows populated after solve)."""
+        return [view for _, view in self._public]

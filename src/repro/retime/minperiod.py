@@ -1,0 +1,180 @@
+"""Minimum-period retiming under per-vertex bounds (paper Sec. 5.1).
+
+Feasibility of a target period φ is decided by *lazy constraint
+generation*: start from the circuit constraints, the pinned-I/O
+constraints and the register-class bounds (all difference constraints
+through the host, exactly as in the paper), solve, then sweep the
+retimed graph for register-free paths longer than φ and add each as a
+period constraint ``r(u) − r(v) ≤ w(p) − 1``.  Added constraints are
+implied by the complete Leiserson–Saxe constraint set (every long path
+must carry a register), so the fixed point is a true feasibility
+answer; termination follows because each round strictly tightens some
+vertex pair and bounds are integral.
+
+The minimum φ is then found by binary search, shrinking the upper end
+to the period actually *achieved* by each feasible solution (so the
+search converges on an attainable value rather than an arbitrary
+midpoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.retiming_graph import HOST, RetimingGraph
+from .constraints import DifferenceSystem
+from .feas import compute_delta
+
+#: Float comparison slack for delays.
+EPS = 1e-9
+
+#: Safety valve on lazy-generation rounds.
+MAX_LAZY_ROUNDS = 10_000
+
+
+@dataclass
+class FeasibilityResult:
+    """Outcome of one lazy feasibility check."""
+
+    r: dict[str, int] | None
+    rounds: int = 0
+    constraints: int = 0
+
+    @property
+    def feasible(self) -> bool:
+        return self.r is not None
+
+
+@dataclass
+class MinPeriodResult:
+    """Outcome of a minimum-period search."""
+
+    phi: float
+    r: dict[str, int]
+    achieved: float
+    probes: int = 0
+    #: feasibility rounds accumulated over all probes
+    rounds: int = 0
+
+
+def base_system(
+    graph: RetimingGraph,
+    bounds: dict[str, tuple[int, int]] | None = None,
+) -> DifferenceSystem:
+    """Circuit constraints + pinned vertices + class bounds.
+
+    Every non-movable vertex (host, ports, control outputs) is pinned to
+    the host's value; *bounds* maps vertex -> (r_min, r_max) relative to
+    the host, encoded as the two host difference constraints of paper
+    Sec. 5.1.
+    """
+    system = DifferenceSystem(graph.vertices)
+    for edge in graph.edges.values():
+        system.add(edge.u, edge.v, edge.w, tag="circuit")
+    for vertex in graph.vertices.values():
+        if vertex.name == HOST:
+            continue
+        if not vertex.movable:
+            system.add(vertex.name, HOST, 0, tag="pin")
+            system.add(HOST, vertex.name, 0, tag="pin")
+    for name, (lo, hi) in (bounds or {}).items():
+        system.add(name, HOST, hi, tag="class")
+        system.add(HOST, name, -lo, tag="class")
+    return system
+
+
+def _solve_normalized(system: DifferenceSystem) -> dict[str, int] | None:
+    r = system.solve()
+    if r is None:
+        return None
+    shift = r.get(HOST, 0)
+    if shift:
+        r = {v: val - shift for v, val in r.items()}
+    return r
+
+
+def check_period(
+    graph: RetimingGraph,
+    phi: float,
+    system: DifferenceSystem,
+) -> FeasibilityResult:
+    """Lazy feasibility of period *phi*; mutates *system* (adds period
+    constraints, which remain valid for any smaller φ probe as well).
+
+    Note on Maheshwari–Sapatnekar bounds pruning (which the paper
+    expects to compose with the class constraints): lazy generation gets
+    it *for free* — a constraint implied by the class bounds can never
+    be violated by a bounds-respecting solution, so this loop never even
+    generates it.  The explicit prune lives in the dense formulation
+    (:func:`repro.retime.dense.dense_period_system`), where constraints
+    are materialised unconditionally.
+    """
+    for rounds in range(1, MAX_LAZY_ROUNDS + 1):
+        r = _solve_normalized(system)
+        if r is None:
+            return FeasibilityResult(None, rounds, len(system))
+        sweep = compute_delta(graph, r)
+        added = False
+        for v, dv in sweep.delta.items():
+            if dv <= phi + EPS:
+                continue
+            if graph.vertices[v].kind == "mirror":
+                continue  # synthetic fanout-model vertex: not a real path end
+            u = sweep.trace_start(v)
+            # register-free path u ~> v: original weight = r(u) − r(v)
+            bound = r.get(u, 0) - r.get(v, 0) - 1
+            if system.add(u, v, bound, tag="period"):
+                added = True
+        if not added:
+            return FeasibilityResult(r, rounds, len(system))
+    raise RuntimeError("lazy period-constraint generation did not converge")
+
+
+def feasible_retiming(
+    graph: RetimingGraph,
+    phi: float,
+    bounds: dict[str, tuple[int, int]] | None = None,
+) -> dict[str, int] | None:
+    """One-shot feasibility: a legal retiming with period ≤ φ, or None."""
+    system = base_system(graph, bounds)
+    return check_period(graph, phi, system).r
+
+
+def min_period(
+    graph: RetimingGraph,
+    bounds: dict[str, tuple[int, int]] | None = None,
+    eps: float = 1e-6,
+) -> MinPeriodResult:
+    """Binary-search the minimum feasible clock period.
+
+    Returns the best feasible (φ, r); φ is the period actually achieved
+    by the returned retiming.  For graphs with integral delays the
+    result is exact; for float delays it is within *eps*.
+    """
+    zero = {v: 0 for v in graph.vertices}
+    start = compute_delta(graph, zero).period
+    lo = max((v.delay for v in graph.vertices.values()), default=0.0)
+    best_phi = start
+    best_r = zero
+    probes = 0
+    rounds = 0
+    # a period constraint generated while probing φ1 remains valid for
+    # every φ ≤ φ1 but can over-constrain larger φ probes, so each probe
+    # starts from a fresh copy of the base system
+    base = base_system(graph, bounds)
+    hi = start
+    while hi - lo > eps:
+        mid = (lo + hi) / 2.0
+        probes += 1
+        result = check_period(graph, mid, base.copy())
+        rounds += result.rounds
+        if result.feasible:
+            achieved = compute_delta(graph, result.r).period
+            best_phi = achieved
+            best_r = result.r
+            hi = min(achieved, mid)
+        else:
+            lo = mid
+    return MinPeriodResult(
+        phi=best_phi, r=best_r, achieved=best_phi, probes=probes, rounds=rounds
+    )

@@ -1,0 +1,102 @@
+"""Leiserson–Saxe register-sharing (fanout) model for min-area retiming.
+
+Registers on the fanout edges of a vertex can be merged: the hardware
+cost of vertex u's fanout registers is ``max_e w_r(e)`` over its fanout
+edges, not the sum.  Following [9] Sec. 8, each multi-fanout vertex u
+gets a zero-delay *mirror* vertex m_u and, for every fanout edge
+``e = (u, v_i)``, an edge ``v_i → m_u`` of weight ``w̄(u) − w(e)`` where
+``w̄(u) = max_i w(e_i)``.  The circuit constraints on the mirror edges
+pin ``r(m_u) ≥ r(v_i) − (w̄ − w_i)``; minimising the objective term
+``r(m_u) − r(u)`` makes it equal ``max_i w_r(e_i) − w̄``, i.e. the
+mirror measures exactly the shared register count (up to a constant).
+
+The resulting linear objective has integer coefficients:
+
+* ``+1`` on the head and ``−1`` on the tail of every single-fanout edge;
+* ``+1`` on the mirror and ``−1`` on the vertex for multi-fanout vertices.
+
+(The multiple-class sharing *correction* — separation vertices along a
+compatibility cutline — happens earlier, in
+:mod:`repro.mcretime.sharing`; by the time this model runs, fanout edges
+of one vertex are mutually sharable by construction.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.retiming_graph import RetimingGraph
+
+
+@dataclass
+class SharingModel:
+    """The extended graph and cost vector for min-area retiming."""
+
+    #: Copy of the input graph with mirror vertices/edges appended.
+    graph: RetimingGraph
+    #: Integer objective coefficient per vertex (0 entries omitted).
+    cost: dict[str, int]
+    #: vertex -> its mirror's name
+    mirrors: dict[str, str] = field(default_factory=dict)
+    #: constant offset: objective value = Σ c(v)·r(v) + constant
+    constant: int = 0
+
+    def objective(self, r: dict[str, int]) -> int:
+        """Evaluate the modelled register count for retiming *r*."""
+        return self.constant + sum(
+            c * r.get(v, 0) for v, c in self.cost.items()
+        )
+
+
+def build_sharing_model(graph: RetimingGraph) -> SharingModel:
+    """Build the mirror-vertex extension and cost coefficients."""
+    extended = graph.copy()
+    cost: dict[str, int] = {}
+    mirrors: dict[str, str] = {}
+    constant = 0
+
+    def bump(v: str, amount: int) -> None:
+        cost[v] = cost.get(v, 0) + amount
+
+    for name in list(graph.vertices):
+        outs = graph.out_edges(name)
+        if not outs:
+            continue
+        if len(outs) == 1:
+            edge = outs[0]
+            bump(edge.v, 1)
+            bump(edge.u, -1)
+            constant += edge.w
+        else:
+            mirror = f"$mirror_{name}"
+            extended.add_vertex(mirror, 0.0, "mirror")
+            mirrors[name] = mirror
+            w_bar = max(e.w for e in outs)
+            for edge in outs:
+                extended.add_edge(edge.v, mirror, w_bar - edge.w)
+            bump(mirror, 1)
+            bump(name, -1)
+            constant += w_bar
+
+    cost = {v: c for v, c in cost.items() if c != 0}
+    return SharingModel(extended, cost, mirrors, constant)
+
+
+def shared_register_count(
+    graph: RetimingGraph, r: dict[str, int] | None = None
+) -> int:
+    """Register count under the fanout-sharing model (basic retiming).
+
+    ``Σ_u max_e w_r(e)`` over real vertices; ignores class
+    compatibility (the mc-aware count lives in the mcretime report).
+    """
+    r = r or {}
+    total = 0
+    for name, vertex in graph.vertices.items():
+        if vertex.kind == "mirror":
+            continue
+        outs = [e for e in graph.out_edges(name) if graph.vertices[e.v].kind != "mirror"]
+        if not outs:
+            continue
+        total += max(graph.retimed_weight(e, r) for e in outs)
+    return total

@@ -1,0 +1,15 @@
+"""Synthetic industrial-style design generation (C1..C10 stand-ins)."""
+
+from .designs import DESIGN_NAMES, all_designs, build_design, design_spec
+from .generator import ControlSet, DesignSpec, GeneratedDesign, generate
+
+__all__ = [
+    "ControlSet",
+    "DESIGN_NAMES",
+    "DesignSpec",
+    "GeneratedDesign",
+    "all_designs",
+    "build_design",
+    "design_spec",
+    "generate",
+]

@@ -1,0 +1,27 @@
+"""FPGA technology mapping substrate (XC4000E-flavoured)."""
+
+from .cuts import Cut, CutDatabase, enumerate_cuts
+from .decompose import (
+    decompose_enables,
+    decompose_sync_resets,
+    decompose_to_two_input,
+)
+from .lutmap import MapResult, cone_truth_table, map_luts
+from .remap import remap
+from .xc4000e import ArchitectureError, XC4000E, XC4000E_ARCH
+
+__all__ = [
+    "ArchitectureError",
+    "Cut",
+    "CutDatabase",
+    "MapResult",
+    "XC4000E",
+    "XC4000E_ARCH",
+    "cone_truth_table",
+    "decompose_enables",
+    "decompose_sync_resets",
+    "decompose_to_two_input",
+    "enumerate_cuts",
+    "map_luts",
+    "remap",
+]

@@ -1,0 +1,155 @@
+"""K-feasible cut enumeration with priority pruning.
+
+Classic technology-mapping machinery: for every gate (in topological
+order) compute a bounded list of *cuts* — sets of nets that completely
+cover a cone feeding the gate with at most K leaves.  Cut lists are
+merged pairwise from the fanins (run :func:`~repro.techmap.decompose.
+decompose_to_two_input` first so merges stay quadratic) and pruned to
+the best few by (depth, size): the priority-cuts heuristic.
+
+Depth bookkeeping follows the standard recurrence: the depth of a cut
+is ``1 + max(best_depth(leaf))``, where a leaf's best depth is the
+depth of its own best cut (0 for primary inputs / register outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist import Circuit, GateFn
+from ..netlist.signals import is_const
+
+
+@dataclass(frozen=True)
+class Cut:
+    """One cut: leaf nets plus its mapped depth."""
+
+    leaves: frozenset[str]
+    depth: int
+
+
+@dataclass
+class CutDatabase:
+    """Per-net cut lists plus the chosen best cut."""
+
+    cuts: dict[str, list[Cut]]
+    best: dict[str, Cut]
+    k: int
+
+    def depth_of(self, net: str) -> int:
+        """Mapped depth of a net (leaves are 0)."""
+        cut = self.best.get(net)
+        return 0 if cut is None else cut.depth
+
+
+def enumerate_cuts(
+    circuit: Circuit, k: int = 4, priority: int = 8, mode: str = "depth"
+) -> CutDatabase:
+    """Enumerate priority cuts for every gate output net.
+
+    Leaves are primary inputs, register outputs and any net not driven
+    by a gate.  Constant nets never appear as leaves (fold them with the
+    optimizer first; stray ones are ignored, which keeps the cut a
+    superset cover — safe, mildly pessimistic on LUT inputs).
+
+    ``mode`` selects the best-cut criterion:
+
+    * ``"depth"`` — minimum mapped depth, ties by cut size (the paper's
+      "minimal area for best delay" script);
+    * ``"area"`` — minimum *area flow* (estimated LUTs per output,
+      sharing-aware via fanout division), ties by depth — the classic
+      area-oriented objective for the plain "minimal area" script.
+    """
+    if mode not in ("depth", "area"):
+        raise ValueError(f"unknown mapping mode {mode!r}")
+    cuts: dict[str, list[Cut]] = {}
+    best: dict[str, Cut] = {}
+    area_flow: dict[str, float] = {}
+    fanout = (
+        {net: max(1, len(circuit.readers(net))) for net in circuit.nets()}
+        if mode == "area"
+        else {}
+    )
+
+    def best_depth(net: str) -> int:
+        chosen = best.get(net)
+        return 0 if chosen is None else chosen.depth
+
+    def flow_of(leaves: frozenset[str]) -> float:
+        total = 1.0
+        for leaf in leaves:
+            total += area_flow.get(leaf, 0.0) / fanout.get(leaf, 1)
+        return total
+
+    carry_outputs: set[str] = set()
+    for gate in circuit.topo_gates():
+        if gate.fn is GateFn.CARRY:
+            # architectural primitive: kept as-is; its output is a hard
+            # boundary for covering, like a register output, and it adds
+            # (almost) no LUT depth of its own
+            depth = max(
+                (best_depth(n) for n in gate.inputs if not is_const(n)),
+                default=0,
+            )
+            cut = Cut(frozenset((gate.output,)), depth)
+            cuts[gate.output] = [cut]
+            best[gate.output] = cut
+            carry_outputs.add(gate.output)
+            if mode == "area":
+                area_flow[gate.output] = 0.0
+            continue
+        fanin_options: list[list[frozenset[str]]] = []
+        for net in gate.inputs:
+            if is_const(net):
+                continue
+            options = [frozenset((net,))]
+            if circuit.driver_gate(net) is not None and net not in carry_outputs:
+                options.extend(c.leaves for c in cuts.get(net, ()))
+            fanin_options.append(options)
+
+        merged: set[frozenset[str]] = {frozenset()}
+        for options in fanin_options:
+            next_level: set[frozenset[str]] = set()
+            for acc in merged:
+                for option in options:
+                    combo = acc | option
+                    if len(combo) <= k:
+                        next_level.add(combo)
+            merged = next_level
+            if not merged:
+                break
+
+        candidates = [
+            Cut(leaves, 1 + max((best_depth(n) for n in leaves), default=0))
+            for leaves in merged
+        ]
+        if not candidates:
+            candidates = [Cut(frozenset(), 1)]
+        if mode == "area":
+            candidates.sort(
+                key=lambda c: (
+                    flow_of(c.leaves),
+                    c.depth,
+                    len(c.leaves),
+                    sorted(c.leaves),
+                )
+            )
+        else:
+            candidates.sort(
+                key=lambda c: (c.depth, len(c.leaves), sorted(c.leaves))
+            )
+        pruned: list[Cut] = []
+        for cand in candidates:
+            if any(
+                p.leaves <= cand.leaves and p.depth <= cand.depth
+                for p in pruned
+            ):
+                continue
+            pruned.append(cand)
+            if len(pruned) >= priority:
+                break
+        cuts[gate.output] = pruned
+        best[gate.output] = pruned[0]
+        if mode == "area":
+            area_flow[gate.output] = flow_of(pruned[0].leaves)
+    return CutDatabase(cuts, best, k)

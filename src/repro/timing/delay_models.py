@@ -1,0 +1,85 @@
+"""Delay models for gates and nets.
+
+The paper computes combinational delays "after place and route using the
+Xilinx timing analyzer" on an XC4000E.  We cannot place and route, so the
+XC4000E-flavoured model below stands in: a fixed LUT propagation delay
+plus a fanout-dependent net delay, with register clock-to-Q and setup.
+The constants are chosen to land mapped circuits in the paper's tens-of-
+nanoseconds range; only *relative* delays (before vs after retiming)
+carry meaning in the reproduction.
+
+A model answers three questions:
+
+* ``gate_delay(gate)`` — propagation delay through a cell;
+* ``net_delay(fanout)`` — interconnect delay added at a cell output that
+  drives *fanout* sinks;
+* ``clock_to_q`` / ``setup`` — register timing overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist.cells import Gate, GateFn
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Base delay model: fixed per-gate delay, linear net delay."""
+
+    #: Delay of any combinational cell.
+    base_gate_delay: float = 1.0
+    #: Net delay constant term (applied when fanout >= 1).
+    net_base: float = 0.0
+    #: Net delay per additional fanout beyond the first.
+    net_per_fanout: float = 0.0
+    #: Register clock-to-output delay.
+    clock_to_q: float = 0.0
+    #: Register data setup time.
+    setup: float = 0.0
+
+    def gate_delay(self, gate: Gate) -> float:
+        """Propagation delay through *gate*."""
+        return self.base_gate_delay
+
+    def net_delay(self, fanout: int) -> float:
+        """Interconnect delay for a net driving *fanout* sinks."""
+        if fanout <= 0:
+            return 0.0
+        return self.net_base + self.net_per_fanout * (fanout - 1)
+
+
+#: Pure unit-delay model (every gate costs 1, wires are free) — the
+#: textbook retiming setting; used by most algorithm-level tests.
+UNIT_DELAY = DelayModel(base_gate_delay=1.0)
+
+
+@dataclass(frozen=True)
+class XC4000EDelayModel(DelayModel):
+    """XC4000E-flavoured delays (nanoseconds, -2 speed-grade ballpark).
+
+    A CLB function generator (4-LUT) is ~1.6 ns; small pass-through
+    logic is cheaper; interconnect contributes ~1 ns plus a fanout term.
+    """
+
+    base_gate_delay: float = 1.6
+    net_base: float = 1.0
+    net_per_fanout: float = 0.35
+    clock_to_q: float = 1.1
+    setup: float = 1.2
+
+    def gate_delay(self, gate: Gate) -> float:
+        if gate.fn is GateFn.CARRY:
+            # the hardwired carry chain is far faster than a LUT hop —
+            # the reason the paper retimes after mapping, with real
+            # primitive delays
+            return 0.25
+        if gate.fn in (GateFn.BUF, GateFn.NOT):
+            return 0.6
+        if gate.fn is GateFn.LUT and gate.n_inputs <= 1:
+            return 0.6
+        return self.base_gate_delay
+
+
+#: Shared instance of the FPGA delay model.
+XC4000E_DELAY = XC4000EDelayModel()

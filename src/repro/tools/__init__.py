@@ -1,0 +1,5 @@
+"""Command-line tools and export utilities."""
+
+from .dot import circuit_to_dot, graph_to_dot
+
+__all__ = ["circuit_to_dot", "graph_to_dot"]

@@ -1,0 +1,158 @@
+"""``mcretime`` — retime netlist files from the command line.
+
+Reads extended BLIF (``.blif``/``.mcblif``) or the structural Verilog
+subset (``.v``), runs multiple-class retiming (optionally preceded by
+optimisation and LUT mapping), and writes the result back in either
+format.
+
+Examples::
+
+    mcretime design.blif -o retimed.blif
+    mcretime design.v --map --objective minperiod -o out.v
+    mcretime design.blif --target-period 12.5 --report
+    mcretime design.blif --check          # validate + stats only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..flows import baseline_flow
+from ..mcretime import mc_retime
+from ..netlist import (
+    Circuit,
+    check_circuit,
+    circuit_stats,
+    read_blif,
+    read_verilog,
+    write_blif,
+    write_verilog,
+)
+from ..timing import UNIT_DELAY, XC4000E_DELAY, analyze
+
+
+def load_circuit(path: Path) -> Circuit:
+    """Load a netlist by extension (.v → Verilog, else BLIF)."""
+    text = path.read_text()
+    if path.suffix in (".v", ".sv"):
+        return read_verilog(text)
+    return read_blif(text, name_hint=path.stem)
+
+
+def save_circuit(circuit: Circuit, path: Path) -> None:
+    """Write a netlist by extension (.v → Verilog, else BLIF)."""
+    if path.suffix in (".v", ".sv"):
+        path.write_text(write_verilog(circuit))
+    else:
+        path.write_text(write_blif(circuit))
+
+
+def _stats_line(circuit: Circuit, delay_model) -> str:
+    stats = circuit_stats(circuit)
+    delay = analyze(circuit, delay_model).max_delay
+    flags = []
+    if stats.has_enable:
+        flags.append("EN")
+    if stats.has_async:
+        flags.append("AS/AC")
+    flag_text = ",".join(flags) or "plain"
+    return (
+        f"{stats.n_ff} FF, {len(circuit.gates)} gates "
+        f"({flag_text}), delay {delay:.2f}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``mcretime`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="mcretime", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("input", type=Path, help="input netlist (.blif/.v)")
+    parser.add_argument("-o", "--output", type=Path, help="output netlist")
+    parser.add_argument(
+        "--objective", choices=["minarea", "minperiod"], default="minarea"
+    )
+    parser.add_argument(
+        "--target-period", type=float, default=None,
+        help="retime for this period instead of the minimum feasible",
+    )
+    parser.add_argument(
+        "--map", action="store_true",
+        help="optimise + map to 4-LUTs before retiming (XC4000E flow)",
+    )
+    parser.add_argument(
+        "--delay-model", choices=["unit", "xc4000e"], default=None,
+        help="default: xc4000e when --map is given, unit otherwise",
+    )
+    parser.add_argument(
+        "--syntactic-classes", action="store_true",
+        help="compare control signals by net name instead of BDD function",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate and print stats, don't retime",
+    )
+    parser.add_argument(
+        "--report", action="store_true", help="print the retiming report"
+    )
+    args = parser.parse_args(argv)
+
+    circuit = load_circuit(args.input)
+    check_circuit(circuit)
+    model_name = args.delay_model or ("xc4000e" if args.map else "unit")
+    model = XC4000E_DELAY if model_name == "xc4000e" else UNIT_DELAY
+
+    print(f"{args.input}: {_stats_line(circuit, model)}")
+    if args.check:
+        return 0
+
+    if args.map:
+        flow = baseline_flow(circuit, model)
+        circuit = flow.circuit
+        print(f"mapped: {flow.n_lut} LUTs, delay {flow.delay:.2f}")
+
+    result = mc_retime(
+        circuit,
+        delay_model=model,
+        target_period=args.target_period,
+        objective=args.objective,
+        semantic_classes=not args.syntactic_classes,
+    )
+    retimed = result.circuit
+    check_circuit(retimed)
+    print(f"retimed: {_stats_line(retimed, model)}")
+
+    if args.report:
+        fractions = result.timing_fractions()
+        print(f"  classes          : {result.n_classes}")
+        print(
+            f"  steps            : {result.steps_moved} moved / "
+            f"{result.steps_possible} possible"
+        )
+        print(
+            f"  graph period     : {result.period_before:.2f} -> "
+            f"{result.period_after:.2f}"
+        )
+        print(f"  registers        : {result.ff_before} -> {result.ff_after}")
+        print(
+            f"  justification    : {result.stats.local_steps} local, "
+            f"{result.stats.global_steps} global, "
+            f"{result.stats.forward_steps} forward"
+        )
+        print(
+            f"  cpu split        : {100 * fractions['basic_retiming']:.0f}% "
+            f"retime / {100 * fractions['relocation']:.0f}% relocate / "
+            f"{100 * fractions['mc_overhead']:.0f}% mc overhead"
+        )
+
+    if args.output is not None:
+        save_circuit(retimed, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""GraphViz DOT export for circuits and retiming graphs (debug aid)."""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO
+
+from ..graph.retiming_graph import RetimingGraph
+from ..logic.ternary import ternary_char
+from ..netlist import Circuit
+from ..netlist.signals import is_const
+
+_KIND_STYLE = {
+    "gate": 'shape=box',
+    "input": 'shape=invtriangle, style=filled, fillcolor="#cce5ff"',
+    "output": 'shape=triangle, style=filled, fillcolor="#ffe0cc"',
+    "host": 'shape=doublecircle, style=filled, fillcolor="#eeeeee"',
+    "ctrl": 'shape=triangle, style=filled, fillcolor="#f5ccff"',
+    "sep": 'shape=point, width=0.15',
+    "mirror": 'shape=diamond, style=dashed',
+}
+
+
+def graph_to_dot(
+    graph: RetimingGraph,
+    r: dict[str, int] | None = None,
+    stream: TextIO | None = None,
+) -> str:
+    """Render a retiming graph; edge labels show (retimed) weights and
+    register class sequences, vertex labels show delay and lag."""
+    out = io.StringIO()
+    out.write(f'digraph "{graph.name}" {{\n  rankdir=LR;\n')
+    for vertex in graph.vertices.values():
+        style = _KIND_STYLE.get(vertex.kind, "shape=box")
+        label = vertex.name
+        if vertex.delay:
+            label += f"\\nd={vertex.delay:g}"
+        if r and r.get(vertex.name):
+            label += f"\\nr={r[vertex.name]}"
+        out.write(f'  "{vertex.name}" [label="{label}", {style}];\n')
+    for edge in graph.iter_edges():
+        w = edge.w + (r or {}).get(edge.v, 0) - (r or {}).get(edge.u, 0)
+        label = str(w) if w else ""
+        if edge.regs:
+            classes = ",".join(f"C{reg.cls}" for reg in edge.regs)
+            label += f" [{classes}]"
+        attrs = f'label="{label}"'
+        if w:
+            attrs += ", penwidth=2"
+        out.write(f'  "{edge.u}" -> "{edge.v}" [{attrs}];\n')
+    out.write("}\n")
+    text = out.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def circuit_to_dot(circuit: Circuit, stream: TextIO | None = None) -> str:
+    """Render a circuit netlist; registers are rectangles annotated with
+    their control pins and reset values."""
+    out = io.StringIO()
+    out.write(f'digraph "{circuit.name}" {{\n  rankdir=LR;\n')
+    for net in circuit.inputs:
+        out.write(f'  "{net}" [shape=invtriangle, label="{net}"];\n')
+    for gate in circuit.gates.values():
+        out.write(
+            f'  "{gate.name}" [shape=box, label="{gate.name}\\n'
+            f'{gate.fn.value}"];\n'
+        )
+    for reg in circuit.registers.values():
+        pins = []
+        if reg.en is not None:
+            pins.append("EN")
+        if reg.sr is not None:
+            pins.append(f"SR={ternary_char(reg.sval)}")
+        if reg.ar is not None:
+            pins.append(f"AR={ternary_char(reg.aval)}")
+        label = reg.name + ("\\n" + " ".join(pins) if pins else "")
+        out.write(
+            f'  "{reg.name}" [shape=box, style="rounded,filled", '
+            f'fillcolor="#ccffcc", label="{label}"];\n'
+        )
+
+    def source_of(net: str) -> str | None:
+        drv = circuit.driver(net)
+        if drv is None or drv[0] == "const":
+            return None
+        return drv[1] if drv[0] != "input" else net
+
+    for gate in circuit.gates.values():
+        for net in gate.inputs:
+            src = source_of(net)
+            if src is not None:
+                out.write(f'  "{src}" -> "{gate.name}";\n')
+    for reg in circuit.registers.values():
+        src = source_of(reg.d)
+        if src is not None:
+            out.write(f'  "{src}" -> "{reg.name}";\n')
+        for pin, net in (("en", reg.en), ("sr", reg.sr), ("ar", reg.ar)):
+            if net is None or is_const(net):
+                continue
+            src = source_of(net)
+            if src is not None:
+                out.write(
+                    f'  "{src}" -> "{reg.name}" '
+                    f'[style=dashed, label="{pin}"];\n'
+                )
+    for index, net in enumerate(circuit.outputs):
+        port = f"out{index}"
+        out.write(f'  "{port}" [shape=triangle, label="{net}"];\n')
+        src = source_of(net)
+        if src is not None:
+            out.write(f'  "{src}" -> "{port}";\n')
+    out.write("}\n")
+    text = out.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text

@@ -1,0 +1,5 @@
+"""Equivalence checking for transformed circuits."""
+
+from .equivalence import CheckResult, check_combinational, check_refinement
+
+__all__ = ["CheckResult", "check_combinational", "check_refinement"]

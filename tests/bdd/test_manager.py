@@ -1,0 +1,214 @@
+"""Unit + property tests for the ROBDD engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDD, BDDError, FALSE, TRUE
+
+
+@pytest.fixture()
+def bdd():
+    return BDD()
+
+
+class TestBasics:
+    def test_terminals(self, bdd):
+        assert bdd.not_(TRUE) == FALSE
+        assert bdd.not_(FALSE) == TRUE
+        assert bdd.and_(TRUE, FALSE) == FALSE
+        assert bdd.or_(TRUE, FALSE) == TRUE
+
+    def test_var_canonical(self, bdd):
+        assert bdd.var("a") == bdd.var("a")
+        assert bdd.var("a") != bdd.var("b")
+
+    def test_idempotence_and_complement(self, bdd):
+        a = bdd.var("a")
+        assert bdd.and_(a, a) == a
+        assert bdd.or_(a, a) == a
+        assert bdd.and_(a, bdd.not_(a)) == FALSE
+        assert bdd.or_(a, bdd.not_(a)) == TRUE
+        assert bdd.not_(bdd.not_(a)) == a
+
+    def test_commutativity(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        assert bdd.and_(a, b) == bdd.and_(b, a)
+        assert bdd.or_(a, b) == bdd.or_(b, a)
+        assert bdd.xor(a, b) == bdd.xor(b, a)
+
+    def test_de_morgan(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        assert bdd.not_(bdd.and_(a, b)) == bdd.or_(bdd.not_(a), bdd.not_(b))
+
+    def test_xor_xnor(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        assert bdd.xnor(a, b) == bdd.not_(bdd.xor(a, b))
+        assert bdd.xor(a, a) == FALSE
+        assert bdd.xnor(a, a) == TRUE
+
+    def test_implies(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        assert bdd.implies(FALSE, a) == TRUE
+        assert bdd.implies(a, a) == TRUE
+        assert bdd.implies(a, b) == bdd.or_(bdd.not_(a), b)
+
+    def test_node_decompose_terminal_raises(self, bdd):
+        with pytest.raises(BDDError):
+            bdd.node(TRUE)
+
+    def test_and_or_all(self, bdd):
+        vs = [bdd.var(n) for n in "abc"]
+        assert bdd.and_all([]) == TRUE
+        assert bdd.or_all([]) == FALSE
+        assert bdd.and_all(vs) == bdd.and_(vs[0], bdd.and_(vs[1], vs[2]))
+
+
+class TestTruthTable:
+    def test_and2(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        assert bdd.from_truth_table(0b1000, [a, b]) == bdd.and_(a, b)
+
+    def test_mux(self, bdd):
+        s, a, b = bdd.var("s"), bdd.var("a"), bdd.var("b")
+        # minterm bit order (s, a, b); sel=1 -> b
+        table = 0
+        for m in range(8):
+            sb, ab, bb = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            if (bb if sb else ab):
+                table |= 1 << m
+        assert bdd.from_truth_table(table, [s, a, b]) == bdd.ite(s, b, a)
+
+    def test_zero_inputs(self, bdd):
+        assert bdd.from_truth_table(1, []) == TRUE
+        assert bdd.from_truth_table(0, []) == FALSE
+
+    @settings(max_examples=100, deadline=None)
+    @given(table=st.integers(min_value=0, max_value=65535))
+    def test_matches_enumeration(self, table):
+        bdd = BDD()
+        vs = [bdd.var(f"x{i}") for i in range(4)]
+        f = bdd.from_truth_table(table, vs)
+        for m in range(16):
+            assignment = {i: bool((m >> i) & 1) for i in range(4)}
+            value = bdd.restrict(f, assignment)
+            expected = TRUE if (table >> m) & 1 else FALSE
+            assert value == expected
+
+
+class TestOperations:
+    def test_restrict(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = bdd.and_(a, b)
+        assert bdd.restrict(f, {0: True}) == b
+        assert bdd.restrict(f, {0: False}) == FALSE
+
+    def test_compose(self, bdd):
+        a, b, c = bdd.var("a"), bdd.var("b"), bdd.var("c")
+        f = bdd.and_(a, b)
+        g = bdd.or_(b, c)
+        # substitute g for a
+        composed = bdd.compose(f, 0, g)
+        assert composed == bdd.and_(bdd.or_(b, c), b)
+
+    def test_compose_below(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = bdd.and_(a, b)
+        # substitute for b (level 1) a function of a
+        composed = bdd.compose(f, 1, bdd.not_(a))
+        assert composed == FALSE
+
+    def test_exists(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = bdd.and_(a, b)
+        assert bdd.exists(f, [0]) == b
+        assert bdd.exists(f, [0, 1]) == TRUE
+        assert bdd.exists(FALSE, [0]) == FALSE
+
+    def test_forall(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = bdd.or_(a, b)
+        assert bdd.forall(f, [0]) == b
+        assert bdd.forall(bdd.and_(a, b), [0]) == FALSE
+
+    def test_support(self, bdd):
+        a, b, c = bdd.var("a"), bdd.var("b"), bdd.var("c")
+        f = bdd.and_(a, c)
+        assert bdd.support(f) == {0, 2}
+        assert bdd.support(TRUE) == set()
+
+    def test_size(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        assert bdd.size(TRUE) == 1
+        assert bdd.size(a) == 3
+        assert bdd.size(bdd.and_(a, b)) == 4
+
+
+class TestSat:
+    def test_sat_one_none_for_false(self, bdd):
+        assert bdd.sat_one(FALSE) is None
+        assert bdd.sat_one(TRUE) == {}
+
+    def test_sat_one_satisfies(self, bdd):
+        a, b, c = bdd.var("a"), bdd.var("b"), bdd.var("c")
+        f = bdd.and_(bdd.xor(a, b), c)
+        model = bdd.sat_one(f)
+        assert bdd.restrict(f, model) == TRUE
+
+    def test_sat_count(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        assert bdd.sat_count(TRUE) == 4
+        assert bdd.sat_count(FALSE) == 0
+        assert bdd.sat_count(a) == 2
+        assert bdd.sat_count(bdd.and_(a, b)) == 1
+        assert bdd.sat_count(bdd.xor(a, b)) == 2
+
+    def test_sat_count_nvars_guard(self, bdd):
+        a, b, c = bdd.var("a"), bdd.var("b"), bdd.var("c")
+        with pytest.raises(BDDError):
+            bdd.sat_count(c, n_vars=1)
+
+    def test_all_sat(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = bdd.or_(a, b)
+        models = list(bdd.all_sat(f, [0, 1]))
+        assert len(models) == 3
+        for m in models:
+            assert bdd.restrict(f, m) == TRUE
+
+    def test_all_sat_foreign_support(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        # enumerate over a only; b remains free -> both a-values extendable
+        f = bdd.or_(a, b)
+        models = list(bdd.all_sat(f, [0]))
+        assert len(models) == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(table=st.integers(min_value=0, max_value=255))
+    def test_sat_count_matches_popcount(self, table):
+        bdd = BDD()
+        vs = [bdd.var(f"x{i}") for i in range(3)]
+        f = bdd.from_truth_table(table, vs)
+        assert bdd.sat_count(f) == bin(table).count("1")
+
+
+class TestCanonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        t1=st.integers(min_value=0, max_value=255),
+        t2=st.integers(min_value=0, max_value=255),
+    )
+    def test_equal_tables_equal_nodes(self, t1, t2):
+        bdd = BDD()
+        vs = [bdd.var(f"x{i}") for i in range(3)]
+        f1 = bdd.from_truth_table(t1, vs)
+        f2 = bdd.from_truth_table(t2, vs)
+        assert (f1 == f2) == (t1 == t2)
+
+    def test_shannon_expansion_rebuilds(self):
+        bdd = BDD()
+        a, b, c = (bdd.var(n) for n in "abc")
+        f = bdd.or_(bdd.and_(a, b), bdd.and_(bdd.not_(a), c))
+        f1 = bdd.restrict(f, {0: True})
+        f0 = bdd.restrict(f, {0: False})
+        assert bdd.ite(a, f1, f0) == f

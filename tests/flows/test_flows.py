@@ -1,0 +1,102 @@
+"""Tests for the synthesis-script flows (Table 1/2/3 setups)."""
+
+import pytest
+
+from repro.flows import baseline_flow, decomposed_enable_flow, retime_flow
+from repro.netlist import check_circuit, circuit_stats
+from repro.synth import build_design
+from repro.techmap import XC4000E_ARCH
+
+SCALE = 0.35
+
+
+@pytest.fixture(scope="module")
+def c5_design():
+    return build_design("C5", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def c5_baseline(c5_design):
+    return baseline_flow(c5_design.circuit)
+
+
+class TestBaselineFlow:
+    def test_produces_legal_netlist(self, c5_baseline):
+        check_circuit(c5_baseline.circuit)
+        XC4000E_ARCH.check_mapped(c5_baseline.circuit)
+
+    def test_metrics_populated(self, c5_baseline):
+        assert c5_baseline.n_ff > 0
+        assert c5_baseline.n_lut > 0
+        assert c5_baseline.delay > 0
+        assert c5_baseline.retime is None
+
+    def test_input_untouched(self, c5_design):
+        before = c5_design.circuit.counts()
+        baseline_flow(c5_design.circuit)
+        assert c5_design.circuit.counts() == before
+
+    def test_no_sync_resets_survive(self, c5_baseline):
+        assert all(
+            not r.has_sync_reset
+            for r in c5_baseline.circuit.registers.values()
+        )
+
+
+class TestRetimeFlow:
+    def test_never_slower_than_baseline(self, c5_design, c5_baseline):
+        flow = retime_flow(c5_design.circuit, mapped=c5_baseline)
+        check_circuit(flow.circuit)
+        XC4000E_ARCH.check_mapped(flow.circuit)
+        assert flow.delay <= c5_baseline.delay * 1.05 + 1e-9
+        assert flow.retime is not None
+
+    def test_reuses_mapped_baseline(self, c5_design, c5_baseline):
+        a = retime_flow(c5_design.circuit, mapped=c5_baseline)
+        b = retime_flow(c5_design.circuit)
+        assert a.n_ff == b.n_ff and a.n_lut == b.n_lut
+
+    def test_stats_recorded(self, c5_design, c5_baseline):
+        flow = retime_flow(c5_design.circuit, mapped=c5_baseline)
+        r = flow.retime
+        assert r.steps_possible >= r.steps_moved >= 0
+        assert "retime" in flow.timings and "remap" in flow.timings
+
+
+class TestDecomposedEnableFlow:
+    def test_no_enables_survive(self, c5_design):
+        flow = decomposed_enable_flow(c5_design.circuit)
+        check_circuit(flow.circuit)
+        assert all(
+            not r.has_enable for r in flow.circuit.registers.values()
+        )
+
+    def test_c6_is_noop_decomposition(self):
+        """C6 has no load enables, so Table 3 should match Table 2 for
+        it (the paper's Rlut2 = Rdelay2 = 1.00 row)."""
+        design = build_design("C6", scale=0.12)
+        plain = retime_flow(design.circuit)
+        decomposed = decomposed_enable_flow(design.circuit)
+        assert decomposed.n_lut == plain.n_lut
+        assert decomposed.delay == pytest.approx(plain.delay)
+
+    def test_decomposition_restricts_or_costs(self, c5_design, c5_baseline):
+        """EN decomposition must not beat mc-retiming on both axes at
+        once (the paper's core claim)."""
+        with_en = retime_flow(c5_design.circuit, mapped=c5_baseline)
+        without_en = decomposed_enable_flow(c5_design.circuit)
+        better_delay = without_en.delay < with_en.delay - 1e-9
+        better_area = (
+            without_en.n_lut + without_en.n_ff
+            < with_en.n_lut + with_en.n_ff
+        )
+        assert not (better_delay and better_area)
+
+
+class TestMappingModes:
+    def test_area_script_uses_fewer_or_equal_luts(self, c5_design):
+        best_delay = baseline_flow(c5_design.circuit, mapping_mode="depth")
+        min_area = baseline_flow(c5_design.circuit, mapping_mode="area")
+        assert min_area.n_lut <= best_delay.n_lut
+        # and may be slower, never structurally invalid
+        XC4000E_ARCH.check_mapped(min_area.circuit)

@@ -1,0 +1,239 @@
+"""Tests for circuit→mc-graph construction and valid mc-steps (Fig. 2/3)."""
+
+import pytest
+
+from repro.graph import (
+    HOST,
+    GraphError,
+    backward_layer_class,
+    build_mcgraph,
+    forward_layer_class,
+    move_backward,
+    move_forward,
+    trace_chain,
+)
+from repro.logic.ternary import T0, T1
+from repro.netlist import CONST1, Circuit, GateFn
+
+
+def enable_pipeline() -> Circuit:
+    """Fig. 1a-like: two EN registers around a logic gate."""
+    c = Circuit("fig1")
+    c.add_input("clk")
+    c.add_input("en")
+    c.add_input("x1")
+    c.add_input("x2")
+    r1 = c.add_register(d="x1", q="q1", clk="clk", en="en", name="r1")
+    r2 = c.add_register(d="x2", q="q2", clk="clk", en="en", name="r2")
+    c.add_gate(GateFn.AND, ["q1", "q2"], "n", name="g")
+    c.add_output("n")
+    return c
+
+
+def chained_registers() -> Circuit:
+    c = Circuit("chain2")
+    c.add_input("clk")
+    c.add_input("a")
+    c.add_register(d="a", q="q1", clk="clk", name="r1")
+    c.add_register(d="q1", q="q2", clk="clk", name="r2")
+    c.add_gate(GateFn.NOT, ["q2"], "y", name="g")
+    c.add_output("y")
+    return c
+
+
+class TestTraceChain:
+    def test_direct_gate(self):
+        c = enable_pipeline()
+        kind, name, regs = trace_chain(c, "n")
+        assert (kind, name, regs) == ("gate", "g", [])
+
+    def test_through_register(self):
+        c = enable_pipeline()
+        kind, name, regs = trace_chain(c, "q1")
+        assert kind == "input" and name == "x1"
+        assert [r.name for r in regs] == ["r1"]
+
+    def test_two_registers_ordered_source_first(self):
+        c = chained_registers()
+        kind, name, regs = trace_chain(c, "q2")
+        assert name == "a"
+        assert [r.name for r in regs] == ["r1", "r2"]
+
+    def test_undriven_raises(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(GraphError):
+            trace_chain(c, "ghost")
+
+
+class TestBuild:
+    def test_vertices_and_host(self):
+        c = enable_pipeline()
+        res = build_mcgraph(c)
+        g = res.graph
+        assert HOST in g.vertices
+        assert g.vertices["g"].kind == "gate"
+        assert g.vertices["x1"].kind == "input"
+        assert any(v.kind == "output" for v in g.vertices.values())
+
+    def test_register_sequences_on_edges(self):
+        c = chained_registers()
+        res = build_mcgraph(c)
+        edges = [e for e in res.graph.iter_edges() if e.v == "g"]
+        assert len(edges) == 1
+        assert edges[0].w == 2
+        assert [r.origin for r in edges[0].regs] == ["r1", "r2"]
+
+    def test_control_output_vertex_created(self):
+        c = enable_pipeline()
+        res = build_mcgraph(c)
+        assert "en" in res.ctrl_vertices
+        ctrl = res.ctrl_vertices["en"]
+        assert res.graph.vertices[ctrl].kind == "ctrl"
+        # an edge from the input vertex 'en' to the ctrl vertex
+        assert any(
+            e.u == "en" and e.v == ctrl for e in res.graph.iter_edges()
+        )
+
+    def test_no_ctrl_vertex_for_const_enable(self):
+        c = Circuit()
+        c.add_input("clk")
+        c.add_input("a")
+        c.add_register(d="a", clk="clk", en=CONST1)
+        res = build_mcgraph(c)
+        assert res.ctrl_vertices == {}
+
+    def test_same_class_same_id(self):
+        c = enable_pipeline()
+        res = build_mcgraph(c)
+        assert res.reg_class["r1"] == res.reg_class["r2"]
+        assert res.n_classes == 1
+
+    def test_different_controls_different_classes(self):
+        c = Circuit()
+        c.add_input("clk")
+        c.add_input("a")
+        c.add_input("e1")
+        c.add_input("e2")
+        c.add_register(d="a", q="qa", clk="clk", en="e1", name="ra")
+        c.add_register(d="qa", q="qb", clk="clk", en="e2", name="rb")
+        c.add_gate(GateFn.NOT, ["qb"], "y")
+        c.add_output("y")
+        res = build_mcgraph(c)
+        assert res.reg_class["ra"] != res.reg_class["rb"]
+        assert res.n_classes == 2
+
+    def test_reset_values_carried(self):
+        c = Circuit()
+        c.add_input("clk")
+        c.add_input("a")
+        c.add_input("rs")
+        c.add_register(d="a", q="q", clk="clk", ar="rs", aval=T1, name="r")
+        c.add_gate(GateFn.NOT, ["q"], "y")
+        c.add_output("y")
+        res = build_mcgraph(c)
+        edge = next(e for e in res.graph.iter_edges() if e.w == 1)
+        assert edge.regs[0].aval == T1
+
+    def test_host_edges_to_inputs_and_from_outputs(self):
+        c = enable_pipeline()
+        g = build_mcgraph(c).graph
+        inputs = {"clk", "en", "x1", "x2"}
+        host_out = {e.v for e in g.out_edges(HOST)}
+        assert inputs <= host_out
+        host_in = {e.u for e in g.in_edges(HOST)}
+        assert any(v.startswith("$out") for v in host_in)
+
+    def test_constant_inputs_skipped(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate(GateFn.AND, ["a", CONST1], "y", name="g")
+        c.add_output("y")
+        g = build_mcgraph(c).graph
+        assert all(e.v != "g" or e.u == "a" for e in g.iter_edges())
+
+
+class TestMcSteps:
+    def test_forward_step_fig1(self):
+        """Both EN registers move forward across the AND gate together."""
+        c = enable_pipeline()
+        g = build_mcgraph(c).graph
+        assert forward_layer_class(g, "g") is not None
+        cls = move_forward(g, "g")
+        # fanins now empty, fanout edge to the output vertex carries one reg
+        for e in g.in_edges("g"):
+            assert e.w == 0
+        out_edge = g.out_edges("g")[0]
+        assert out_edge.w == 1 and out_edge.regs[0].cls == cls
+
+    def test_forward_blocked_on_mixed_classes(self):
+        c = Circuit()
+        c.add_input("clk")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_input("e")
+        c.add_register(d="a", q="qa", clk="clk", en="e", name="ra")
+        c.add_register(d="b", q="qb", clk="clk", name="rb")
+        c.add_gate(GateFn.AND, ["qa", "qb"], "y", name="g")
+        c.add_output("y")
+        g = build_mcgraph(c).graph
+        assert forward_layer_class(g, "g") is None
+        with pytest.raises(GraphError):
+            move_forward(g, "g")
+
+    def test_backward_step(self):
+        c = chained_registers()
+        g = build_mcgraph(c).graph
+        # move registers backward across the NOT gate: its fanout edge has
+        # no registers, so backward is invalid; forward is valid twice
+        assert backward_layer_class(g, "g") is None
+        assert forward_layer_class(g, "g") is not None
+        move_forward(g, "g")
+        move_forward(g, "g")
+        assert forward_layer_class(g, "g") is None
+        # now the registers sit after g: a backward step is possible again
+        assert backward_layer_class(g, "g") is not None
+        move_backward(g, "g")
+        assert g.out_edges("g")[0].w == 1
+
+    def test_io_vertices_not_movable(self):
+        c = chained_registers()
+        g = build_mcgraph(c).graph
+        assert backward_layer_class(g, "a") is None
+        assert forward_layer_class(g, HOST) is None
+
+    def test_forward_then_backward_roundtrip_weights(self):
+        c = enable_pipeline()
+        g = build_mcgraph(c).graph
+        before = {e.eid: e.w for e in g.iter_edges()}
+        move_forward(g, "g")
+        move_backward(g, "g")
+        after = {e.eid: e.w for e in g.iter_edges()}
+        assert before == after
+
+
+class TestPureRegisterLoop:
+    def test_self_latch_rejected(self):
+        c = Circuit()
+        c.add_input("clk")
+        c.add_register(d="q", q="q", clk="clk", name="r")
+        c.add_output("q")
+        with pytest.raises(GraphError, match="pure register loop"):
+            build_mcgraph(c)
+
+    def test_two_register_ring_rejected(self):
+        c = Circuit()
+        c.add_input("clk")
+        c.add_register(d="q2", q="q1", clk="clk", name="r1")
+        c.add_register(d="q1", q="q2", clk="clk", name="r2")
+        c.add_output("q1")
+        with pytest.raises(GraphError, match="pure register loop"):
+            build_mcgraph(c)
+
+    def test_loop_through_gate_accepted(self):
+        c = Circuit()
+        c.add_input("clk")
+        c.add_gate(GateFn.NOT, ["q"], "d", name="g")
+        c.add_register(d="d", q="q", clk="clk", name="r")
+        c.add_output("q")
+        build_mcgraph(c)  # fine: the inverter anchors the loop

@@ -1,0 +1,114 @@
+"""Property tests: mc-steps obey the retiming algebra.
+
+After ANY sequence of valid mc-steps with per-vertex net move counts
+r(v) (+1 per backward, −1 per forward), every edge weight must satisfy
+``w' = w + r(v) − r(u)`` — the Leiserson–Saxe equation — and register
+class sequences must stay consistent layer-by-layer.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    HOST,
+    RegInstance,
+    RetimingGraph,
+    backward_layer_class,
+    forward_layer_class,
+    move_backward,
+    move_forward,
+)
+
+
+def random_mc_graph(rng: random.Random, n_classes: int = 2) -> RetimingGraph:
+    """Small random mc-graph with register sequences on every edge."""
+    g = RetimingGraph("prop")
+    g.add_host()
+    names = [f"v{i}" for i in range(rng.randint(3, 6))]
+    for name in names:
+        g.add_vertex(name, 1.0)
+    def regs():
+        return [
+            RegInstance(rng.randrange(n_classes))
+            for _ in range(rng.randint(0, 2))
+        ]
+    g.add_edge(HOST, names[0], 0, [])
+    g.add_edge(names[-1], HOST, 0, [])
+    for _ in range(rng.randint(4, 9)):
+        u, v = rng.sample(names, 2)
+        g.add_edge(u, v, 0, [])
+        edge = g.out_edges(u)[-1]
+        edge.regs = regs()
+        edge.w = len(edge.regs)
+    return g
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_moves_respect_retiming_equation(seed):
+    rng = random.Random(seed)
+    g = random_mc_graph(rng)
+    original = {e.eid: e.w for e in g.iter_edges()}
+    counts = {v: 0 for v in g.vertices}
+    for _ in range(rng.randint(1, 15)):
+        movable = [
+            v for v in g.vertices
+            if backward_layer_class(g, v) is not None
+            or forward_layer_class(g, v) is not None
+        ]
+        if not movable:
+            break
+        v = rng.choice(movable)
+        can_back = backward_layer_class(g, v) is not None
+        can_fwd = forward_layer_class(g, v) is not None
+        if can_back and (not can_fwd or rng.random() < 0.5):
+            move_backward(g, v)
+            counts[v] += 1
+        else:
+            move_forward(g, v)
+            counts[v] -= 1
+    for edge in g.iter_edges():
+        expected = original[edge.eid] + counts[edge.v] - counts[edge.u]
+        assert edge.w == expected
+        assert len(edge.regs or []) == edge.w
+    g.check()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_backward_forward_inverse(seed):
+    """A backward step followed by a forward step at the same vertex
+    restores every edge weight (classes may be relabelled within the
+    moved layer, but counts must return exactly)."""
+    rng = random.Random(seed)
+    g = random_mc_graph(rng)
+    candidates = [v for v in g.vertices if backward_layer_class(g, v) is not None]
+    if not candidates:
+        return
+    v = rng.choice(candidates)
+    before = {e.eid: e.w for e in g.iter_edges()}
+    cls1 = move_backward(g, v)
+    cls2 = move_forward(g, v)
+    assert cls1 == cls2  # the same layer class comes back
+    after = {e.eid: e.w for e in g.iter_edges()}
+    assert before == after
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_total_weight_change_is_structural(seed):
+    """Total register count changes only via fanin/fanout imbalance:
+    a backward step at v adds |in(v)| − |out(v)| registers."""
+    rng = random.Random(seed)
+    g = random_mc_graph(rng)
+    candidates = [v for v in g.vertices if backward_layer_class(g, v) is not None]
+    if not candidates:
+        return
+    v = rng.choice(candidates)
+    delta = len(g.in_edges(v)) - len(g.out_edges(v))
+    before = g.total_weight()
+    move_backward(g, v)
+    assert g.total_weight() == before + delta

@@ -1,0 +1,128 @@
+"""Tests for the retiming-graph data structure."""
+
+import pytest
+
+from repro.graph import (
+    HOST,
+    GraphError,
+    RegInstance,
+    RetimingGraph,
+)
+
+
+def triangle() -> RetimingGraph:
+    g = RetimingGraph("tri")
+    for name in "abc":
+        g.add_vertex(name, delay=1.0)
+    g.add_edge("a", "b", 1)
+    g.add_edge("b", "c", 0)
+    g.add_edge("c", "a", 2)
+    return g
+
+
+class TestStructure:
+    def test_duplicate_vertex_rejected(self):
+        g = RetimingGraph()
+        g.add_vertex("a")
+        with pytest.raises(GraphError):
+            g.add_vertex("a")
+
+    def test_edge_needs_endpoints(self):
+        g = RetimingGraph()
+        g.add_vertex("a")
+        with pytest.raises(GraphError):
+            g.add_edge("a", "zz")
+
+    def test_negative_weight_rejected(self):
+        g = RetimingGraph()
+        g.add_vertex("a")
+        g.add_vertex("b")
+        with pytest.raises(GraphError):
+            g.add_edge("a", "b", -1)
+
+    def test_regs_length_must_match(self):
+        g = RetimingGraph()
+        g.add_vertex("a")
+        g.add_vertex("b")
+        with pytest.raises(GraphError):
+            g.add_edge("a", "b", 2, [RegInstance(0)])
+
+    def test_multi_edges_allowed(self):
+        g = RetimingGraph()
+        g.add_vertex("a")
+        g.add_vertex("b")
+        g.add_edge("a", "b", 1)
+        g.add_edge("a", "b", 2)
+        assert len(g.out_edges("a")) == 2
+        assert g.successors("a") == ["b"]
+
+    def test_host_idempotent(self):
+        g = RetimingGraph()
+        g.add_host()
+        g.add_host()
+        assert g.vertices[HOST].kind == "host"
+
+    def test_remove_edge(self):
+        g = triangle()
+        eid = g.out_edges("a")[0].eid
+        g.remove_edge(eid)
+        assert g.out_edges("a") == []
+        g.check()
+
+    def test_movability(self):
+        g = RetimingGraph()
+        assert g.add_vertex("g", kind="gate").movable
+        assert g.add_vertex("s", kind="sep").movable
+        assert not g.add_vertex("i", kind="input").movable
+        assert not g.add_vertex("o", kind="output").movable
+        assert not g.add_vertex("c", kind="ctrl").movable
+        assert not g.add_host().movable
+
+    def test_bad_kind_rejected(self):
+        g = RetimingGraph()
+        with pytest.raises(GraphError):
+            g.add_vertex("x", kind="banana")
+
+    def test_negative_delay_rejected(self):
+        g = RetimingGraph()
+        with pytest.raises(GraphError):
+            g.add_vertex("x", delay=-1.0)
+
+
+class TestRetimingAlgebra:
+    def test_retimed_weight(self):
+        g = triangle()
+        e_ab = g.out_edges("a")[0]
+        assert g.retimed_weight(e_ab, {"a": 1, "b": 1}) == 1
+        assert g.retimed_weight(e_ab, {"a": 1}) == 0
+        assert g.retimed_weight(e_ab, {"b": 2}) == 3
+
+    def test_apply_retiming_preserves_cycle_weight(self):
+        g = triangle()
+        r = {"a": 0, "b": 1, "c": 1}
+        g2 = g.apply_retiming(r)
+        assert g2.total_weight() == g.total_weight()
+
+    def test_apply_retiming_rejects_negative(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.apply_retiming({"a": 5})
+
+    def test_copy_independent(self):
+        g = triangle()
+        g2 = g.copy()
+        g2.out_edges("a")[0].w = 99
+        assert g.out_edges("a")[0].w == 1
+
+    def test_zero_weight_cycle_detection(self):
+        g = RetimingGraph()
+        g.add_vertex("a")
+        g.add_vertex("b")
+        g.add_edge("a", "b", 0)
+        g.add_edge("b", "a", 0)
+        assert g.zero_weight_cyclic()
+        g2 = triangle()
+        assert not g2.zero_weight_cyclic()
+
+    def test_total_weight(self):
+        assert triangle().total_weight() == 3

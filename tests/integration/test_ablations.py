@@ -1,0 +1,102 @@
+"""Tests for the ablation studies (design-decision analyses)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    bounds_ablation,
+    classification_ablation,
+    constraints_ablation,
+    sharing_ablation,
+)
+from repro.flows import baseline_flow
+from repro.logic.ternary import T0
+from repro.netlist import Circuit, GateFn
+from repro.synth import DesignSpec, build_design, generate
+
+
+@pytest.fixture(scope="module")
+def mapped_c5():
+    spec_design = build_design("C5", scale=0.4)
+    return baseline_flow(spec_design.circuit).circuit
+
+
+class TestClassificationAblation:
+    def test_semantic_never_more_classes(self, mapped_c5):
+        result = classification_ablation(mapped_c5)
+        assert result.semantic_classes <= result.syntactic_classes
+        assert result.semantic_steps_possible >= result.syntactic_steps_possible
+
+    def test_buffered_control_shows_difference(self):
+        """A buffered enable splits a class syntactically but not
+        semantically, restricting a joint move."""
+        c = Circuit("buffered")
+        for net in ("clk", "en", "a", "b"):
+            c.add_input(net)
+        c.add_gate(GateFn.BUF, ["en"], "en_buf", name="buf")
+        c.add_register(d="a", q="qa", clk="clk", en="en", name="ra")
+        c.add_register(d="b", q="qb", clk="clk", en="en_buf", name="rb")
+        c.add_gate(GateFn.AND, ["qa", "qb"], "y", name="g")
+        c.add_output("y")
+        result = classification_ablation(c)
+        assert result.semantic_classes == 1
+        assert result.syntactic_classes == 2
+        assert result.extra_freedom > 0  # the joint forward move at g
+
+
+class TestBoundsAblation:
+    def test_unconstrained_at_least_as_fast(self, mapped_c5):
+        result = bounds_ablation(mapped_c5)
+        assert result.phi_without_bounds <= result.phi_with_bounds + 1e-9
+
+    def test_mixed_classes_make_it_illegal(self):
+        """Two-class circuit where ignoring classes crosses a bound."""
+        c = Circuit("mixed")
+        for net in ("clk", "e1", "e2", "a", "b"):
+            c.add_input(net)
+        c.add_register(d="a", q="qa", clk="clk", en="e1", name="ra")
+        c.add_register(d="b", q="qb", clk="clk", en="e2", name="rb")
+        n1 = c.add_gate(GateFn.AND, ["qa", "qb"], "n1", name="g1").output
+        n2 = c.add_gate(GateFn.NOT, [n1], "n2", name="g2").output
+        n3 = c.add_gate(GateFn.XOR, [n2, n1], "n3", name="g3").output
+        c.add_register(d=n3, q="qo", clk="clk", en="e1", name="ro")
+        c.add_output("qo")
+        result = bounds_ablation(c)
+        # without bounds the mixed input layer "moves" through g1
+        assert result.phi_without_bounds < result.phi_with_bounds
+        assert result.illegal_vertices > 0
+        assert result.speed_illusion > 0
+
+
+class TestSharingAblation:
+    def test_corrected_never_undercounts(self, mapped_c5):
+        result = sharing_ablation(mapped_c5)
+        assert result.corrected_registers >= result.naive_registers
+
+    def test_multiclass_fanout_shows_undercount(self):
+        """Fig. 4 scenario embedded in a circuit: one driver feeding two
+        register chains of different classes."""
+        c = Circuit("fig4ish")
+        for net in ("clk", "e1", "e2", "a", "b"):
+            c.add_input(net)
+        src = c.add_gate(GateFn.XOR, ["a", "b"], "s", name="g").output
+        # chain 1: two registers class A
+        r1 = c.add_register(d=src, clk="clk", en="e1")
+        r2 = c.add_register(d=r1.q, clk="clk", en="e1")
+        # chain 2: class A then class B
+        r3 = c.add_register(d=src, clk="clk", en="e1")
+        r4 = c.add_register(d=r3.q, clk="clk", en="e2")
+        c.add_gate(GateFn.AND, [r2.q, r4.q], "y", name="sink")
+        c.add_output("y")
+        result = sharing_ablation(c)
+        assert result.separations >= 1
+        assert result.undercount >= 0
+
+
+class TestConstraintsAblation:
+    def test_same_optimum_fewer_constraints(self):
+        spec = DesignSpec("abl", seed=5, target_ff=18, target_gates=120,
+                          n_classes=2, logic_depth=5)
+        circuit = baseline_flow(generate(spec).circuit).circuit
+        result = constraints_ablation(circuit)
+        assert result.phi_lazy == pytest.approx(result.phi_dense, abs=1e-6)
+        assert result.lazy_constraints <= result.dense_constraints

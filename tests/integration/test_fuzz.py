@@ -1,0 +1,75 @@
+"""Hypothesis fuzzing of the full stack on random valid circuits.
+
+Every property here must hold for *any* structurally valid synchronous
+circuit — shrinking gives minimal counterexamples when they don't.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.graph import build_mcgraph
+from repro.logic.ternary import T0
+from repro.mcretime import Classifier, compute_bounds, mc_retime
+from repro.netlist import check_circuit, read_blif, write_blif
+from repro.opt import optimize, sweep_equivalent_gates
+from repro.techmap import map_luts
+from tests.strategies import circuits
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@RELAXED
+@given(circuit=circuits())
+def test_blif_roundtrip_any_circuit(circuit):
+    check_circuit(circuit)
+    again = read_blif(write_blif(circuit))
+    check_circuit(again)
+    assert write_blif(again) == write_blif(circuit)
+
+
+@RELAXED
+@given(circuit=circuits())
+def test_optimize_preserves_validity(circuit):
+    optimize(circuit)
+    check_circuit(circuit)
+    sweep_equivalent_gates(circuit)
+    check_circuit(circuit)
+
+
+@RELAXED
+@given(circuit=circuits())
+def test_mapping_any_circuit(circuit):
+    result = map_luts(circuit)
+    check_circuit(result.circuit)
+    assert all(g.n_inputs <= 4 for g in result.circuit.gates.values())
+
+
+@RELAXED
+@given(circuit=circuits(max_gates=10, max_registers=4))
+def test_graph_build_any_circuit(circuit):
+    optimize(circuit)  # drop dead logic the builder would skip anyway
+    classifier = Classifier(circuit)
+    build = build_mcgraph(circuit, classify=classifier.classify)
+    build.graph.check()
+    bounds = compute_bounds(build.graph)
+    for name, (lo, hi) in bounds.bounds.items():
+        assert lo <= 0 <= hi
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(circuit=circuits(max_gates=10, max_registers=4))
+def test_mc_retime_any_circuit(circuit):
+    """The engine must either retime legally or fail loudly — never
+    corrupt the netlist or worsen the graph period."""
+    result = mc_retime(circuit)
+    check_circuit(result.circuit)
+    assert result.period_after <= result.period_before + 1e-9
+    assert result.steps_possible >= result.steps_moved

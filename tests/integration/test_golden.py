@@ -1,0 +1,52 @@
+"""Golden regression tests: pinned end-to-end retiming outputs.
+
+The engine is deterministic (hash-seed independent), so these snapshots
+pin the exact behaviour of the whole pipeline.  If an intentional
+algorithm change shifts a golden file, regenerate with::
+
+    python -c "from tests.integration.test_golden import regenerate; regenerate()"
+
+and review the structural diff before committing to it.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.mcretime import mc_retime
+from repro.netlist import check_circuit, read_blif, write_blif
+from repro.timing import XC4000E_DELAY
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+CASES = ["c2_small", "c3_small"]
+
+
+def regenerate() -> None:
+    """Refresh the golden outputs (manual use)."""
+    for name in CASES:
+        mapped = read_blif((DATA / f"{name}_mapped.blif").read_text())
+        result = mc_retime(mapped, delay_model=XC4000E_DELAY)
+        (DATA / f"{name}_retimed.golden.blif").write_text(
+            write_blif(result.circuit)
+        )
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_inputs_parse_and_validate(name):
+    for suffix in ("", "_mapped"):
+        circuit = read_blif((DATA / f"{name}{suffix}.blif").read_text())
+        check_circuit(circuit)
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_retiming_matches_golden(name):
+    mapped = read_blif((DATA / f"{name}_mapped.blif").read_text())
+    result = mc_retime(mapped, delay_model=XC4000E_DELAY)
+    golden = (DATA / f"{name}_retimed.golden.blif").read_text()
+    assert write_blif(result.circuit) == golden
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_golden_is_valid_circuit(name):
+    circuit = read_blif((DATA / f"{name}_retimed.golden.blif").read_text())
+    check_circuit(circuit)

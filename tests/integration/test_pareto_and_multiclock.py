@@ -1,0 +1,120 @@
+"""Pareto-sweep experiment tests and multi-clock-domain handling."""
+
+import pytest
+
+from repro.experiments.pareto import pareto_sweep
+from repro.flows import baseline_flow
+from repro.mcretime import Classifier, mc_retime
+from repro.netlist import Circuit, GateFn, check_circuit, write_blif
+from repro.synth import build_design
+
+
+class TestParetoSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        circuit = baseline_flow(build_design("C5", scale=0.4).circuit).circuit
+        return pareto_sweep(circuit, steps=5)
+
+    def test_targets_bracket_range(self, sweep):
+        assert sweep.phi_min <= sweep.phi_original + 1e-9
+        assert len(sweep.points) == 5
+
+    def test_every_point_meets_target(self, sweep):
+        for point in sweep.points:
+            assert point.achieved_period <= point.target_period + 1e-9
+
+    def test_registers_monotone_with_speed(self, sweep):
+        """Tighter periods can never need fewer registers (optimal
+        min-area is monotone in the constraint)."""
+        ordered = sorted(sweep.points, key=lambda p: p.target_period)
+        for slower, faster in zip(ordered[1:], ordered):
+            assert faster.registers >= slower.registers
+
+    def test_frontier_is_nondominated(self, sweep):
+        frontier = sweep.frontier()
+        for a, b in zip(frontier, frontier[1:]):
+            assert a.achieved_period <= b.achieved_period
+            assert a.registers > b.registers
+
+    def test_relaxed_end_costs_no_more_than_original(self, sweep):
+        relaxed = max(sweep.points, key=lambda p: p.target_period)
+        assert relaxed.registers <= sweep.registers_original
+
+
+def two_clock_circuit() -> Circuit:
+    """Two independent clock domains touching a shared input."""
+    c = Circuit("twoclk")
+    for net in ("clka", "clkb", "a", "b"):
+        c.add_input(net)
+    # domain A: registered pipeline on clka
+    c.add_register(d="a", q="qa1", clk="clka", name="ra1")
+    na = c.add_gate(GateFn.NOT, ["qa1"], "na", name="ga").output
+    c.add_register(d=na, q="qa2", clk="clka", name="ra2")
+    c.add_output("qa2")
+    # domain B: same shape on clkb
+    c.add_register(d="b", q="qb1", clk="clkb", name="rb1")
+    nb = c.add_gate(GateFn.NOT, ["qb1"], "nb", name="gb").output
+    c.add_register(d=nb, q="qb2", clk="clkb", name="rb2")
+    c.add_output("qb2")
+    # a mixing gate fed by both domains (registers must not cross it
+    # jointly: its input layer mixes classes)
+    mix = c.add_gate(GateFn.AND, ["qa2", "qb2"], "mix", name="gmix").output
+    c.add_register(d=mix, q="qm", clk="clka", name="rm")
+    c.add_output("qm")
+    return c
+
+
+class TestMultiClock:
+    def test_clock_domains_are_distinct_classes(self):
+        c = two_clock_circuit()
+        classifier = Classifier(c)
+        assert classifier.n_classes == 2
+        assert not classifier.compatible(
+            c.registers["ra1"], c.registers["rb1"]
+        )
+
+    def test_retiming_never_mixes_domains(self):
+        c = two_clock_circuit()
+        result = mc_retime(c)
+        check_circuit(result.circuit)
+        # every register still has one of the two original clocks, and
+        # the per-domain register counts are preserved
+        clocks = {}
+        for reg in result.circuit.registers.values():
+            clocks.setdefault(reg.clk, 0)
+            clocks[reg.clk] += 1
+        assert set(clocks) <= {"clka", "clkb"}
+        before = {}
+        for reg in c.registers.values():
+            before.setdefault(reg.clk, 0)
+            before[reg.clk] += 1
+        assert clocks["clkb"] == before["clkb"]
+
+    def test_mixing_gate_cannot_move(self):
+        from repro.graph import build_mcgraph
+        from repro.mcretime import compute_bounds
+
+        c = two_clock_circuit()
+        classifier = Classifier(c)
+        build = build_mcgraph(c, classify=classifier.classify)
+        bounds = compute_bounds(build.graph)
+        # gmix's fanin layer mixes clka/clkb classes: no backward move of
+        # that layer is valid through it... its *fanout* register rm is
+        # clka so backward across gmix needs the mixed fanin — forward
+        # across gmix needs the mixed input layer: both blocked
+        lo, hi = bounds.bounds["gmix"]
+        assert lo == 0  # forward blocked by mixed input classes
+
+
+class TestScalingStudy:
+    def test_small_ladder(self):
+        from repro.experiments.scaling import format_study, scaling_study
+
+        points = scaling_study("C5", scales=(0.15, 0.3))
+        assert len(points) == 2
+        assert points[0].n_luts <= points[1].n_luts
+        for p in points:
+            assert p.retime_seconds > 0
+            assert 0.0 <= p.mc_overhead_fraction <= 0.5
+        text = format_study(points)
+        assert "mc-overhead" in text and "0.30" in text

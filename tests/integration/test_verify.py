@@ -1,0 +1,101 @@
+"""Tests for the public verification module."""
+
+import pytest
+
+from repro.flows import baseline_flow, retime_flow
+from repro.logic.ternary import T0, T1
+from repro.mcretime import mc_retime
+from repro.netlist import Circuit, GateFn
+from repro.opt import optimize
+from repro.synth import build_design
+from repro.techmap import map_luts
+from repro.verify import check_combinational, check_refinement
+
+
+class TestCombinational:
+    def test_mapping_is_equivalent(self):
+        c = build_design("C3", scale=0.5).circuit
+        mapped = map_luts(c).circuit
+        result = check_combinational(c, mapped)
+        assert result.equivalent, result.reason
+
+    def test_optimize_is_equivalent(self):
+        c = build_design("C2", scale=0.5).circuit
+        opt = c.clone()
+        optimize(opt)
+        assert check_combinational(c, opt).equivalent
+
+    def test_detects_bug(self):
+        c = Circuit("bug")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate(GateFn.AND, ["a", "b"], "y")
+        c.add_output("y")
+        broken = Circuit("bug")
+        broken.add_input("a")
+        broken.add_input("b")
+        broken.add_gate(GateFn.OR, ["a", "b"], "y")
+        broken.add_output("y")
+        result = check_combinational(c, broken)
+        assert not result.equivalent
+        index, assignment = result.counterexample
+        assert index == 0
+        # the witness distinguishes AND from OR: exactly one input high
+        assert sum(assignment.values()) == 1
+
+    def test_output_count_mismatch(self):
+        a = Circuit()
+        a.add_input("x")
+        a.add_output("x")
+        b = Circuit()
+        b.add_input("x")
+        assert not check_combinational(a, b).equivalent
+
+
+class TestRefinement:
+    def test_retimed_design_refines(self):
+        base = baseline_flow(build_design("C5", scale=0.35).circuit)
+        result = mc_retime(base.circuit)
+        check = check_refinement(base.circuit, result.circuit, cycles=40)
+        assert check.equivalent, check.reason
+
+    def test_full_flow_refines(self):
+        design = build_design("C1", scale=0.5)
+        base = baseline_flow(design.circuit)
+        flow = retime_flow(design.circuit, mapped=base)
+        check = check_refinement(base.circuit, flow.circuit, cycles=40)
+        assert check.equivalent, check.reason
+
+    def test_detects_wrong_reset_value(self):
+        def build(sval):
+            c = Circuit("r")
+            for n in ("clk", "rs", "d"):
+                c.add_input(n)
+            c.add_register(d="d", q="q", clk="clk", sr="rs", sval=sval)
+            c.add_output("q")
+            return c
+
+        result = check_refinement(build(T1), build(T0), cycles=4)
+        assert not result.equivalent
+        cycle, index, expected, got = result.counterexample
+        assert (expected, got) == (T1, T0)
+
+    def test_detects_dropped_register(self):
+        c = Circuit("seq")
+        for n in ("clk", "d"):
+            c.add_input(n)
+        c.add_register(d="d", q="q", clk="clk")
+        c.add_output("q")
+        comb = Circuit("comb")
+        for n in ("clk", "d"):
+            comb.add_input(n)
+        comb.add_gate(GateFn.BUF, ["d"], "q")
+        comb.add_output("q")
+        assert not check_refinement(c, comb, cycles=8).equivalent
+
+    def test_deterministic(self):
+        base = baseline_flow(build_design("C2", scale=0.5).circuit)
+        result = mc_retime(base.circuit)
+        a = check_refinement(base.circuit, result.circuit, seed=3)
+        b = check_refinement(base.circuit, result.circuit, seed=3)
+        assert a.equivalent == b.equivalent

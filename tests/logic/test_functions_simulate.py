@@ -1,0 +1,144 @@
+"""Tests for ternary gate evaluation and circuit simulation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.functions import eval_gate, eval_table
+from repro.logic.simulate import SequentialSimulator, eval_nets
+from repro.logic.ternary import T0, T1, TX
+from repro.netlist import CONST1, Circuit, Gate, GateFn
+
+
+class TestEvalTable:
+    def test_binary_lookup(self):
+        and2 = 0b1000
+        assert eval_table(and2, [T1, T1]) == T1
+        assert eval_table(and2, [T0, T1]) == T0
+
+    def test_x_propagation_and(self):
+        and2 = 0b1000
+        assert eval_table(and2, [T0, TX]) == T0  # 0 dominates
+        assert eval_table(and2, [T1, TX]) == TX
+
+    def test_exact_not_kleene(self):
+        # LUT computing a XOR a-style degenerate table: f = i0 OR ~i0 = 1
+        tautology = 0b11
+        assert eval_table(tautology, [TX]) == T1
+
+    def test_constant_tables(self):
+        assert eval_table(0b0000, [TX, TX]) == T0
+        assert eval_table(0b1111, [TX, TX]) == T1
+
+    @settings(max_examples=80, deadline=None)
+    @given(table=st.integers(min_value=0, max_value=255))
+    def test_x_result_consistent_with_completions(self, table):
+        values = [TX, T1, TX]
+        result = eval_table(table, values)
+        seen = set()
+        for a in (T0, T1):
+            for c in (T0, T1):
+                seen.add(eval_table(table, [a, T1, c]))
+        if len(seen) == 1:
+            assert result == seen.pop()
+        else:
+            assert result == TX
+
+    def test_eval_gate_arity_check(self):
+        g = Gate("g", GateFn.AND, ["a", "b"], "y")
+        import pytest
+
+        with pytest.raises(ValueError):
+            eval_gate(g, [T1])
+
+
+def counter_bit() -> Circuit:
+    """1-bit counter with enable and async clear: q' = q XOR 1 when en."""
+    c = Circuit("cnt")
+    c.add_input("clk")
+    c.add_input("en")
+    c.add_input("rst")
+    c.add_gate(GateFn.NOT, ["q"], "d", name="inv")
+    c.add_register(d="d", q="q", clk="clk", en="en", ar="rst", aval=T0, name="r")
+    c.add_output("q")
+    return c
+
+
+class TestEvalNets:
+    def test_sweep(self):
+        c = counter_bit()
+        values = eval_nets(c, {"q": T0})
+        assert values["d"] == T1
+
+    def test_unknown_inputs_default_x(self):
+        c = counter_bit()
+        values = eval_nets(c, {})
+        assert values["d"] == TX
+
+    def test_const_nets_present(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate(GateFn.AND, ["a", CONST1], "y")
+        c.add_output("y")
+        assert eval_nets(c, {"a": T1})["y"] == T1
+
+
+class TestSequentialSimulator:
+    def test_counter_counts(self):
+        c = counter_bit()
+        sim = SequentialSimulator(c, state={"r": T0})
+        outs = sim.run([{"en": T1, "rst": T0}] * 4)
+        assert [o["q"] for o in outs] == [T0, T1, T0, T1]
+
+    def test_enable_holds(self):
+        c = counter_bit()
+        sim = SequentialSimulator(c, state={"r": T1})
+        outs = sim.run([{"en": T0, "rst": T0}] * 3)
+        assert [o["q"] for o in outs] == [T1, T1, T1]
+
+    def test_async_reset_forces_value(self):
+        c = counter_bit()
+        sim = SequentialSimulator(c, state={"r": T1})
+        sim.step({"en": T1, "rst": T1})
+        assert sim.state["r"] == T0
+
+    def test_default_reset_state_prefers_async(self):
+        c = Circuit()
+        c.add_input("clk")
+        c.add_input("d")
+        c.add_input("rs")
+        c.add_register(d="d", clk="clk", ar="rs", aval=T1, sr="rs", sval=T0, name="r")
+        assert SequentialSimulator.default_reset_state(c) == {"r": T1}
+
+    def test_sync_reset_applies_on_edge(self):
+        c = Circuit()
+        c.add_input("clk")
+        c.add_input("d")
+        c.add_input("s")
+        c.add_register(d="d", q="q", clk="clk", sr="s", sval=T1, name="r")
+        c.add_output("q")
+        sim = SequentialSimulator(c, state={"r": T0})
+        sim.step({"d": T0, "s": T1})
+        assert sim.state["r"] == T1
+
+    def test_x_chooser(self):
+        c = counter_bit()
+        sim = SequentialSimulator(c, x_chooser=lambda name: T0)
+        # register has aval=T0 so default state is already 0; force X first
+        sim2 = SequentialSimulator(
+            Circuit("empty"), state={}, x_chooser=lambda name: T0
+        )
+        assert sim.state["r"] == T0
+        assert sim2.state == {}
+
+    def test_enable_x_but_d_equals_hold(self):
+        c = Circuit()
+        c.add_input("clk")
+        c.add_input("d")
+        c.add_input("e")
+        c.add_register(d="d", q="q", clk="clk", en="e", name="r")
+        c.add_output("q")
+        sim = SequentialSimulator(c, state={"r": T1})
+        sim.step({"d": T1, "e": TX})
+        assert sim.state["r"] == T1  # load or hold both give 1
+        sim.step({"d": T0, "e": TX})
+        assert sim.state["r"] == TX  # genuinely unknown

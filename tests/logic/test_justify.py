@@ -1,0 +1,144 @@
+"""Tests for local and cone (global) justification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.functions import eval_table
+from repro.logic.justify import (
+    implication_satisfies,
+    justification_choices,
+    justify_cone,
+    justify_gate,
+)
+from repro.logic.ternary import T0, T1, TX
+from repro.netlist import Circuit, Gate, GateFn, make_lut
+
+
+class TestJustifyGate:
+    def test_and_output_one_forces_all_ones(self):
+        g = Gate("g", GateFn.AND, ["a", "b"], "y")
+        assert justify_gate(g, T1) == [T1, T1]
+
+    def test_and_output_zero_uses_dontcare(self):
+        g = Gate("g", GateFn.AND, ["a", "b"], "y")
+        vec = justify_gate(g, T0)
+        assert vec.count(TX) == 1 and vec.count(T0) == 1
+
+    def test_or_output_one_uses_dontcare(self):
+        g = Gate("g", GateFn.OR, ["a", "b"], "y")
+        vec = justify_gate(g, T1)
+        assert vec.count(TX) == 1 and vec.count(T1) == 1
+
+    def test_xor_has_no_dontcares(self):
+        g = Gate("g", GateFn.XOR, ["a", "b"], "y")
+        for req in (T0, T1):
+            vec = justify_gate(g, req)
+            assert TX not in vec
+            assert eval_table(g.truth_table(), vec) == req
+
+    def test_constant_gate_unjustifiable(self):
+        g = make_lut("g", ["a", "b"], "y", 0)  # constant 0
+        assert justify_gate(g, T1) is None
+        assert justify_gate(g, T0) == [TX, TX]
+
+    def test_inverter(self):
+        g = Gate("g", GateFn.NOT, ["a"], "y")
+        assert justify_gate(g, T1) == [T0]
+        assert justify_gate(g, T0) == [T1]
+
+    def test_requires_binary_requirement(self):
+        g = Gate("g", GateFn.NOT, ["a"], "y")
+        with pytest.raises(ValueError):
+            justify_gate(g, TX)
+
+    @settings(max_examples=100, deadline=None)
+    @given(table=st.integers(min_value=1, max_value=65534))
+    def test_justification_always_correct(self, table):
+        g = make_lut("g", ["a", "b", "c", "d"], "y", table)
+        for req in (T0, T1):
+            vec = justify_gate(g, req)
+            if vec is not None:
+                assert eval_table(table, vec) == req
+
+    def test_wide_gate_bdd_path(self):
+        # 6-input AND forces the BDD fallback
+        g = Gate("g", GateFn.AND, [f"i{k}" for k in range(6)], "y")
+        vec = justify_gate(g, T1)
+        assert vec == [T1] * 6
+        vec0 = justify_gate(g, T0)
+        assert eval_table(g.truth_table(), vec0) == T0
+
+    def test_choices_ordered_by_dontcares(self):
+        g = Gate("g", GateFn.OR, ["a", "b"], "y")
+        choices = justification_choices(g, T1)
+        assert len(choices) >= 3
+        dontcares = [v.count(TX) for v in choices]
+        assert dontcares == sorted(dontcares, reverse=True)
+        for vec in choices:
+            assert eval_table(g.truth_table(), vec) == T1
+
+
+def cone_circuit() -> Circuit:
+    """Paper Fig. 5 topology: v2=AND feeding v3=NAND and v4=INV."""
+    c = Circuit("fig5")
+    c.add_input("x1")
+    c.add_input("x2")
+    c.add_input("x3")
+    c.add_gate(GateFn.AND, ["x1", "x2"], "n2", name="v2")
+    c.add_gate(GateFn.NAND, ["n2", "x3"], "n3", name="v3")
+    c.add_gate(GateFn.NOT, ["n2"], "n4", name="v4")
+    c.add_output("n3")
+    c.add_output("n4")
+    return c
+
+
+class TestJustifyCone:
+    def test_single_requirement(self):
+        c = cone_circuit()
+        sol = justify_cone(c, {"n4": T1}, {"x1", "x2", "x3"})
+        assert sol is not None
+        assert implication_satisfies(c, sol, {"n4": T1})
+
+    def test_joint_requirements(self):
+        c = cone_circuit()
+        # n3=1 and n4=1 -> n2=0, x3 free
+        sol = justify_cone(c, {"n3": T1, "n4": T1}, {"x1", "x2", "x3"})
+        assert sol is not None
+        assert implication_satisfies(c, sol, {"n3": T1, "n4": T1})
+
+    def test_conflicting_requirements_need_x3(self):
+        c = cone_circuit()
+        # n3=0 requires n2=1 and x3=1; n4=0 requires n2=1: consistent
+        sol = justify_cone(c, {"n3": T0, "n4": T0}, {"x1", "x2", "x3"})
+        assert sol == {"x1": T1, "x2": T1, "x3": T1}
+
+    def test_impossible(self):
+        c = cone_circuit()
+        # n3=0 requires n2=1; n4=1 requires n2=0
+        assert justify_cone(c, {"n3": T0, "n4": T1}, {"x1", "x2", "x3"}) is None
+
+    def test_all_x_requirements_trivial(self):
+        c = cone_circuit()
+        sol = justify_cone(c, {"n3": TX}, {"x1"})
+        assert sol == {"x1": TX}
+
+    def test_side_inputs_universally_quantified(self):
+        c = cone_circuit()
+        # solve only for x1: n4=1 needs n2=0; with x2 outside the cut the
+        # only robust choice is x1=0
+        sol = justify_cone(c, {"n4": T1}, {"x1"})
+        assert sol == {"x1": T0}
+
+    def test_side_inputs_can_make_it_impossible(self):
+        c = cone_circuit()
+        # n4=0 needs n2=1 which needs x2=1; x2 is uncontrolled -> fail
+        assert justify_cone(c, {"n4": T0}, {"x1"}) is None
+
+    def test_prefer_dontcare_false_concretizes(self):
+        c = cone_circuit()
+        sol = justify_cone(
+            c, {"n4": T1}, {"x1", "x2", "x3"}, prefer_dontcare=False
+        )
+        assert TX not in sol.values()
+        assert implication_satisfies(c, sol, {"n4": T1})

@@ -1,0 +1,96 @@
+"""Tests for net-function construction over cuts (BDD bridge)."""
+
+from repro.bdd import BDD, FALSE, TRUE
+from repro.logic.netfn import default_cut, net_functions, nets_equivalent
+from repro.netlist import CONST0, CONST1, Circuit, GateFn
+
+
+def circuit_with_register() -> Circuit:
+    c = Circuit()
+    for net in ("clk", "a", "b"):
+        c.add_input(net)
+    c.add_gate(GateFn.AND, ["a", "b"], "n1", name="g1")
+    c.add_register(d="n1", q="q", clk="clk", name="r")
+    c.add_gate(GateFn.OR, ["q", "a"], "y", name="g2")
+    c.add_output("y")
+    return c
+
+
+class TestDefaultCut:
+    def test_inputs_and_register_outputs(self):
+        c = circuit_with_register()
+        assert default_cut(c) == {"clk", "a", "b", "q"}
+
+
+class TestNetFunctions:
+    def test_gate_function(self):
+        c = circuit_with_register()
+        bdd = BDD()
+        fns = net_functions(c, ["n1"], bdd)
+        expected = bdd.and_(bdd.var("a"), bdd.var("b"))
+        assert fns["n1"] == expected
+
+    def test_cut_stops_at_register(self):
+        c = circuit_with_register()
+        bdd = BDD()
+        fns = net_functions(c, ["y"], bdd)
+        expected = bdd.or_(bdd.var("q"), bdd.var("a"))
+        assert fns["y"] == expected
+
+    def test_cut_at_internal_net(self):
+        c = circuit_with_register()
+        bdd = BDD()
+        # cutting at an internal gate output makes it a free variable
+        fns = net_functions(c, ["n1"], bdd, cut={"n1"})
+        assert fns["n1"] == bdd.var("n1")
+
+    def test_constants(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate(GateFn.AND, ["a", CONST1], "y1", name="g1")
+        c.add_gate(GateFn.AND, ["a", CONST0], "y0", name="g2")
+        c.add_output("y1")
+        c.add_output("y0")
+        bdd = BDD()
+        fns = net_functions(c, ["y1", "y0"], bdd)
+        assert fns["y1"] == bdd.var("a")
+        assert fns["y0"] == FALSE
+
+    def test_bindings_override(self):
+        c = circuit_with_register()
+        bdd = BDD()
+        fns = net_functions(c, ["y"], bdd, bindings={"q": TRUE})
+        assert fns["y"] == TRUE
+
+    def test_deep_chain_no_recursion_error(self):
+        c = Circuit()
+        c.add_input("a")
+        net = "a"
+        for _ in range(3000):
+            net = c.add_gate(GateFn.NOT, [net]).output
+        c.add_output(net)
+        bdd = BDD()
+        fns = net_functions(c, [net], bdd)
+        assert fns[net] in (bdd.var("a"), bdd.not_(bdd.var("a")))
+
+
+class TestNetsEquivalent:
+    def test_same_net(self):
+        c = circuit_with_register()
+        assert nets_equivalent(c, "a", "a")
+
+    def test_equivalent_structures(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate(GateFn.AND, ["a", "b"], "x", name="g1")
+        c.add_gate(GateFn.NOR, ["na", "nb"], "y", name="g2")
+        c.add_gate(GateFn.NOT, ["a"], "na", name="i1")
+        c.add_gate(GateFn.NOT, ["b"], "nb", name="i2")
+        c.add_output("x")
+        c.add_output("y")
+        assert nets_equivalent(c, "x", "y")
+
+    def test_inequivalent(self):
+        c = circuit_with_register()
+        assert not nets_equivalent(c, "n1", "y")

@@ -1,0 +1,117 @@
+"""Tests for the three-valued domain."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.ternary import (
+    T0,
+    T1,
+    TX,
+    TERNARY_VALUES,
+    compatible,
+    meet,
+    ternary_and,
+    ternary_and_all,
+    ternary_char,
+    ternary_from_char,
+    ternary_mux,
+    ternary_not,
+    ternary_or,
+    ternary_or_all,
+    ternary_xor,
+    vector_str,
+)
+
+tern = st.sampled_from(TERNARY_VALUES)
+
+
+class TestOperators:
+    def test_not(self):
+        assert ternary_not(T0) == T1
+        assert ternary_not(T1) == T0
+        assert ternary_not(TX) == TX
+
+    def test_and_dominance(self):
+        assert ternary_and(T0, TX) == T0
+        assert ternary_and(TX, T0) == T0
+        assert ternary_and(T1, TX) == TX
+        assert ternary_and(T1, T1) == T1
+
+    def test_or_dominance(self):
+        assert ternary_or(T1, TX) == T1
+        assert ternary_or(TX, T1) == T1
+        assert ternary_or(T0, TX) == TX
+        assert ternary_or(T0, T0) == T0
+
+    def test_xor_taint(self):
+        assert ternary_xor(TX, T0) == TX
+        assert ternary_xor(T1, T0) == T1
+        assert ternary_xor(T1, T1) == T0
+
+    def test_mux(self):
+        assert ternary_mux(T0, T1, T0) == T1
+        assert ternary_mux(T1, T1, T0) == T0
+        assert ternary_mux(TX, T1, T1) == T1
+        assert ternary_mux(TX, T1, T0) == TX
+        assert ternary_mux(TX, TX, TX) == TX
+
+    def test_reductions(self):
+        assert ternary_and_all([]) == T1
+        assert ternary_or_all([]) == T0
+        assert ternary_and_all([T1, TX, T0]) == T0
+        assert ternary_or_all([T0, TX, T1]) == T1
+
+    @given(a=tern, b=tern)
+    def test_de_morgan(self, a, b):
+        assert ternary_not(ternary_and(a, b)) == ternary_or(
+            ternary_not(a), ternary_not(b)
+        )
+
+    @given(a=tern, b=tern)
+    def test_commutative(self, a, b):
+        assert ternary_and(a, b) == ternary_and(b, a)
+        assert ternary_or(a, b) == ternary_or(b, a)
+        assert ternary_xor(a, b) == ternary_xor(b, a)
+
+    @given(a=tern)
+    def test_identities(self, a):
+        assert ternary_and(a, T1) == a
+        assert ternary_or(a, T0) == a
+
+
+class TestLattice:
+    def test_compatible(self):
+        assert compatible(TX, T0) and compatible(T1, TX)
+        assert compatible(T0, T0)
+        assert not compatible(T0, T1)
+
+    def test_meet(self):
+        assert meet(TX, T0) == T0
+        assert meet(T1, TX) == T1
+        assert meet(TX, TX) == TX
+        with pytest.raises(ValueError):
+            meet(T0, T1)
+
+    @given(a=tern, b=tern)
+    def test_meet_defined_iff_compatible(self, a, b):
+        if compatible(a, b):
+            m = meet(a, b)
+            assert compatible(m, a) and compatible(m, b)
+        else:
+            with pytest.raises(ValueError):
+                meet(a, b)
+
+
+class TestText:
+    def test_chars(self):
+        assert [ternary_char(v) for v in TERNARY_VALUES] == ["0", "1", "-"]
+
+    def test_parse(self):
+        for ch, v in (("0", T0), ("1", T1), ("-", TX), ("x", TX), ("X", TX)):
+            assert ternary_from_char(ch) == v
+        with pytest.raises(ValueError):
+            ternary_from_char("z")
+
+    def test_vector(self):
+        assert vector_str([T0, T1, TX, T1]) == "01-1"

@@ -1,0 +1,132 @@
+"""Tests for register classification (paper Def. 1)."""
+
+from repro.logic.ternary import T0, T1
+from repro.mcretime import Classifier
+from repro.netlist import CONST0, CONST1, Circuit, GateFn
+
+
+def base(c: Circuit) -> None:
+    c.add_input("clk")
+    c.add_input("d")
+    c.add_input("e")
+    c.add_input("rs")
+
+
+class TestSyntactic:
+    def test_same_controls_same_class(self):
+        c = Circuit()
+        base(c)
+        r1 = c.add_register(d="d", clk="clk", en="e")
+        r2 = c.add_register(d="d" if False else "e", clk="clk", en="e")
+        cl = Classifier(c, semantic=False)
+        assert cl.compatible(r1, r2)
+        assert cl.n_classes == 1
+
+    def test_different_enable_different_class(self):
+        c = Circuit()
+        base(c)
+        c.add_input("e2")
+        r1 = c.add_register(d="d", clk="clk", en="e")
+        r2 = c.add_register(d="e", clk="clk", en="e2")
+        cl = Classifier(c, semantic=False)
+        assert not cl.compatible(r1, r2)
+
+    def test_const1_enable_equals_missing(self):
+        c = Circuit()
+        base(c)
+        r1 = c.add_register(d="d", clk="clk")
+        r2 = c.add_register(d="e", clk="clk", en=CONST1)
+        cl = Classifier(c, semantic=False)
+        assert cl.compatible(r1, r2)
+
+    def test_const0_reset_equals_missing(self):
+        c = Circuit()
+        base(c)
+        r1 = c.add_register(d="d", clk="clk")
+        r2 = c.add_register(d="e", clk="clk", sr=CONST0, ar=CONST0)
+        cl = Classifier(c, semantic=False)
+        assert cl.compatible(r1, r2)
+
+    def test_reset_values_not_part_of_class(self):
+        c = Circuit()
+        base(c)
+        r1 = c.add_register(d="d", clk="clk", sr="rs", sval=T0)
+        r2 = c.add_register(d="e", clk="clk", sr="rs", sval=T1)
+        cl = Classifier(c, semantic=False)
+        assert cl.compatible(r1, r2)
+
+    def test_clock_matters(self):
+        c = Circuit()
+        base(c)
+        c.add_input("clk2")
+        r1 = c.add_register(d="d", clk="clk")
+        r2 = c.add_register(d="e", clk="clk2")
+        cl = Classifier(c, semantic=False)
+        assert not cl.compatible(r1, r2)
+
+
+class TestSemantic:
+    def test_buffered_enable_same_class(self):
+        c = Circuit()
+        base(c)
+        c.add_gate(GateFn.BUF, ["e"], "e_buf")
+        r1 = c.add_register(d="d", clk="clk", en="e")
+        r2 = c.add_register(d="e", clk="clk", en="e_buf")
+        assert Classifier(c, semantic=True).compatible(r1, r2)
+        assert not Classifier(c, semantic=False).compatible(r1, r2)
+
+    def test_double_inverted_reset_same_class(self):
+        c = Circuit()
+        base(c)
+        c.add_gate(GateFn.NOT, ["rs"], "n1")
+        c.add_gate(GateFn.NOT, ["n1"], "rs2")
+        r1 = c.add_register(d="d", clk="clk", ar="rs", aval=T0)
+        r2 = c.add_register(d="e", clk="clk", ar="rs2", aval=T0)
+        assert Classifier(c).compatible(r1, r2)
+
+    def test_inverted_reset_different_class(self):
+        c = Circuit()
+        base(c)
+        c.add_gate(GateFn.NOT, ["rs"], "rsn")
+        r1 = c.add_register(d="d", clk="clk", ar="rs")
+        r2 = c.add_register(d="e", clk="clk", ar="rsn")
+        assert not Classifier(c).compatible(r1, r2)
+
+    def test_tautological_enable_is_no_enable(self):
+        c = Circuit()
+        base(c)
+        c.add_gate(GateFn.OR, ["e", "en_inv"], "always1")
+        c.add_gate(GateFn.NOT, ["e"], "en_inv")
+        r1 = c.add_register(d="d", clk="clk", en="always1")
+        r2 = c.add_register(d="e", clk="clk")
+        assert Classifier(c).compatible(r1, r2)
+
+    def test_equivalent_logic_cones(self):
+        c = Circuit()
+        base(c)
+        c.add_input("f")
+        # two structurally different but equivalent AND cones
+        c.add_gate(GateFn.AND, ["e", "f"], "en_a")
+        c.add_gate(GateFn.NOR, ["ne", "nf"], "en_b")
+        c.add_gate(GateFn.NOT, ["e"], "ne")
+        c.add_gate(GateFn.NOT, ["f"], "nf")
+        r1 = c.add_register(d="d", clk="clk", en="en_a")
+        r2 = c.add_register(d="e", clk="clk", en="en_b")
+        assert Classifier(c).compatible(r1, r2)
+
+    def test_registers_added_after_construction(self):
+        c = Circuit()
+        base(c)
+        r1 = c.add_register(d="d", clk="clk", en="e")
+        cl = Classifier(c)
+        r2 = c.add_register(d="e", clk="clk", en="e")
+        assert cl.compatible(r1, r2)
+        assert cl.n_classes == 1
+
+    def test_class_describe(self):
+        c = Circuit()
+        base(c)
+        r1 = c.add_register(d="d", clk="clk", en="e", sr="rs")
+        cl = Classifier(c)
+        desc = cl.class_of(cl.classify(r1)).describe()
+        assert "clk=clk" in desc and "en=e" in desc and "sr=rs" in desc

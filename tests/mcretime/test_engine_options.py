@@ -1,0 +1,61 @@
+"""Engine option combinations and small accessor coverage."""
+
+import pytest
+
+from repro.graph import build_mcgraph
+from repro.mcretime import Classifier, compute_bounds, mc_retime
+from repro.netlist import Circuit, GateFn, check_circuit
+
+
+def buffered_enable_circuit() -> Circuit:
+    """Two registers whose enables are logically equal but structurally
+    different — semantic classification sees one class, syntactic two."""
+    c = Circuit("opt")
+    for net in ("clk", "en", "a", "b"):
+        c.add_input(net)
+    c.add_gate(GateFn.BUF, ["en"], "en2", name="buf")
+    c.add_register(d="a", q="qa", clk="clk", en="en", name="ra")
+    c.add_register(d="b", q="qb", clk="clk", en="en2", name="rb")
+    n1 = c.add_gate(GateFn.AND, ["qa", "qb"], "n1", name="g1").output
+    n2 = c.add_gate(GateFn.NOT, [n1], "n2", name="g2").output
+    n3 = c.add_gate(GateFn.XOR, [n2, n1], "n3", name="g3").output
+    c.add_register(d=n3, q="qo", clk="clk", en="en", name="ro")
+    c.add_output("qo")
+    return c
+
+
+class TestEngineOptions:
+    def test_semantic_beats_syntactic(self):
+        c = buffered_enable_circuit()
+        semantic = mc_retime(c, semantic_classes=True)
+        syntactic = mc_retime(c, semantic_classes=False)
+        check_circuit(semantic.circuit)
+        check_circuit(syntactic.circuit)
+        assert semantic.n_classes < syntactic.n_classes
+        # syntactic classes can only restrict, never improve
+        assert semantic.period_after <= syntactic.period_after + 1e-9
+
+    def test_verify_resets_flag(self):
+        c = buffered_enable_circuit()
+        result = mc_retime(c, verify_resets=False)
+        check_circuit(result.circuit)
+
+    def test_result_repr_fields(self):
+        c = buffered_enable_circuit()
+        result = mc_retime(c)
+        assert result.ff_before == 3
+        assert result.area_registers is not None
+        assert result.resolve_attempts == 0
+
+
+class TestBoundsAccessors:
+    def test_r_min_r_max_helpers(self):
+        c = buffered_enable_circuit()
+        classifier = Classifier(c)
+        graph = build_mcgraph(c, classify=classifier.classify).graph
+        bounds = compute_bounds(graph)
+        for name in ("g1", "g2", "g3"):
+            assert bounds.r_min(name) <= 0 <= bounds.r_max(name)
+        # unknown vertices default to the immovable range
+        assert bounds.r_min("nope") == 0
+        assert bounds.r_max("nope") == 0

@@ -1,0 +1,102 @@
+"""Tests for register merging and the engine's reset verification."""
+
+import pytest
+
+from repro.logic.ternary import T0, T1, TX
+from repro.mcretime import Classifier, merge_shareable_registers
+from repro.mcretime.engine import _verify_reset_requirements
+from repro.mcretime.relocate import RelocationError
+from repro.netlist import Circuit, GateFn, check_circuit
+
+
+def dup_circuit(sval_a=TX, sval_b=TX, same_class=True) -> Circuit:
+    c = Circuit("dup")
+    for net in ("clk", "rs", "e1", "e2", "a"):
+        c.add_input(net)
+    c.add_register(
+        d="a", q="q1", clk="clk", en="e1", sr="rs", sval=sval_a, name="r1"
+    )
+    c.add_register(
+        d="a",
+        q="q2",
+        clk="clk",
+        en="e1" if same_class else "e2",
+        sr="rs",
+        sval=sval_b,
+        name="r2",
+    )
+    c.add_gate(GateFn.AND, ["q1", "q2"], "y", name="g")
+    c.add_output("y")
+    return c
+
+
+class TestMergeShareable:
+    def test_merges_identical(self):
+        c = dup_circuit()
+        removed = merge_shareable_registers(c, Classifier(c))
+        assert removed == 1
+        check_circuit(c)
+        assert len(c.registers) == 1
+        # the AND gate now reads the surviving register twice
+        gate = c.gates["g"]
+        assert gate.inputs[0] == gate.inputs[1]
+
+    def test_meets_compatible_values(self):
+        c = dup_circuit(sval_a=T1, sval_b=TX)
+        merge_shareable_registers(c, Classifier(c))
+        survivor = next(iter(c.registers.values()))
+        assert survivor.sval == T1  # X yields to the binary sibling
+
+    def test_keeps_conflicting_values(self):
+        c = dup_circuit(sval_a=T0, sval_b=T1)
+        removed = merge_shareable_registers(c, Classifier(c))
+        assert removed == 0
+        assert len(c.registers) == 2
+
+    def test_keeps_different_classes(self):
+        c = dup_circuit(same_class=False)
+        removed = merge_shareable_registers(c, Classifier(c))
+        assert removed == 0
+
+    def test_merges_requirements(self):
+        c = dup_circuit()
+        reqs = {
+            "r1": frozenset({("a", T1, TX)}),
+            "r2": frozenset({("y", T0, TX)}),
+        }
+        merge_shareable_registers(c, Classifier(c), reqs)
+        survivor = next(iter(c.registers))
+        assert reqs[survivor] == frozenset({("a", T1, TX), ("y", T0, TX)})
+
+
+class TestVerifyResetRequirements:
+    def build(self):
+        c = Circuit("v")
+        for net in ("clk", "rs", "a", "b"):
+            c.add_input(net)
+        c.add_gate(GateFn.AND, ["qa", "qb"], "n", name="g")
+        c.add_register(d="a", q="qa", clk="clk", sr="rs", sval=T1, name="ra")
+        c.add_register(d="b", q="qb", clk="clk", sr="rs", sval=T1, name="rb")
+        c.add_output("n")
+        return c
+
+    def test_satisfied_requirements_pass(self):
+        c = self.build()
+        reqs = {"ra": frozenset({("n", T1, TX)})}
+        _verify_reset_requirements(c, reqs)  # AND(1,1) = 1: fine
+
+    def test_violated_requirement_raises(self):
+        c = self.build()
+        c.registers["rb"].sval = T0  # breaks the implication
+        reqs = {"ra": frozenset({("n", T1, TX)})}
+        with pytest.raises(RelocationError):
+            _verify_reset_requirements(c, reqs)
+
+    def test_x_requirements_ignored(self):
+        c = self.build()
+        c.registers["rb"].sval = TX
+        reqs = {"ra": frozenset({("n", TX, TX)})}
+        _verify_reset_requirements(c, reqs)
+
+    def test_empty_requirements_pass(self):
+        _verify_reset_requirements(self.build(), {})

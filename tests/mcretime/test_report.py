@@ -1,0 +1,49 @@
+"""Tests for the report/table helpers."""
+
+from repro.mcretime import format_table, mc_retime, report_from_result
+from repro.netlist import Circuit, GateFn
+
+
+def tiny_result():
+    c = Circuit("tiny")
+    for net in ("clk", "a"):
+        c.add_input(net)
+    c.add_register(d="a", q="q", clk="clk")
+    n = c.add_gate(GateFn.NOT, ["q"]).output
+    c.add_register(d=n, q="q2", clk="clk")
+    c.add_output("q2")
+    return mc_retime(c)
+
+
+class TestReport:
+    def test_report_fields(self):
+        report = report_from_result("tiny", tiny_result())
+        assert report.name == "tiny"
+        assert report.n_classes == 1
+        assert "/" in report.step_column()
+        assert 0.0 <= report.local_fraction <= 1.0
+        total = (
+            report.basic_fraction
+            + report.relocation_fraction
+            + report.overhead_fraction
+        )
+        assert total <= 1.0 + 1e-9
+
+    def test_format_table_alignment(self):
+        rows = [
+            {"Name": "C1", "#FF": 35, "Delay": 32.4},
+            {"Name": "C10", "#FF": 206, "Delay": 48.05},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("Name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+        assert "32.4" in text and "48.0" in text  # .1f default (48.05 -> 48.0)
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_format_table_floatfmt(self):
+        text = format_table([{"x": 1.23456}], floatfmt=".3f")
+        assert "1.235" in text

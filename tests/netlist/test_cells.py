@@ -1,0 +1,134 @@
+"""Unit tests for gates, registers, and truth-table normalization."""
+
+import pytest
+
+from repro.logic.ternary import T0, T1, TX
+from repro.netlist import Gate, GateFn, Register, make_lut
+from repro.netlist.cells import _table_from_fn
+
+
+class TestGateTables:
+    def test_and2_table(self):
+        g = Gate("g", GateFn.AND, ["a", "b"], "y")
+        assert g.truth_table() == 0b1000
+
+    def test_or2_table(self):
+        g = Gate("g", GateFn.OR, ["a", "b"], "y")
+        assert g.truth_table() == 0b1110
+
+    def test_nand2_table(self):
+        g = Gate("g", GateFn.NAND, ["a", "b"], "y")
+        assert g.truth_table() == 0b0111
+
+    def test_nor2_table(self):
+        g = Gate("g", GateFn.NOR, ["a", "b"], "y")
+        assert g.truth_table() == 0b0001
+
+    def test_xor2_table(self):
+        g = Gate("g", GateFn.XOR, ["a", "b"], "y")
+        assert g.truth_table() == 0b0110
+
+    def test_xnor2_table(self):
+        g = Gate("g", GateFn.XNOR, ["a", "b"], "y")
+        assert g.truth_table() == 0b1001
+
+    def test_not_table(self):
+        g = Gate("g", GateFn.NOT, ["a"], "y")
+        assert g.truth_table() == 0b01
+
+    def test_buf_table(self):
+        g = Gate("g", GateFn.BUF, ["a"], "y")
+        assert g.truth_table() == 0b10
+
+    def test_mux_semantics(self):
+        g = Gate("g", GateFn.MUX, ["s", "a", "b"], "y")
+        # sel=0 -> a; sel=1 -> b   (inputs ordered s, a, b = bits 0,1,2)
+        for s in (0, 1):
+            for a in (0, 1):
+                for b in (0, 1):
+                    expected = b if s else a
+                    assert g.eval_binary([s, a, b]) == expected
+
+    def test_and3_matches_python_all(self):
+        g = Gate("g", GateFn.AND, ["a", "b", "c"], "y")
+        for m in range(8):
+            bits = [(m >> i) & 1 for i in range(3)]
+            assert g.eval_binary(bits) == int(all(bits))
+
+    def test_xor3_is_parity(self):
+        g = Gate("g", GateFn.XOR, ["a", "b", "c"], "y")
+        for m in range(8):
+            bits = [(m >> i) & 1 for i in range(3)]
+            assert g.eval_binary(bits) == sum(bits) % 2
+
+    def test_mux_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            _table_from_fn(GateFn.MUX, 2)
+
+    def test_lut_requires_table(self):
+        with pytest.raises(ValueError):
+            Gate("g", GateFn.LUT, ["a"], "y")
+
+    def test_lut_table_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("g", GateFn.LUT, ["a"], "y", table=0b10110)
+
+    def test_not_with_two_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("g", GateFn.NOT, ["a", "b"], "y")
+
+    def test_is_constant(self):
+        assert make_lut("g", ["a", "b"], "y", 0).is_constant() == 0
+        assert make_lut("g", ["a", "b"], "y", 0b1111).is_constant() == 1
+        assert make_lut("g", ["a", "b"], "y", 0b1000).is_constant() is None
+
+    def test_zero_input_lut(self):
+        g = make_lut("g", [], "y", 1)
+        assert g.eval_binary([]) == 1
+        assert g.is_constant() == 1
+
+    def test_clone_is_independent(self):
+        g = Gate("g", GateFn.AND, ["a", "b"], "y")
+        c = g.clone()
+        c.inputs[0] = "z"
+        assert g.inputs == ["a", "b"]
+
+
+class TestRegister:
+    def test_plain_register_flags(self):
+        r = Register("r", "d", "q", "clk")
+        assert not r.has_enable
+        assert not r.has_sync_reset
+        assert not r.has_async_reset
+        assert r.control_nets() == []
+
+    def test_enable_const1_is_no_enable(self):
+        from repro.netlist import CONST1
+
+        r = Register("r", "d", "q", "clk", en=CONST1)
+        assert not r.has_enable
+
+    def test_full_register(self):
+        r = Register("r", "d", "q", "clk", en="e", sr="s", ar="a", sval=T1, aval=T0)
+        assert r.has_enable and r.has_sync_reset and r.has_async_reset
+        assert r.control_nets() == ["e", "s", "a"]
+        assert r.reset_label() == "s=1,a=0"
+
+    def test_dontcare_reset_label(self):
+        r = Register("r", "d", "q", "clk")
+        assert r.reset_label() == "s=-,a=-"
+
+    def test_bad_reset_value_rejected(self):
+        with pytest.raises(ValueError):
+            Register("r", "d", "q", "clk", sval=7)
+
+    def test_clone(self):
+        r = Register("r", "d", "q", "clk", en="e", sval=T0)
+        c = r.clone()
+        c.d = "other"
+        assert r.d == "d"
+        assert c.en == "e" and c.sval == T0
+
+    def test_default_resets_are_dontcare(self):
+        r = Register("r", "d", "q", "clk")
+        assert r.sval == TX and r.aval == TX

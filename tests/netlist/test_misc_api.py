@@ -1,0 +1,76 @@
+"""Coverage for small public API surfaces not exercised elsewhere."""
+
+import pytest
+
+from repro.graph import RegInstance
+from repro.logic.simulate import SequentialSimulator
+from repro.logic.ternary import T0, T1, TX
+from repro.netlist import Circuit, GateFn, Port, circuit_stats
+from repro.netlist.signals import NetNamer, const_net, const_value, is_const
+
+
+class TestSignals:
+    def test_const_net_and_value(self):
+        assert const_value(const_net(0)) == 0
+        assert const_value(const_net(1)) == 1
+        with pytest.raises(ValueError):
+            const_value("not_a_const")
+        assert is_const(const_net(1)) and not is_const("x")
+
+    def test_namer_fresh_and_claim(self):
+        namer = NetNamer()
+        a = namer.fresh("n")
+        b = namer.fresh("n")
+        assert a != b and a in namer and b in namer
+        namer.claim("n$2")
+        assert namer.fresh("n") != "n$2"
+
+
+class TestPort:
+    def test_directions(self):
+        assert Port("a", "input").direction == "input"
+        with pytest.raises(ValueError):
+            Port("a", "sideways")
+
+
+class TestStatsRow:
+    def test_row_rendering(self):
+        c = Circuit("rowtest")
+        for n in ("clk", "e", "d"):
+            c.add_input(n)
+        c.add_register(d="d", clk="clk", en="e")
+        stats = circuit_stats(c)
+        row = stats.row()
+        assert row["Name"] == "rowtest"
+        assert row["EN"] == "y" and row["AS/AC"] == ""
+        assert row["#FF"] == 1
+
+
+class TestRegInstance:
+    def test_with_values(self):
+        inst = RegInstance(3)
+        other = inst.with_values(T1, T0)
+        assert (other.sval, other.aval) == (T1, T0)
+        assert other.cls == 3
+        assert inst.sval == TX  # frozen original untouched
+
+
+class TestSimulatorApi:
+    def circuit(self):
+        c = Circuit()
+        for n in ("clk", "d"):
+            c.add_input(n)
+        c.add_register(d="d", q="q", clk="clk", name="r")
+        c.add_output("q")
+        return c
+
+    def test_outputs_without_step(self):
+        sim = SequentialSimulator(self.circuit(), state={"r": T1})
+        assert sim.outputs({"d": T0}) == {"q": T1}
+        # outputs() must not advance state
+        assert sim.state["r"] == T1
+
+    def test_run_sequence(self):
+        sim = SequentialSimulator(self.circuit(), state={"r": T0})
+        outs = sim.run([{"d": T1}, {"d": T0}, {"d": T1}])
+        assert [o["q"] for o in outs] == [T0, T1, T0]

@@ -1,0 +1,179 @@
+"""Tests for the structural Verilog writer/reader."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.simulate import SequentialSimulator, eval_nets
+from repro.logic.ternary import T0, T1, TX
+from repro.netlist import CONST0, CONST1, Circuit, GateFn, check_circuit
+from repro.netlist.verilog import (
+    VerilogError,
+    read_verilog,
+    write_verilog,
+)
+
+
+def comb_equal(a: Circuit, b: Circuit) -> bool:
+    ins = list(a.inputs)
+    for combo in itertools.product((T0, T1), repeat=len(ins)):
+        vec = dict(zip(ins, combo))
+        va = eval_nets(a, vec)
+        vb = eval_nets(b, vec)
+        for na, nb in zip(a.outputs, b.outputs):
+            if va[na] != vb[nb]:
+                return False
+    return True
+
+
+class TestWriter:
+    def test_gate_expressions(self):
+        c = Circuit("g")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_input("s")
+        for fn in (GateFn.AND, GateFn.NAND, GateFn.OR, GateFn.NOR,
+                   GateFn.XOR, GateFn.XNOR):
+            c.add_output(c.add_gate(fn, ["a", "b"]).output)
+        c.add_output(c.add_gate(GateFn.NOT, ["a"]).output)
+        c.add_output(c.add_gate(GateFn.MUX, ["s", "a", "b"]).output)
+        text = write_verilog(c)
+        assert "a & b" in text and "~(a & b)" in text
+        assert "a ^ b" in text and "s ? b : a" in text
+
+    def test_register_templates(self):
+        c = Circuit("r")
+        for n in ("clk", "en", "sr", "ar", "d"):
+            c.add_input(n)
+        c.add_register(d="d", q="q1", clk="clk")
+        c.add_register(d="d", q="q2", clk="clk", en="en")
+        c.add_register(d="d", q="q3", clk="clk", sr="sr", sval=T1)
+        c.add_register(d="d", q="q4", clk="clk", ar="ar", aval=T0, en="en")
+        for q in ("q1", "q2", "q3", "q4"):
+            c.add_output(q)
+        text = write_verilog(c)
+        assert "always @(posedge clk or posedge ar)" in text
+        assert "if (ar) q4 <= 1'b0;" in text
+        assert "if (sr) q3 <= 1'b1;" in text
+        assert "if (en) q2 <= d;" in text
+        assert "q1 <= d;" in text
+
+    def test_name_mangling(self):
+        c = Circuit("m")
+        c.add_input("a")
+        g = c.add_gate(GateFn.NOT, ["a"], "n$weird")
+        c.add_output("n$weird")
+        text = write_verilog(c)
+        assert "$" not in text.replace("1'b", "")
+
+    def test_constants_inline(self):
+        c = Circuit("k")
+        c.add_input("a")
+        c.add_gate(GateFn.AND, ["a", CONST1], "y")
+        c.add_output("y")
+        assert "1'b1" in write_verilog(c)
+
+    def test_register_q_input_collision_rejected(self):
+        c = Circuit("bad")
+        c.add_input("clk")
+        c.add_input("a")
+        c.add_output("a")
+        # make a register whose q is an input via direct surgery
+        from repro.netlist.cells import Register
+
+        c.registers["r"] = Register("r", "a", "a2", "clk")
+        c.registers["r"].q = "a"  # collide
+        with pytest.raises(VerilogError):
+            write_verilog(c)
+
+
+class TestRoundTrip:
+    def test_combinational(self):
+        c = Circuit("rt")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_input("s")
+        n1 = c.add_gate(GateFn.AND, ["a", "b"]).output
+        n2 = c.add_gate(GateFn.MUX, ["s", n1, "b"]).output
+        n3 = c.add_gate(GateFn.XOR, [n2, "a"]).output
+        c.add_output(n3)
+        c2 = read_verilog(write_verilog(c))
+        check_circuit(c2)
+        assert comb_equal(c, c2)
+
+    def test_sequential(self):
+        c = Circuit("seq")
+        for n in ("clk", "en", "rs", "d"):
+            c.add_input(n)
+        c.add_register(d="d", q="q", clk="clk", en="en", ar="rs", aval=T1)
+        c.add_output("q")
+        c2 = read_verilog(write_verilog(c))
+        reg = next(iter(c2.registers.values()))
+        assert reg.en == "en" and reg.ar == "rs" and reg.aval == T1
+        sims = [SequentialSimulator(x, state=None) for x in (c, c2)]
+        for vec in ({"d": T1, "en": T1, "rs": T0}, {"d": T0, "en": T0, "rs": T0},
+                    {"d": T0, "en": T1, "rs": T1}):
+            outs = [s.step(vec) for s in sims]
+            assert list(outs[0].values()) == list(outs[1].values())
+
+    def test_sync_reset_roundtrip(self):
+        c = Circuit("sr")
+        for n in ("clk", "s", "d"):
+            c.add_input(n)
+        c.add_register(d="d", q="q", clk="clk", sr="s", sval=T0)
+        c.add_output("q")
+        c2 = read_verilog(write_verilog(c))
+        reg = next(iter(c2.registers.values()))
+        assert reg.sr == "s" and reg.sval == T0 and reg.ar is None
+
+    def test_constant_d_roundtrip(self):
+        c = Circuit("cd")
+        c.add_input("clk")
+        c.add_register(d=CONST1, q="q", clk="clk")
+        c.add_output("q")
+        c2 = read_verilog(write_verilog(c))
+        reg = next(iter(c2.registers.values()))
+        assert reg.d == CONST1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tables=st.lists(
+            st.integers(min_value=0, max_value=255), min_size=1, max_size=5
+        )
+    )
+    def test_random_lut_circuits(self, tables):
+        c = Circuit("prop")
+        nets = [c.add_input(f"i{k}") for k in range(3)]
+        for t in tables:
+            g = c.add_gate(GateFn.LUT, nets[-3:], table=t)
+            nets.append(g.output)
+        c.add_output(nets[-1])
+        c2 = read_verilog(write_verilog(c))
+        check_circuit(c2)
+        assert comb_equal(c, c2)
+
+    def test_generated_design_roundtrip(self):
+        from repro.synth import build_design
+
+        c = build_design("C2", scale=0.5).circuit
+        c2 = read_verilog(write_verilog(c))
+        check_circuit(c2)
+        assert len(c2.registers) == len(c.registers)
+
+
+class TestReaderErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(VerilogError):
+            read_verilog("module m(; endmodule")
+        with pytest.raises(VerilogError):
+            read_verilog("module m(a); input a; %%% endmodule")
+
+    def test_comments_stripped(self):
+        text = (
+            "module m(a, y); // ports\n input a;\n output y;\n"
+            "/* block\ncomment */ assign y = ~a;\nendmodule\n"
+        )
+        c = read_verilog(text)
+        assert c.driver_gate("y") is not None

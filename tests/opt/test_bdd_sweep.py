@@ -1,0 +1,83 @@
+"""Tests for BDD sweeping (semantic duplicate merging)."""
+
+import itertools
+
+from repro.logic.simulate import eval_nets
+from repro.logic.ternary import T0, T1
+from repro.netlist import Circuit, GateFn, check_circuit
+from repro.opt import sweep_equivalent_gates
+from tests.opt.test_passes import outputs_equal
+
+
+class TestBddSweep:
+    def test_merges_structurally_different_equivalents(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        # AND(a,b) vs NOR(~a,~b): same function, different structure
+        c.add_gate(GateFn.AND, ["a", "b"], "x", name="g1")
+        c.add_gate(GateFn.NOT, ["a"], "na", name="i1")
+        c.add_gate(GateFn.NOT, ["b"], "nb", name="i2")
+        c.add_gate(GateFn.NOR, ["na", "nb"], "y", name="g2")
+        c.add_gate(GateFn.OR, ["x", "y"], "out", name="g3")
+        c.add_output("out")
+        before = c.clone()
+        merged = sweep_equivalent_gates(c)
+        # g2 merges into g1; then g3 = OR(x, x) is equivalent to x and
+        # merges as well -- the sweep cascades
+        assert merged == 2
+        check_circuit(c)
+        assert outputs_equal(before, c, ["a", "b"])
+        assert "g2" not in c.gates and "g3" not in c.gates
+        assert c.outputs == ["x"]
+
+    def test_constant_functions_folded(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate(GateFn.NOT, ["a"], "na", name="i")
+        c.add_gate(GateFn.OR, ["a", "na"], "taut", name="g1")  # == 1
+        c.add_gate(GateFn.AND, ["taut", "a"], "y", name="g2")
+        c.add_output("y")
+        before = c.clone()
+        merged = sweep_equivalent_gates(c)
+        assert merged >= 1
+        assert outputs_equal(before, c, ["a"])
+
+    def test_registers_cut_the_cones(self):
+        """Gates behind different registers are never merged, even if
+        their local functions look alike."""
+        c = Circuit()
+        for n in ("clk", "a"):
+            c.add_input(n)
+        c.add_register(d="a", q="q1", clk="clk", name="r1")
+        c.add_register(d="a", q="q2", clk="clk", name="r2")
+        c.add_gate(GateFn.NOT, ["q1"], "y1", name="g1")
+        c.add_gate(GateFn.NOT, ["q2"], "y2", name="g2")
+        c.add_output("y1")
+        c.add_output("y2")
+        assert sweep_equivalent_gates(c) == 0
+
+    def test_budget_stops_gracefully(self):
+        c = Circuit()
+        nets = [c.add_input(f"i{k}") for k in range(8)]
+        prev = nets[0]
+        for k in range(20):
+            prev = c.add_gate(GateFn.XOR, [prev, nets[(k + 1) % 8]]).output
+        c.add_output(prev)
+        before = c.clone()
+        sweep_equivalent_gates(c, node_budget=10)
+        check_circuit(c)
+        assert outputs_equal(before, c, list(c.inputs))
+
+    def test_idempotent(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate(GateFn.AND, ["a", "b"], "x", name="g1")
+        c.add_gate(GateFn.AND, ["b", "a"], "y", name="g2")  # commuted
+        c.add_gate(GateFn.XOR, ["x", "y"], "z", name="g3")  # == 0 after merge
+        c.add_output("z")
+        first = sweep_equivalent_gates(c)
+        assert first >= 1
+        second = sweep_equivalent_gates(c)
+        assert second <= first

@@ -1,0 +1,169 @@
+"""Tests for the difference-constraint solver and the min-cost flow core."""
+
+import networkx as nx
+import pytest
+
+from repro.retime import (
+    DifferenceSystem,
+    FlowInfeasibleError,
+    MinCostFlow,
+)
+
+
+class TestDifferenceSystem:
+    def test_simple_solution(self):
+        s = DifferenceSystem(["a", "b"])
+        s.add("a", "b", 2)  # r(a) - r(b) <= 2
+        r = s.solve()
+        assert r is not None
+        assert r["a"] - r["b"] <= 2
+
+    def test_negative_cycle_detected(self):
+        s = DifferenceSystem()
+        s.add("a", "b", -1)
+        s.add("b", "a", -1)
+        assert s.solve() is None
+
+    def test_negative_self_loop(self):
+        s = DifferenceSystem()
+        s.add("a", "a", -1)
+        assert s.solve() is None
+
+    def test_vacuous_self_loop_dropped(self):
+        s = DifferenceSystem()
+        assert not s.add("a", "a", 0)
+        assert s.solve() == {"a": 0}
+
+    def test_tightening(self):
+        s = DifferenceSystem()
+        assert s.add("a", "b", 5)
+        assert not s.add("a", "b", 7)  # looser: ignored
+        assert s.add("a", "b", 3)  # tighter: kept
+        assert s.bound("a", "b") == 3
+
+    def test_chain_propagation(self):
+        s = DifferenceSystem()
+        s.add("a", "b", -2)  # r(a) <= r(b) - 2
+        s.add("b", "c", -3)
+        r = s.solve()
+        assert r["a"] - r["c"] <= -5
+
+    def test_check_reports_violations(self):
+        s = DifferenceSystem()
+        s.add("a", "b", 1)
+        assert s.check({"a": 5, "b": 0})[0].bound == 1
+        assert s.check({"a": 1, "b": 0}) == []
+
+    def test_copy_independent(self):
+        s = DifferenceSystem()
+        s.add("a", "b", 1)
+        t = s.copy()
+        t.add("a", "b", 0)
+        assert s.bound("a", "b") == 1
+
+    def test_solution_satisfies_all(self):
+        s = DifferenceSystem()
+        edges = [("a", "b", 3), ("b", "c", -1), ("c", "a", 0), ("a", "c", 4)]
+        for u, v, b in edges:
+            s.add(u, v, b)
+        r = s.solve()
+        assert s.check(r) == []
+
+
+class TestMinCostFlow:
+    def test_direct_route(self):
+        f = MinCostFlow()
+        f.add_node("s", 3)
+        f.add_node("t", -3)
+        arc = f.add_arc("s", "t", 5)
+        assert f.solve() == 15
+        assert arc.flow == 3
+
+    def test_chooses_cheap_path(self):
+        f = MinCostFlow()
+        f.add_node("s", 2)
+        f.add_node("t", -2)
+        cheap = f.add_arc("s", "t", 1)
+        costly = f.add_arc("s", "t", 10)
+        assert f.solve() == 2
+        assert cheap.flow == 2 and costly.flow == 0
+
+    def test_capacity_forces_split(self):
+        f = MinCostFlow()
+        f.add_node("s", 4)
+        f.add_node("t", -4)
+        cheap = f.add_arc("s", "t", 1, capacity=3)
+        costly = f.add_arc("s", "t", 5)
+        assert f.solve() == 3 * 1 + 1 * 5
+        assert cheap.flow == 3 and costly.flow == 1
+
+    def test_transit_node(self):
+        f = MinCostFlow()
+        f.add_node("s", 1)
+        f.add_node("m")
+        f.add_node("t", -1)
+        f.add_arc("s", "m", 2)
+        f.add_arc("m", "t", 3)
+        assert f.solve() == 5
+
+    def test_unbalanced_rejected(self):
+        f = MinCostFlow()
+        f.add_node("s", 1)
+        with pytest.raises(FlowInfeasibleError):
+            f.solve()
+
+    def test_unreachable_demand(self):
+        f = MinCostFlow()
+        f.add_node("s", 1)
+        f.add_node("t", -1)
+        with pytest.raises(FlowInfeasibleError):
+            f.solve()
+
+    def test_negative_cost_needs_potentials(self):
+        f = MinCostFlow()
+        f.add_node("s", 1)
+        f.add_node("t", -1)
+        f.add_arc("s", "t", -2)
+        with pytest.raises(ValueError):
+            f.solve()
+        f2 = MinCostFlow()
+        f2.add_node("s", 1)
+        f2.add_node("t", -1)
+        f2.add_arc("s", "t", -2)
+        assert f2.solve(initial_potentials={"s": 0, "t": -2}) == -2
+
+    def test_matches_networkx(self):
+        import random
+
+        rng = random.Random(7)
+        for trial in range(10):
+            n = 6
+            f = MinCostFlow()
+            g = nx.DiGraph()
+            supplies = [0] * n
+            for i in range(n - 1):
+                amount = rng.randint(0, 3)
+                supplies[i] += amount
+                supplies[-1] -= amount
+            for i in range(n):
+                f.add_node(f"v{i}", supplies[i])
+                g.add_node(f"v{i}", demand=-supplies[i])
+            for _ in range(14):
+                u, v = rng.sample(range(n), 2)
+                cost = rng.randint(0, 9)
+                cap = rng.randint(1, 6)
+                f.add_arc(f"v{u}", f"v{v}", cost, capacity=cap)
+                # networkx needs parallel-edge aggregation; use MultiDiGraph
+            # rebuild as MultiDiGraph for parallel arcs
+            g = nx.MultiDiGraph()
+            for i in range(n):
+                g.add_node(f"v{i}", demand=-supplies[i])
+            for arc in f.arcs():
+                g.add_edge(arc.u, arc.v, weight=arc.cost, capacity=int(arc.capacity))
+            try:
+                expected, _ = nx.network_simplex(g)
+            except nx.NetworkXUnfeasible:
+                with pytest.raises(FlowInfeasibleError):
+                    f.solve()
+                continue
+            assert f.solve() == expected

@@ -1,0 +1,70 @@
+"""Edge-case tests for the min-cost-flow accessors and ternary guards."""
+
+import pytest
+
+from repro.logic.functions import MAX_EXACT_UNKNOWNS, eval_table
+from repro.logic.ternary import T1, TX
+from repro.netlist import Gate, GateFn
+from repro.retime import MinCostFlow
+
+
+class TestFlowAccessors:
+    def test_potentials_before_solve_raises(self):
+        f = MinCostFlow()
+        f.add_node("s", 0)
+        with pytest.raises(RuntimeError):
+            f.potentials()
+
+    def test_potentials_after_solve(self):
+        f = MinCostFlow()
+        f.add_node("s", 2)
+        f.add_node("t", -2)
+        f.add_arc("s", "t", 3)
+        f.solve()
+        pots = f.potentials()
+        assert set(pots) == {"s", "t"}
+        # reduced cost of the saturating arc is tight
+        assert 3 + pots["s"] - pots["t"] == pytest.approx(0.0)
+
+    def test_arcs_view_updated(self):
+        f = MinCostFlow()
+        f.add_node("s", 1)
+        f.add_node("t", -1)
+        arc = f.add_arc("s", "t", 2)
+        assert arc.flow == 0
+        f.solve()
+        assert [a.flow for a in f.arcs()] == [1]
+
+    def test_node_names(self):
+        f = MinCostFlow()
+        f.add_node("x")
+        f.add_node("y")
+        assert f.node_names() == ["x", "y"]
+
+    def test_supply_accumulates(self):
+        f = MinCostFlow()
+        f.add_node("s", 1)
+        f.add_node("s", 2)
+        f.add_node("t", -3)
+        f.add_arc("s", "t", 1)
+        assert f.solve() == 3
+
+    def test_zero_supply_trivial(self):
+        f = MinCostFlow()
+        f.add_node("a")
+        f.add_node("b")
+        f.add_arc("a", "b", 5)
+        assert f.solve() == 0
+
+
+class TestWideGateGuard:
+    def test_exact_guard_returns_x(self):
+        """Past MAX_EXACT_UNKNOWNS unknown pins the sweep is skipped."""
+        n = MAX_EXACT_UNKNOWNS + 1
+        table = (1 << (1 << n)) - 1  # constant 1 — but too wide to prove
+        assert eval_table(table, [TX] * n) == TX
+
+    def test_exact_at_the_limit(self):
+        n = MAX_EXACT_UNKNOWNS
+        table = (1 << (1 << n)) - 1
+        assert eval_table(table, [TX] * n) == T1

@@ -1,0 +1,106 @@
+"""Shared hypothesis strategies for random synchronous circuits.
+
+Builds structurally valid circuits with complex registers, suitable for
+fuzzing any layer of the stack (I/O round-trips, optimisation passes,
+mapping, retiming).  Circuits are guaranteed to validate
+(`check_circuit`) and to be free of combinational cycles by
+construction: gates only read already-driven nets, registers may read
+anything (closing only sequential loops).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.logic.ternary import T0, T1, TX
+from repro.netlist import Circuit, GateFn
+
+_GATE_FNS = [
+    GateFn.AND,
+    GateFn.OR,
+    GateFn.XOR,
+    GateFn.NAND,
+    GateFn.NOR,
+    GateFn.NOT,
+    GateFn.BUF,
+    GateFn.MUX,
+    GateFn.LUT,
+    GateFn.CARRY,
+]
+
+
+@st.composite
+def circuits(
+    draw,
+    max_inputs: int = 5,
+    max_gates: int = 14,
+    max_registers: int = 5,
+    with_controls: bool = True,
+) -> Circuit:
+    """Strategy producing valid synchronous circuits."""
+    c = Circuit("fuzz")
+    c.add_input("clk")
+    n_inputs = draw(st.integers(min_value=1, max_value=max_inputs))
+    nets = [c.add_input(f"i{k}") for k in range(n_inputs)]
+    control_pool = list(nets)
+
+    # pre-declare register Q nets so gates can read sequential feedback
+    n_regs = draw(st.integers(min_value=0, max_value=max_registers))
+    q_nets = [c.new_net(f"fq{k}") for k in range(n_regs)]
+    readable = nets + q_nets
+
+    n_gates = draw(st.integers(min_value=1, max_value=max_gates))
+    for _ in range(n_gates):
+        fn = draw(st.sampled_from(_GATE_FNS))
+        if fn in (GateFn.NOT, GateFn.BUF):
+            ins = [draw(st.sampled_from(readable))]
+        elif fn in (GateFn.MUX, GateFn.CARRY):
+            ins = [draw(st.sampled_from(readable)) for _ in range(3)]
+        elif fn is GateFn.LUT:
+            arity = draw(st.integers(min_value=1, max_value=3))
+            ins = [draw(st.sampled_from(readable)) for _ in range(arity)]
+        else:
+            arity = draw(st.integers(min_value=2, max_value=3))
+            ins = [draw(st.sampled_from(readable)) for _ in range(arity)]
+        if fn is GateFn.LUT:
+            table = draw(
+                st.integers(min_value=0, max_value=(1 << (1 << len(ins))) - 1)
+            )
+            gate = c.add_gate(fn, ins, table=table)
+        else:
+            gate = c.add_gate(fn, ins)
+        readable.append(gate.output)
+
+    for k in range(n_regs):
+        # exclude later registers' Q nets from this register's D so no
+        # *pure* register cycle (register loop without a gate) forms —
+        # the retiming graph model rejects those by design; loops
+        # through gates remain possible and welcome
+        d_pool = [n for n in readable if n not in q_nets[k:]]
+        d = draw(st.sampled_from(d_pool or readable[:n_inputs]))
+        en = sr = ar = None
+        sval = aval = TX
+        if with_controls:
+            if draw(st.booleans()):
+                en = draw(st.sampled_from(control_pool))
+            if draw(st.booleans()):
+                sr = draw(st.sampled_from(control_pool))
+                sval = draw(st.sampled_from([T0, T1, TX]))
+            if draw(st.booleans()):
+                ar = draw(st.sampled_from(control_pool))
+                aval = draw(st.sampled_from([T0, T1, TX]))
+        c.add_register(
+            d=d, q=q_nets[k], clk="clk", en=en, sr=sr, ar=ar,
+            sval=sval, aval=aval,
+        )
+
+    # outputs: a few driven nets (always at least one)
+    candidates = readable[n_inputs:] or readable
+    n_outs = draw(st.integers(min_value=1, max_value=min(3, len(candidates))))
+    seen = set()
+    for _ in range(n_outs):
+        net = draw(st.sampled_from(candidates))
+        if net not in seen:
+            seen.add(net)
+            c.add_output(net)
+    return c

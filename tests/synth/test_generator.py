@@ -1,0 +1,87 @@
+"""Tests for the synthetic design generator and the C1..C10 specs."""
+
+import pytest
+
+from repro.mcretime import Classifier
+from repro.netlist import check_circuit, circuit_stats, write_blif, read_blif
+from repro.synth import (
+    DESIGN_NAMES,
+    DesignSpec,
+    all_designs,
+    build_design,
+    design_spec,
+    generate,
+)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = build_design("C1")
+        b = build_design("C1")
+        assert write_blif(a.circuit) == write_blif(b.circuit)
+
+    def test_different_seeds_differ(self):
+        a = generate(DesignSpec("x", 1, 20, 100))
+        b = generate(DesignSpec("x", 2, 20, 100))
+        assert write_blif(a.circuit) != write_blif(b.circuit)
+
+    def test_structurally_valid(self):
+        for name in ("C1", "C3", "C5"):
+            check_circuit(build_design(name).circuit)
+
+    def test_blif_roundtrip(self):
+        c = build_design("C2").circuit
+        again = read_blif(write_blif(c))
+        check_circuit(again)
+        assert again.counts() == c.counts()
+
+    def test_capability_flags(self):
+        spec = design_spec("C3")
+        assert spec.has_enable and not spec.has_async
+        d = build_design("C3")
+        stats = circuit_stats(d.circuit)
+        assert stats.has_enable and not stats.has_async
+
+    def test_c6_has_no_enables_single_class(self):
+        d = build_design("C6")
+        stats = circuit_stats(d.circuit)
+        assert not stats.has_enable and stats.has_async
+        assert Classifier(d.circuit).n_classes == 1
+
+    def test_class_counts_reasonable(self):
+        for name, expected in (("C1", 8), ("C5", 15), ("C2", 3)):
+            d = build_design(name)
+            n = Classifier(d.circuit).n_classes
+            assert 0.4 * expected <= n <= 1.2 * expected, (name, n)
+
+    def test_ff_targets_tracked(self):
+        for name, target in (("C1", 35), ("C8", 79), ("C10", 206)):
+            d = build_design(name)
+            ff = len(d.circuit.registers)
+            assert 0.5 * target <= ff <= 1.4 * target, (name, ff)
+
+    def test_scale_shrinks(self):
+        full = build_design("C7")
+        small = build_design("C7", scale=0.3)
+        assert len(small.circuit.registers) < len(full.circuit.registers)
+        assert len(small.circuit.gates) < len(full.circuit.gates)
+        stats = circuit_stats(small.circuit)
+        assert stats.has_enable and stats.has_async  # flags preserved
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(KeyError):
+            design_spec("C99")
+
+    def test_all_designs_order(self):
+        designs = all_designs(scale=0.15)
+        assert [d.spec.name for d in designs] == DESIGN_NAMES
+
+    def test_every_register_clocked_by_clk(self):
+        d = build_design("C4", scale=0.2)
+        assert all(r.clk == "clk" for r in d.circuit.registers.values())
+
+    def test_outputs_registered(self):
+        """Primary outputs are register Qs (keeps the design retimeable)."""
+        d = build_design("C5")
+        for net in d.circuit.outputs:
+            assert d.circuit.driver_register(net) is not None

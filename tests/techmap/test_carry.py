@@ -1,0 +1,139 @@
+"""Tests for the hardwired carry-chain primitive (paper Sec. 6 setup)."""
+
+import itertools
+
+import pytest
+
+from repro.logic.simulate import SequentialSimulator
+from repro.logic.ternary import T0, T1
+from repro.mcretime import mc_retime
+from repro.netlist import (
+    CONST0,
+    Circuit,
+    Gate,
+    GateFn,
+    check_circuit,
+    read_blif,
+    write_blif,
+)
+from repro.netlist.verilog import read_verilog, write_verilog
+from repro.techmap import XC4000E_ARCH, map_luts
+from repro.timing import XC4000E_DELAY
+from tests.opt.test_passes import outputs_equal
+
+
+def ripple_adder(width: int = 4) -> Circuit:
+    """Registered ripple-carry adder acc' = acc + in, carry chain cells."""
+    c = Circuit("adder")
+    c.add_input("clk")
+    ins = [c.add_input(f"b{i}") for i in range(width)]
+    qs = [c.new_net(f"q{i}") for i in range(width)]
+    carry = None
+    for i in range(width):
+        s = c.add_gate(GateFn.XOR, [qs[i], ins[i]]).output
+        if carry is None:
+            s2 = s
+            carry = c.add_gate(GateFn.CARRY, [qs[i], ins[i], CONST0]).output
+        else:
+            s2 = c.add_gate(GateFn.XOR, [s, carry]).output
+            carry = c.add_gate(GateFn.CARRY, [qs[i], ins[i], carry]).output
+        c.add_register(d=s2, q=qs[i], clk="clk", name=f"r{i}")
+    c.add_output(qs[-1])
+    c.add_output(carry)
+    return c
+
+
+class TestCarryPrimitive:
+    def test_majority_function(self):
+        g = Gate("c", GateFn.CARRY, ["a", "b", "ci"], "co")
+        for m in range(8):
+            bits = [(m >> i) & 1 for i in range(3)]
+            assert g.eval_binary(bits) == int(sum(bits) >= 2)
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Gate("c", GateFn.CARRY, ["a", "b"], "co")
+
+    def test_fast_delay(self):
+        g = Gate("c", GateFn.CARRY, ["a", "b", "ci"], "co")
+        lut = Gate("l", GateFn.AND, ["a", "b"], "y")
+        assert XC4000E_DELAY.gate_delay(g) < XC4000E_DELAY.gate_delay(lut)
+
+    def test_adder_adds(self):
+        c = ripple_adder(3)
+        sim = SequentialSimulator(c, state={f"r{i}": T0 for i in range(3)})
+        # add 3, then 5: accumulator holds 0 -> 3 -> 0 (3+5 = 8 mod 8)
+        def vec(v):
+            return {f"b{i}": (T1 if (v >> i) & 1 else T0) for i in range(3)}
+
+        sim.step(vec(3))
+        assert [sim.state[f"r{i}"] for i in range(3)] == [T1, T1, T0]
+        sim.step(vec(5))
+        assert [sim.state[f"r{i}"] for i in range(3)] == [T0, T0, T0]
+
+
+class TestCarryThroughFlows:
+    def test_mapping_preserves_carries(self):
+        c = ripple_adder(4)
+        result = map_luts(c)
+        check_circuit(result.circuit)
+        XC4000E_ARCH.check_mapped(result.circuit)
+        carries = [
+            g for g in result.circuit.gates.values() if g.fn is GateFn.CARRY
+        ]
+        # the chain head (cin = const 0) legitimately folds into a LUT
+        # during constant propagation; the rest must survive verbatim
+        assert len(carries) == 3
+
+    def test_mapped_adder_equivalent(self):
+        c = ripple_adder(3)
+        mapped = map_luts(c).circuit
+        sims = [
+            SequentialSimulator(x, state={f"r{i}": T0 for i in range(3)})
+            for x in (c, mapped)
+        ]
+        for v in (1, 3, 7, 2, 5, 6, 0, 4):
+            vecs = {f"b{i}": (T1 if (v >> i) & 1 else T0) for i in range(3)}
+            outs = [s.step(vecs) for s in sims]
+            assert [outs[0][n] for n in c.outputs] == [
+                outs[1][n] for n in mapped.outputs
+            ]
+
+    def test_retiming_crosses_carry_cells(self):
+        """Registers move across carry cells like any gate — the point
+        of retiming at the Xilinx-primitive level."""
+        c = ripple_adder(4)
+        mapped = map_luts(c).circuit
+        result = mc_retime(mapped, delay_model=XC4000E_DELAY)
+        check_circuit(result.circuit)
+        assert result.period_after <= result.period_before + 1e-9
+
+    def test_blif_roundtrip(self):
+        c = ripple_adder(3)
+        text = write_blif(c)
+        assert ".mcgate carry" in text
+        c2 = read_blif(text)
+        check_circuit(c2)
+        carries = [g for g in c2.gates.values() if g.fn is GateFn.CARRY]
+        assert len(carries) == 3
+
+    def test_verilog_writes_majority(self):
+        c = ripple_adder(2)
+        text = write_verilog(c)
+        assert "&" in text and "|" in text
+        c2 = read_verilog(text)
+        check_circuit(c2)
+        # function preserved even though carry-ness is lowered to gates
+        # the reader auto-names registers: key states positionally
+        sims = []
+        for x in (c, c2):
+            names = list(x.registers)
+            sims.append(
+                SequentialSimulator(x, state={names[0]: T1, names[1]: T0})
+            )
+        for v in range(4):
+            vecs = {f"b{i}": (T1 if (v >> i) & 1 else T0) for i in range(2)}
+            outs = [s.step(vecs) for s in sims]
+            assert [outs[0][n] for n in c.outputs] == [
+                outs[1][n] for n in c2.outputs
+            ]

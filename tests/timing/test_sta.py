@@ -1,0 +1,137 @@
+"""Tests for delay models and static timing analysis."""
+
+import pytest
+
+from repro.netlist import Circuit, Gate, GateFn
+from repro.timing import (
+    UNIT_DELAY,
+    XC4000E_DELAY,
+    DelayModel,
+    analyze,
+    combinational_depth,
+)
+
+
+def chain(n: int) -> Circuit:
+    c = Circuit("chain")
+    c.add_input("a")
+    prev = "a"
+    for i in range(n):
+        prev = c.add_gate(GateFn.NOT, [prev]).output
+    c.add_output(prev)
+    return c
+
+
+class TestDelayModels:
+    def test_unit(self):
+        g = Gate("g", GateFn.AND, ["a", "b"], "y")
+        assert UNIT_DELAY.gate_delay(g) == 1.0
+        assert UNIT_DELAY.net_delay(5) == 0.0
+
+    def test_xc4000e_lut_vs_inverter(self):
+        lut = Gate("g", GateFn.AND, ["a", "b"], "y")
+        inv = Gate("i", GateFn.NOT, ["a"], "z")
+        assert XC4000E_DELAY.gate_delay(lut) > XC4000E_DELAY.gate_delay(inv)
+
+    def test_net_delay_grows_with_fanout(self):
+        assert XC4000E_DELAY.net_delay(4) > XC4000E_DELAY.net_delay(1)
+        assert XC4000E_DELAY.net_delay(0) == 0.0
+
+    def test_custom_model(self):
+        m = DelayModel(base_gate_delay=2.0, net_base=0.5, net_per_fanout=0.25)
+        assert m.net_delay(3) == 0.5 + 0.5
+
+
+class TestAnalyze:
+    def test_chain_depth(self):
+        res = analyze(chain(5), UNIT_DELAY)
+        assert res.max_delay == pytest.approx(5.0)
+        assert res.critical_sink == res.critical_path[-1]
+        assert len(res.critical_path) == 6  # input + 5 gate outputs
+
+    def test_empty_circuit(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("a")
+        assert analyze(c).max_delay == 0.0
+
+    def test_register_breaks_path(self):
+        c = Circuit("regs")
+        c.add_input("a")
+        c.add_input("clk")
+        n1 = c.add_gate(GateFn.NOT, ["a"]).output
+        r = c.add_register(d=n1, clk="clk")
+        n2 = c.add_gate(GateFn.NOT, [r.q]).output
+        c.add_output(n2)
+        res = analyze(c, UNIT_DELAY)
+        # two separate 1-gate paths, not one 2-gate path
+        assert res.max_delay == pytest.approx(1.0)
+
+    def test_clock_to_q_and_setup_counted(self):
+        c = Circuit("regs")
+        c.add_input("clk")
+        c.add_input("a")
+        r1 = c.add_register(d="a", clk="clk")
+        n = c.add_gate(GateFn.NOT, [r1.q]).output
+        c.add_register(d=n, clk="clk")
+        res = analyze(c, XC4000E_DELAY)
+        expected = (
+            XC4000E_DELAY.clock_to_q
+            + 0.6  # inverter
+            + XC4000E_DELAY.net_delay(1)
+            + XC4000E_DELAY.setup
+        )
+        assert res.max_delay == pytest.approx(expected)
+
+    def test_control_pins_are_sinks(self):
+        c = Circuit("en")
+        c.add_input("clk")
+        c.add_input("a")
+        c.add_input("d")
+        en = c.add_gate(GateFn.AND, ["a", "a"]).output
+        c.add_register(d="d", clk="clk", en=en)
+        res = analyze(c, UNIT_DELAY)
+        assert res.max_delay == pytest.approx(1.0)
+        assert res.critical_sink == en
+
+    def test_async_pin_no_setup(self):
+        c = Circuit("ar")
+        c.add_input("clk")
+        c.add_input("a")
+        c.add_input("d")
+        arn = c.add_gate(GateFn.NOT, ["a"]).output
+        c.add_register(d="d", clk="clk", ar=arn, aval=0)
+        res = analyze(c, XC4000E_DELAY)
+        assert res.max_delay == pytest.approx(0.6 + XC4000E_DELAY.net_delay(1))
+
+    def test_critical_path_is_consistent(self):
+        c = chain(7)
+        res = analyze(c, UNIT_DELAY)
+        ats = [res.arrival[n] for n in res.critical_path]
+        assert ats == sorted(ats)
+
+    def test_fanout_penalty(self):
+        c = Circuit("fan")
+        c.add_input("a")
+        g = c.add_gate(GateFn.NOT, ["a"], "n")
+        for i in range(4):
+            c.add_output(c.add_gate(GateFn.NOT, ["n"]).output)
+        res = analyze(c, XC4000E_DELAY)
+        # the first inverter's net drives 4 sinks
+        assert res.arrival["n"] == pytest.approx(0.6 + XC4000E_DELAY.net_delay(4))
+
+
+class TestDepth:
+    def test_depth(self):
+        assert combinational_depth(chain(9)) == 9
+
+    def test_depth_registers(self):
+        c = Circuit()
+        c.add_input("clk")
+        c.add_input("a")
+        n1 = c.add_gate(GateFn.NOT, ["a"]).output
+        r = c.add_register(d=n1, clk="clk")
+        n2 = c.add_gate(GateFn.NOT, [r.q]).output
+        n3 = c.add_gate(GateFn.NOT, [n2]).output
+        c.add_output(n3)
+        assert combinational_depth(c) == 2
