@@ -1,0 +1,115 @@
+"""Benchmark: batch service throughput (jobs/sec) and cache speedup.
+
+Measures an N-design batch three ways — cold cache at 1 worker, cold
+cache at ``os.cpu_count()`` workers, warm cache — and writes the
+numbers to ``BENCH_service.json`` (override the path with
+``REPRO_BENCH_SERVICE_OUT``).
+
+Runs under the pytest benchmark harness (``pytest benchmarks/``) or
+standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+OUT_PATH = Path(
+    os.environ.get(
+        "REPRO_BENCH_SERVICE_OUT",
+        Path(__file__).resolve().parent / "BENCH_service.json",
+    )
+)
+
+
+def _jobs(designs: list[str], scale: float):
+    from repro.netlist import write_blif
+    from repro.service import RetimeJob
+    from repro.synth import build_design
+
+    return [
+        RetimeJob(
+            netlist=write_blif(build_design(name, scale).circuit),
+            name=name,
+            flow="mcretime",
+            delay_model="xc4000e",
+        )
+        for name in designs
+    ]
+
+
+def _timed_batch(jobs, workers: int, cache_dir: Path) -> dict[str, float]:
+    from repro.service import RetimeService
+
+    service = RetimeService(workers=workers, cache_dir=cache_dir)
+    try:
+        t0 = time.perf_counter()
+        results = service.batch(jobs)
+        elapsed = time.perf_counter() - t0
+        assert all(r.ok for r in results), [
+            r.error.message for r in results if not r.ok
+        ]
+        return {
+            "seconds": elapsed,
+            "jobs_per_sec": len(jobs) / max(elapsed, 1e-9),
+            "cache_hit_rate": service.cache_hit_rate(),
+            "p95_latency": service.metrics.histogram(
+                "repro_job_latency_seconds"
+            ).percentile(95),
+        }
+    finally:
+        service.close()
+
+
+def run_bench(designs: list[str], scale: float, out_dir: Path) -> dict:
+    """Cold 1-worker vs cold N-worker vs warm-cache batch throughput."""
+    n_workers = os.cpu_count() or 1
+    jobs = _jobs(designs, scale)
+
+    cold_serial = _timed_batch(jobs, 1, out_dir / "cache_serial")
+    cold_pool = _timed_batch(jobs, n_workers, out_dir / "cache_pool")
+    warm = _timed_batch(jobs, n_workers, out_dir / "cache_pool")
+
+    report = {
+        "designs": designs,
+        "scale": scale,
+        "n_jobs": len(jobs),
+        "pool_workers": n_workers,
+        "cold_1_worker": cold_serial,
+        "cold_pool": cold_pool,
+        "warm_cache": warm,
+        "pool_speedup": cold_serial["seconds"] / max(cold_pool["seconds"], 1e-9),
+        "warm_speedup": cold_serial["seconds"] / max(warm["seconds"], 1e-9),
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2))
+    return report
+
+
+def test_service_throughput(tmp_path):
+    """Pytest entry: small batch, asserts the cache actually pays off."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+    designs = os.environ.get("REPRO_BENCH_DESIGNS", "C1,C3,C5,C8").split(",")
+    report = run_bench(designs, scale, tmp_path)
+    assert report["warm_cache"]["cache_hit_rate"] > 0.9
+    # a warm rerun must beat re-executing everything serially
+    assert report["warm_speedup"] > 1.0
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run_bench(
+            os.environ.get(
+                "REPRO_BENCH_DESIGNS", "C1,C2,C3,C4,C5,C6,C7,C8"
+            ).split(","),
+            float(os.environ.get("REPRO_BENCH_SCALE", "0.5")),
+            Path(tmp),
+        )
+    print(json.dumps(result, indent=2))
+    print(f"wrote {OUT_PATH}")

@@ -6,6 +6,12 @@ Usage (installed as ``mcretime-tables``)::
     mcretime-tables --scale 0.3     # quick pass on shrunken designs
     mcretime-tables --only table2   # one artefact
     mcretime-tables --designs C1,C2
+    mcretime-tables --workers 4     # fan designs across a worker pool
+
+With ``--workers N`` (N > 1) the per-design flows for Tables 1–3 are
+submitted as jobs to the :mod:`repro.service` pool instead of running
+serially, so the paper sweep parallelises across cores; rows are
+rebuilt from the job metrics and print identically to the serial path.
 
 Prints the same rows the paper reports; see EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -21,17 +27,14 @@ from ..mcretime.report import format_table
 from . import figures, pareto, scaling, table1, table2, table3
 
 
-def _print_table1(scale: float, names: list[str] | None):
-    rows, flows = table1.run(scale, names)
+def _render_table1(rows):
     print("\n== Table 1: circuit characteristics ==")
     data = [r.as_dict() for r in rows]
     data.append(table1.totals(rows).as_dict())
     print(format_table(data))
-    return rows, flows
 
 
-def _print_table2(scale, names, baselines):
-    rows, flows = table2.run(scale, names, baselines)
+def _render_table2(rows):
     print("\n== Table 2: multiple-class retiming results ==")
     data = [r.as_dict() for r in rows]
     data.append(table2.totals(rows))
@@ -51,16 +54,162 @@ def _print_table2(scale, names, baselines):
         f"{100 * over / total:.0f}%  (paper: 90/7/3)"
     )
     print(f"total retime CPU: {total:.1f}s (paper: <60s/design on a 1999 CPU)")
+
+
+def _render_table3(rows):
+    print("\n== Table 3: retiming without load enables ==")
+    data = [r.as_dict() for r in rows]
+    data.append(table3.totals(rows))
+    print(format_table(data, floatfmt=".2f"))
+
+
+def _print_table1(scale: float, names: list[str] | None):
+    rows, flows = table1.run(scale, names)
+    _render_table1(rows)
+    return rows, flows
+
+
+def _print_table2(scale, names, baselines):
+    rows, flows = table2.run(scale, names, baselines)
+    _render_table2(rows)
     return rows
 
 
 def _print_table3(scale, names, t1_rows, t2_rows):
     rows = table3.run(scale, names, t1_rows, t2_rows)
-    print("\n== Table 3: retiming without load enables ==")
-    data = [r.as_dict() for r in rows]
-    data.append(table3.totals(rows))
-    print(format_table(data, floatfmt=".2f"))
+    _render_table3(rows)
     return rows
+
+
+# ---------------------------------------------------------------------------
+# parallel sweep through the service pool
+# ---------------------------------------------------------------------------
+
+
+def parallel_tables(
+    scale: float,
+    names: list[str] | None,
+    workers: int,
+    want_t3: bool = True,
+):
+    """Regenerate the Table 1–3 rows with per-design jobs on the pool.
+
+    Each design becomes one ``flow="retime"`` job (whose metrics carry
+    both the Table 1 baseline and the Table 2 retiming numbers) plus,
+    when *want_t3*, one ``flow="decomposed_enable"`` job.  Returns
+    ``(t1_rows, t2_rows, t3_rows)`` — ``t3_rows`` is ``None`` unless
+    requested.
+    """
+    from ..netlist import write_blif
+    from ..service import RetimeJob, RetimeService
+    from ..synth import DESIGN_NAMES, build_design
+
+    names = list(names or DESIGN_NAMES)
+    texts = {
+        name: write_blif(build_design(name, scale).circuit) for name in names
+    }
+    jobs = [
+        RetimeJob(
+            netlist=texts[name], name=name, flow="retime",
+            delay_model="xc4000e",
+        )
+        for name in names
+    ]
+    if want_t3:
+        jobs.extend(
+            RetimeJob(
+                netlist=texts[name], name=name, flow="decomposed_enable",
+                delay_model="xc4000e",
+            )
+            for name in names
+        )
+
+    service = RetimeService(workers=workers)
+    try:
+        results = service.batch(jobs)
+    finally:
+        service.close()
+    for job, result in zip(jobs, results):
+        if not result.ok:
+            raise RuntimeError(
+                f"design {job.name} ({job.flow}) failed: "
+                f"{result.error.type}: {result.error.message}"
+            )
+
+    t1_rows, t2_rows = [], []
+    for name, result in zip(names, results):
+        base = result.metrics["baseline"]
+        final = result.metrics["final"]
+        rt = result.metrics["retime"]
+        t1_rows.append(
+            table1.Table1Row(
+                name=name,
+                has_async=base["has_async"],
+                has_enable=base["has_enable"],
+                n_ff=base["n_ff"],
+                n_lut=base["n_lut"],
+                delay=base["delay"],
+            )
+        )
+        t2_rows.append(
+            table2.Table2Row(
+                name=name,
+                n_classes=rt["n_classes"],
+                steps_moved=rt["steps_moved"],
+                steps_possible=rt["steps_possible"],
+                n_ff=final["n_ff"],
+                n_lut=final["n_lut"],
+                delay=final["delay"],
+                rlut=final["n_lut"] / max(base["n_lut"], 1),
+                rdelay=final["delay"] / max(base["delay"], 1e-9),
+                local_fraction=rt["local_fraction"],
+                basic_fraction=rt["basic_fraction"],
+                relocate_fraction=rt["relocate_fraction"],
+                overhead_fraction=rt["overhead_fraction"],
+                cpu_seconds=rt["cpu_seconds"],
+            )
+        )
+
+    t3_rows = None
+    if want_t3:
+        t3_rows = []
+        by_name1 = {r.name: r for r in t1_rows}
+        by_name2 = {r.name: r for r in t2_rows}
+        for name, result in zip(names, results[len(names):]):
+            final = result.metrics["final"]
+            t1_row, t2_row = by_name1[name], by_name2[name]
+            t3_rows.append(
+                table3.Table3Row(
+                    name=name,
+                    n_ff=final["n_ff"],
+                    n_lut=final["n_lut"],
+                    delay=final["delay"],
+                    rlut1=final["n_lut"] / max(t1_row.n_lut, 1),
+                    rdelay1=final["delay"] / max(t1_row.delay, 1e-9),
+                    rlut2=final["n_lut"] / max(t2_row.n_lut, 1),
+                    rdelay2=final["delay"] / max(t2_row.delay, 1e-9),
+                )
+            )
+    return t1_rows, t2_rows, t3_rows
+
+
+def _print_pareto(scale: float, names: list[str] | None):
+    from ..flows import baseline_flow
+    from ..synth import build_design
+
+    for name in names or ["C5"]:
+        mapped = baseline_flow(build_design(name, scale).circuit).circuit
+        sweep = pareto.pareto_sweep(mapped)
+        print(f"\n== Pareto sweep: {name} (period vs registers) ==")
+        print(
+            f"  original: period {sweep.phi_original:.2f}, "
+            f"{sweep.registers_original} registers; φ_min {sweep.phi_min:.2f}"
+        )
+        for point in sweep.points:
+            print(
+                f"  target {point.target_period:7.2f} -> achieved "
+                f"{point.achieved_period:7.2f} with {point.registers} registers"
+            )
 
 
 def _print_figures():
@@ -96,25 +245,6 @@ def _print_figures():
     print(f"  sequentially equivalent after reset: {f5.equivalent}")
 
 
-def _print_pareto(scale: float, names: list[str] | None):
-    from ..flows import baseline_flow
-    from ..synth import build_design
-
-    for name in names or ["C5"]:
-        mapped = baseline_flow(build_design(name, scale).circuit).circuit
-        sweep = pareto.pareto_sweep(mapped)
-        print(f"\n== Pareto sweep: {name} (period vs registers) ==")
-        print(
-            f"  original: period {sweep.phi_original:.2f}, "
-            f"{sweep.registers_original} registers; φ_min {sweep.phi_min:.2f}"
-        )
-        for point in sweep.points:
-            print(
-                f"  target {point.target_period:7.2f} -> achieved "
-                f"{point.achieved_period:7.2f} with {point.registers} registers"
-            )
-
-
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``mcretime-tables``."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -133,22 +263,42 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="comma-separated subset, e.g. C1,C2,C5",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run the per-design table flows on a service worker pool "
+        "(>1 enables the parallel path)",
+    )
     args = parser.parse_args(argv)
     names = args.designs.split(",") if args.designs else None
 
     t_start = time.perf_counter()
-    if args.only in ("table1", "all"):
-        t1_rows, flows = _print_table1(args.scale, names)
+    table_artefacts = ("table1", "table2", "table3", "all")
+    if args.workers > 1 and args.only in table_artefacts:
+        want_t3 = args.only in ("table3", "all")
+        t1_rows, t2_rows, t3_rows = parallel_tables(
+            args.scale, names, args.workers, want_t3
+        )
+        if args.only in ("table1", "all"):
+            _render_table1(t1_rows)
+        if args.only in ("table2", "all"):
+            _render_table2(t2_rows)
+        if args.only in ("table3", "all"):
+            _render_table3(t3_rows)
     else:
-        t1_rows, flows = (None, None)
-    if args.only in ("table2", "all"):
-        if flows is None:
-            t1_rows, flows = table1.run(args.scale, names)
-        t2_rows = _print_table2(args.scale, names, flows)
-    else:
-        t2_rows = None
-    if args.only in ("table3", "all"):
-        _print_table3(args.scale, names, t1_rows, t2_rows)
+        if args.only in ("table1", "all"):
+            t1_rows, flows = _print_table1(args.scale, names)
+        else:
+            t1_rows, flows = (None, None)
+        if args.only in ("table2", "all"):
+            if flows is None:
+                t1_rows, flows = table1.run(args.scale, names)
+            t2_rows = _print_table2(args.scale, names, flows)
+        else:
+            t2_rows = None
+        if args.only in ("table3", "all"):
+            _print_table3(args.scale, names, t1_rows, t2_rows)
     if args.only in ("figures", "all"):
         _print_figures()
     if args.only == "pareto":

@@ -42,7 +42,8 @@ class FlowResult:
     has_enable: bool
     #: present when the flow ran retiming
     retime: MCRetimeResult | None = None
-    #: wall-clock seconds per stage
+    #: wall-clock seconds per stage; ``timings["total"]`` is always
+    #: present and equals the sum of the individual stage timings
     timings: dict[str, float] = field(default_factory=dict)
     #: False when retiming ran but was rejected as unprofitable (the
     #: graph-model optimum regressed under full STA, so the flow kept
@@ -54,6 +55,12 @@ def _measure(circuit: Circuit, model: DelayModel) -> tuple[int, int, float]:
     stats = circuit_stats(circuit)
     delay = analyze(circuit, model).max_delay
     return stats.n_ff, stats.n_lut, delay
+
+
+def _total(timings: dict[str, float]) -> dict[str, float]:
+    """Set ``timings["total"]`` to the sum of the stage entries."""
+    timings["total"] = sum(v for k, v in timings.items() if k != "total")
+    return timings
 
 
 def baseline_flow(
@@ -86,7 +93,7 @@ def baseline_flow(
         delay=delay,
         has_async=stats.has_async,
         has_enable=stats.has_enable,
-        timings=timings,
+        timings=_total(timings),
     )
 
 
@@ -95,6 +102,8 @@ def retime_flow(
     delay_model: DelayModel = XC4000E_DELAY,
     objective: str = "minarea",
     mapped: FlowResult | None = None,
+    target_period: float | None = None,
+    semantic_classes: bool = True,
 ) -> FlowResult:
     """Baseline flow + ``retime`` + ``remap`` (Table 2 setup).
 
@@ -103,10 +112,14 @@ def retime_flow(
     Pass a precomputed ``mapped`` result to skip re-running the baseline.
     """
     base = mapped or baseline_flow(circuit, delay_model)
-    timings = dict(base.timings)
+    timings = {k: v for k, v in base.timings.items() if k != "total"}
     t0 = time.perf_counter()
     result = mc_retime(
-        base.circuit, delay_model=delay_model, objective=objective
+        base.circuit,
+        delay_model=delay_model,
+        objective=objective,
+        target_period=target_period,
+        semantic_classes=semantic_classes,
     )
     timings["retime"] = time.perf_counter() - t0
     t0 = time.perf_counter()
@@ -131,7 +144,7 @@ def retime_flow(
         has_async=stats.has_async,
         has_enable=stats.has_enable,
         retime=result,
-        timings=timings,
+        timings=_total(timings),
         accepted=accepted,
     )
 
@@ -140,6 +153,8 @@ def decomposed_enable_flow(
     circuit: Circuit,
     delay_model: DelayModel = XC4000E_DELAY,
     objective: str = "minarea",
+    target_period: float | None = None,
+    semantic_classes: bool = True,
 ) -> FlowResult:
     """Decompose load enables first, then the retime flow (Table 3).
 
@@ -152,6 +167,13 @@ def decomposed_enable_flow(
     t0 = time.perf_counter()
     decompose_enables(work)
     pre = time.perf_counter() - t0
-    result = retime_flow(work, delay_model, objective)
+    result = retime_flow(
+        work,
+        delay_model,
+        objective,
+        target_period=target_period,
+        semantic_classes=semantic_classes,
+    )
     result.timings["decompose_en"] = pre
+    _total(result.timings)
     return result

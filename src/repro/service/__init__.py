@@ -1,0 +1,52 @@
+"""Batch retiming service: jobs, cache, worker pool, metrics, HTTP API.
+
+The service layer turns the single-shot flows of :mod:`repro.flows`
+into a servable, fault-tolerant batch engine:
+
+* :class:`RetimeJob` / :class:`JobResult` — content-addressed job specs
+  and structured outcomes (:mod:`repro.service.jobs`);
+* :class:`ResultCache` — two-tier LRU-over-disk result cache
+  (:mod:`repro.service.cache`);
+* :class:`RetimePool` — crash-isolated multiprocessing pool with
+  per-job timeouts and bounded retries (:mod:`repro.service.pool`);
+* :class:`MetricsRegistry` — Prometheus-exportable counters and
+  histograms (:mod:`repro.service.metrics`);
+* :class:`RetimeService` — the façade combining all of the above
+  (:mod:`repro.service.engine`);
+* :func:`make_server` / :class:`RetimeClient` — stdlib HTTP JSON API
+  and client (:mod:`repro.service.server` / ``.client``).
+
+See ``docs/SERVICE.md`` for the API and failure-semantics reference.
+"""
+
+from .cache import ResultCache
+from .client import RetimeClient, ServiceError
+from .engine import RetimeService
+from .jobs import (
+    JOB_FLOWS,
+    JobFailure,
+    JobResult,
+    RetimeJob,
+    execute_job,
+)
+from .metrics import Counter, Histogram, MetricsRegistry
+from .pool import RetimePool
+from .server import make_server, serve_forever
+
+__all__ = [
+    "JOB_FLOWS",
+    "Counter",
+    "Histogram",
+    "JobFailure",
+    "JobResult",
+    "MetricsRegistry",
+    "ResultCache",
+    "RetimeClient",
+    "RetimeJob",
+    "RetimePool",
+    "RetimeService",
+    "ServiceError",
+    "execute_job",
+    "make_server",
+    "serve_forever",
+]

@@ -1,0 +1,115 @@
+"""Two-tier result cache: in-memory LRU over an on-disk JSON store.
+
+Keys are the content-addressed job hashes from
+:meth:`~repro.service.jobs.RetimeJob.canonical_key`, so a resubmitted
+design (same canonical netlist, same options) returns its retimed
+output instantly without touching the worker pool.
+
+The memory tier absorbs hot resubmissions; the disk tier (one
+``<key>.json`` per result under ``cache_dir``) survives service
+restarts and is shared between ``mcretime batch`` runs and a
+``mcretime serve`` instance pointed at the same directory.  Writes go
+through a temp-file rename so a killed process never leaves a torn
+entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from .jobs import JobResult
+
+
+class ResultCache:
+    """LRU memory tier over an optional persistent disk tier."""
+
+    def __init__(
+        self, cache_dir: str | Path | None = None, memory_size: int = 128
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.memory_size = max(0, memory_size)
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+        #: tier-attributed lookup counters (the service aggregates these
+        #: into the Prometheus registry)
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.json"
+
+    def get(self, key: str) -> JobResult | None:
+        """Look *key* up, promoting disk hits into the memory tier."""
+        with self._lock:
+            data = self._memory.get(key)
+            if data is not None:
+                self._memory.move_to_end(key)
+                self.memory_hits += 1
+                return JobResult.from_dict(data)
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                data = None
+            if data is not None:
+                with self._lock:
+                    self.disk_hits += 1
+                    self._remember(key, data)
+                return JobResult.from_dict(data)
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: str, result: JobResult) -> None:
+        """Store a completed result in both tiers (failures excluded:
+        a crash or timeout may be transient, so they stay retryable)."""
+        if not result.ok:
+            return
+        data = result.to_dict()
+        # cached-ness is a property of the lookup, not the stored value
+        data["cached"] = False
+        with self._lock:
+            self._remember(key, data)
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(data))
+            os.replace(tmp, path)
+
+    def _remember(self, key: str, data: dict) -> None:
+        if self.memory_size == 0:
+            return
+        self._memory[key] = data
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_size:
+            self._memory.popitem(last=False)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self.cache_dir is not None and self._disk_path(key).exists()
+
+    def __len__(self) -> int:
+        """Number of distinct cached results (both tiers)."""
+        with self._lock:
+            keys = set(self._memory)
+        if self.cache_dir is not None:
+            keys.update(p.stem for p in self.cache_dir.glob("*.json"))
+        return len(keys)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+        if self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.json"):
+                path.unlink(missing_ok=True)

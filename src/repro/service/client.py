@@ -1,0 +1,94 @@
+"""Thin stdlib client for the ``mcretime serve`` HTTP API.
+
+Example::
+
+    client = RetimeClient("http://127.0.0.1:8117")
+    record = client.retime(Path("design.blif").read_text())  # blocks
+    Path("retimed.blif").write_text(record["result"]["output"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the retiming service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class RetimeClient:
+    """JSON client over :mod:`urllib` — no third-party dependencies."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        data = json.dumps(payload).encode() if payload is not None else None
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                body = resp.read().decode()
+                ctype = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServiceError(exc.code, detail) from None
+        if ctype.startswith("application/json"):
+            return json.loads(body)
+        return body
+
+    # -- API -----------------------------------------------------------
+
+    def submit(self, netlist: str, **options) -> dict:
+        """``POST /retime`` without waiting; returns the job record."""
+        return self._request(
+            "POST", "/retime", {"netlist": netlist, **options}
+        )
+
+    def retime(self, netlist: str, **options) -> dict:
+        """``POST /retime`` with ``wait=true``: submit and block."""
+        return self._request(
+            "POST", "/retime", {"netlist": netlist, "wait": True, **options}
+        )
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>``."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll: float = 0.2
+    ) -> dict:
+        """Poll ``GET /jobs/<id>`` until the job finishes."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed"):
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {record['state']}")
+            time.sleep(poll)
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — raw Prometheus exposition text."""
+        return self._request("GET", "/metrics")

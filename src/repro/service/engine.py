@@ -1,0 +1,243 @@
+"""The batch retiming service: pool + cache + metrics, one façade.
+
+:class:`RetimeService` is what every entry point talks to — the HTTP
+server (:mod:`repro.service.server`), ``mcretime batch``, and the
+parallel experiment runner all submit :class:`~repro.service.jobs.RetimeJob`
+values here.  Responsibilities:
+
+* content-addressed **deduplication**: identical submissions share one
+  execution (and one cache entry);
+* the **two-tier cache** consult on submit — hits complete instantly
+  and never touch the worker pool;
+* **metrics**: every lifecycle event increments the Prometheus
+  registry, including per-stage latency histograms fed from
+  ``FlowResult.timings``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+from .cache import ResultCache
+from .jobs import JobResult, RetimeJob
+from .metrics import MetricsRegistry
+from .pool import RetimePool
+
+
+class RetimeService:
+    """Submit/await retiming jobs against a pool with a result cache."""
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache_dir: str | Path | None = None,
+        cache_memory: int = 128,
+        job_timeout: float = 300.0,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        m = self.metrics
+        self._submitted = m.counter(
+            "repro_jobs_submitted_total", "Jobs submitted to the service"
+        )
+        self._completed = m.counter(
+            "repro_jobs_completed_total", "Jobs that finished successfully"
+        )
+        self._failed = m.counter(
+            "repro_jobs_failed_total", "Jobs that exhausted retries or errored"
+        )
+        self._retried = m.counter(
+            "repro_jobs_retried_total", "Job re-executions after crash/timeout"
+        )
+        self._timeouts = m.counter(
+            "repro_jobs_timeout_total", "Executions killed by the job timeout"
+        )
+        self._crashes = m.counter(
+            "repro_worker_crashes_total", "Worker processes that died mid-job"
+        )
+        self._cache_hits = m.counter(
+            "repro_cache_hits_total", "Submissions served from the result cache"
+        )
+        self._cache_misses = m.counter(
+            "repro_cache_misses_total", "Submissions that required execution"
+        )
+        self._deduped = m.counter(
+            "repro_jobs_deduped_total", "Submissions coalesced onto an in-flight job"
+        )
+        self._latency = m.histogram(
+            "repro_job_latency_seconds", "End-to-end job execution latency"
+        )
+        self._stage_seconds = m.histogram(
+            "repro_stage_seconds", "Per-flow-stage wall-clock seconds"
+        )
+
+        self.cache = ResultCache(cache_dir, memory_size=cache_memory)
+        self.pool = RetimePool(
+            workers=workers,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            on_event=self._on_pool_event,
+        ).start()
+        self._lock = threading.Lock()
+        #: job_id -> record dict (state machine mirrored for the HTTP API)
+        self._jobs: dict[str, dict] = {}
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, job: RetimeJob) -> str:
+        """Submit *job*; returns its content-addressed job id.
+
+        Parse errors from canonicalisation propagate to the caller —
+        invalid netlists are rejected before they reach a worker.
+        """
+        job_id = job.canonical_key
+        self._submitted.inc()
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is not None and record["state"] != "failed":
+                if record["result"] is not None:
+                    # completed earlier this session: an in-memory hit —
+                    # re-mark the record so waiters see cached=True
+                    self._cache_hits.inc()
+                    hit = JobResult.from_dict(record["result"].to_dict())
+                    hit.cached = True
+                    record["result"] = hit
+                    record["cached"] = True
+                else:
+                    # still queued/running: coalesce onto the in-flight job
+                    self._deduped.inc()
+                return job_id
+        cached = self.cache.get(job_id)
+        if cached is not None:
+            cached.cached = True
+            cached.job_id = job_id
+            self._cache_hits.inc()
+            with self._lock:
+                self._jobs[job_id] = {
+                    "state": "done",
+                    "cached": True,
+                    "submitted_at": time.time(),
+                    "result": cached,
+                }
+            return job_id
+        self._cache_misses.inc()
+        with self._lock:
+            self._jobs[job_id] = {
+                "state": "queued",
+                "cached": False,
+                "submitted_at": time.time(),
+                "result": None,
+            }
+        self.pool.submit(job_id, job)
+        return job_id
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobResult:
+        """Block until *job_id* completes (cache hits return at once)."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+        if record is None:
+            raise KeyError(f"unknown job {job_id}")
+        if record["result"] is not None:
+            return record["result"]
+        result = self.pool.wait(job_id, timeout=timeout)
+        with self._lock:
+            self._jobs[job_id]["result"] = result
+            self._jobs[job_id]["state"] = result.status
+        return result
+
+    def batch(
+        self, jobs: list[RetimeJob], timeout: float | None = None
+    ) -> list[JobResult]:
+        """Fan *jobs* across the pool; results in submission order."""
+        ids = [self.submit(job) for job in jobs]
+        return [self.wait(job_id, timeout=timeout) for job_id in ids]
+
+    # -- introspection -------------------------------------------------
+
+    def status(self, job_id: str) -> dict | None:
+        """JSON-friendly status record for ``GET /jobs/<id>``."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                return None
+            state = record["state"]
+            result = record["result"]
+            submitted_at = record["submitted_at"]
+            cached = record["cached"]
+        if result is None and state not in ("done", "failed"):
+            # the pool has fresher in-flight state (running/retrying)
+            try:
+                state = self.pool.state(job_id)
+            except KeyError:
+                pass
+        out = {
+            "job_id": job_id,
+            "state": state,
+            "cached": cached,
+            "submitted_at": submitted_at,
+            "result": result.to_dict() if result is not None else None,
+        }
+        return out
+
+    def job_counts(self) -> dict[str, int]:
+        counts = {"queued": 0, "running": 0, "retrying": 0, "done": 0, "failed": 0}
+        with self._lock:
+            ids = list(self._jobs)
+            for job_id in ids:
+                record = self._jobs[job_id]
+                state = record["state"]
+                if record["result"] is None and state not in ("done", "failed"):
+                    try:
+                        state = self.pool.state(job_id)
+                    except KeyError:
+                        pass
+                counts[state] = counts.get(state, 0) + 1
+        return counts
+
+    def cache_hit_rate(self) -> float:
+        hits = self._cache_hits.total()
+        misses = self._cache_misses.total()
+        return hits / max(hits + misses, 1)
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "RetimeService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- pool event plumbing -------------------------------------------
+
+    def _on_pool_event(self, kind: str, job_id: str, **info) -> None:
+        if kind == "done":
+            result: JobResult = info["result"]
+            self._completed.inc()
+            self._latency.observe(result.elapsed)
+            for stage, seconds in result.metrics.get("timings", {}).items():
+                if stage != "total":
+                    self._stage_seconds.observe(seconds, stage=stage)
+            self.cache.put(job_id, result)
+            self._record_final(job_id, result)
+        elif kind == "failed":
+            self._failed.inc()
+            self._record_final(job_id, info["result"])
+        elif kind == "retry":
+            self._retried.inc()
+        elif kind == "timeout":
+            self._timeouts.inc()
+        elif kind == "crash":
+            self._crashes.inc()
+
+    def _record_final(self, job_id: str, result: JobResult) -> None:
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is not None:
+                record["result"] = result
+                record["state"] = result.status

@@ -1,0 +1,330 @@
+"""Job specifications for the batch retiming service.
+
+A :class:`RetimeJob` bundles everything needed to retime one design —
+the netlist text plus the flow/objective/delay-model options — into a
+value object with a deterministic **content-addressed key**: the
+SHA-256 of the canonicalised BLIF (parse the netlist, re-emit it with
+:func:`~repro.netlist.write_blif`) concatenated with the sorted JSON of
+the execution options.  Two submissions that differ only in whitespace,
+comment placement, or source format hash to the same key, so the result
+cache deduplicates them.
+
+:func:`execute_job` is the single worker entry point: it runs the
+requested flow and returns a :class:`JobResult` whose ``metrics`` dict
+carries every number the paper tables need (so the experiment runners
+can rebuild their rows from job results without shipping circuits
+across process boundaries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from functools import cached_property
+from pathlib import Path
+
+from ..flows import FlowResult, baseline_flow, decomposed_enable_flow, retime_flow
+from ..mcretime import MCRetimeResult, mc_retime
+from ..netlist import (
+    Circuit,
+    check_circuit,
+    circuit_stats,
+    read_blif,
+    read_verilog,
+    write_blif,
+    write_verilog,
+)
+from ..timing import UNIT_DELAY, XC4000E_DELAY, analyze
+
+#: Flows a job may request.  ``mcretime`` retimes the netlist as-is
+#: (the plain ``mcretime file.blif`` CLI behaviour); the other three are
+#: the paper's Table 1/2/3 synthesis scripts from :mod:`repro.flows`.
+JOB_FLOWS = ("mcretime", "baseline", "retime", "decomposed_enable")
+
+#: Fault-injection flows used by the integration tests and ops drills:
+#: ``__crash__`` hard-kills the worker process mid-job, ``__hang__``
+#: sleeps past any reasonable timeout.  They exercise the pool's crash
+#: isolation and timeout/retry paths without patching worker code.
+FAULT_FLOWS = ("__crash__", "__hang__")
+
+_DELAY_MODELS = {"unit": UNIT_DELAY, "xc4000e": XC4000E_DELAY}
+_FORMATS = ("blif", "verilog")
+
+
+def _parse(netlist: str, fmt: str, name: str) -> Circuit:
+    if fmt == "verilog":
+        return read_verilog(netlist)
+    return read_blif(netlist, name_hint=name)
+
+
+def _emit(circuit: Circuit, fmt: str) -> str:
+    if fmt == "verilog":
+        return write_verilog(circuit)
+    return write_blif(circuit)
+
+
+@dataclass(frozen=True)
+class RetimeJob:
+    """One retiming request: netlist text plus execution options."""
+
+    netlist: str
+    fmt: str = "blif"
+    #: model-name hint for BLIF sources without a ``.model`` line
+    name: str = "design"
+    flow: str = "mcretime"
+    objective: str = "minarea"
+    #: ``None`` resolves to ``unit`` for the raw ``mcretime`` flow and
+    #: ``xc4000e`` for the mapped synthesis flows, matching the CLI.
+    delay_model: str | None = None
+    target_period: float | None = None
+    semantic_classes: bool = True
+    #: format of ``JobResult.output`` (defaults to the input format)
+    output_fmt: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.fmt not in _FORMATS:
+            raise ValueError(f"unknown netlist format {self.fmt!r}")
+        if self.flow not in JOB_FLOWS + FAULT_FLOWS:
+            raise ValueError(f"unknown flow {self.flow!r}; choose from {JOB_FLOWS}")
+        if self.objective not in ("minarea", "minperiod"):
+            raise ValueError(f"unknown objective {self.objective!r}")
+        if self.delay_model is not None and self.delay_model not in _DELAY_MODELS:
+            raise ValueError(f"unknown delay model {self.delay_model!r}")
+        if self.output_fmt is not None and self.output_fmt not in _FORMATS:
+            raise ValueError(f"unknown output format {self.output_fmt!r}")
+
+    @classmethod
+    def from_file(cls, path: str | Path, **options) -> "RetimeJob":
+        """Build a job from a netlist file (format from the suffix)."""
+        path = Path(path)
+        fmt = "verilog" if path.suffix in (".v", ".sv") else "blif"
+        return cls(netlist=path.read_text(), fmt=fmt, name=path.stem, **options)
+
+    def resolved_delay_model(self) -> str:
+        if self.delay_model is not None:
+            return self.delay_model
+        return "unit" if self.flow == "mcretime" else "xc4000e"
+
+    def resolved_output_fmt(self) -> str:
+        return self.output_fmt or self.fmt
+
+    def options(self) -> dict[str, object]:
+        """The execution-relevant options (all defaults resolved)."""
+        return {
+            "flow": self.flow,
+            "objective": self.objective,
+            "delay_model": self.resolved_delay_model(),
+            "target_period": self.target_period,
+            "semantic_classes": self.semantic_classes,
+            "output_fmt": self.resolved_output_fmt(),
+        }
+
+    @cached_property
+    def canonical_key(self) -> str:
+        """Content-addressed job key (SHA-256 hex).
+
+        Canonicalisation parses the netlist and re-emits it as BLIF, so
+        the key is invariant under whitespace, comments, and syntax
+        variants (``.latch`` vs ``.mcff``).  Parse errors propagate to
+        the submitter, which doubles as early input validation.
+        """
+        circuit = _parse(self.netlist, self.fmt, self.name)
+        payload = _emit(circuit, "blif") + "\n" + json.dumps(
+            self.options(), sort_keys=True
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "RetimeJob":
+        return cls(**data)
+
+
+@dataclass
+class JobFailure:
+    """Structured error record for a failed job."""
+
+    #: ``worker_crash``, ``timeout``, or the exception class name
+    type: str
+    message: str
+    traceback: str = ""
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "JobFailure":
+        return cls(**data)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: retimed netlist text plus table metrics."""
+
+    job_id: str
+    status: str  # "done" | "failed"
+    output: str | None = None
+    output_fmt: str = "blif"
+    metrics: dict = field(default_factory=dict)
+    error: JobFailure | None = None
+    #: execution attempts consumed (1 unless crashes/timeouts forced retries)
+    attempts: int = 1
+    #: True when served from the result cache instead of a worker
+    cached: bool = False
+    #: wall-clock seconds of the successful execution
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "done"
+
+    def to_dict(self) -> dict[str, object]:
+        data = asdict(self)
+        data["error"] = self.error.to_dict() if self.error else None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "JobResult":
+        data = dict(data)
+        if data.get("error"):
+            data["error"] = JobFailure.from_dict(data["error"])
+        return cls(**data)
+
+
+def _measure(circuit: Circuit, model) -> dict[str, object]:
+    stats = circuit_stats(circuit)
+    return {
+        "n_ff": stats.n_ff,
+        "n_lut": stats.n_lut,
+        "n_gates": len(circuit.gates),
+        "delay": analyze(circuit, model).max_delay,
+        "has_async": stats.has_async,
+        "has_enable": stats.has_enable,
+    }
+
+
+def _retime_metrics(result: MCRetimeResult) -> dict[str, object]:
+    fractions = result.timing_fractions()
+    return {
+        "n_classes": result.n_classes,
+        "steps_moved": result.steps_moved,
+        "steps_possible": result.steps_possible,
+        "period_before": result.period_before,
+        "period_after": result.period_after,
+        "ff_before": result.ff_before,
+        "ff_after": result.ff_after,
+        "resolve_attempts": result.resolve_attempts,
+        "local_steps": result.stats.local_steps,
+        "global_steps": result.stats.global_steps,
+        "forward_steps": result.stats.forward_steps,
+        "local_fraction": result.stats.local_fraction,
+        "basic_fraction": fractions["basic_retiming"],
+        "relocate_fraction": fractions["relocation"],
+        "overhead_fraction": fractions["mc_overhead"],
+        "cpu_seconds": sum(result.timings.values()),
+    }
+
+
+def _flow_metrics(flow: FlowResult) -> dict[str, object]:
+    metrics: dict[str, object] = {
+        "final": {
+            "n_ff": flow.n_ff,
+            "n_lut": flow.n_lut,
+            "delay": flow.delay,
+            "has_async": flow.has_async,
+            "has_enable": flow.has_enable,
+            "accepted": flow.accepted,
+        },
+        "timings": dict(flow.timings),
+    }
+    if flow.retime is not None:
+        metrics["retime"] = _retime_metrics(flow.retime)
+    return metrics
+
+
+def execute_job(job: RetimeJob) -> JobResult:
+    """Run *job* to completion (worker-side entry point).
+
+    Raises on deterministic errors (parse failures, invalid circuits);
+    the pool records those as immediate failures without retrying.
+    """
+    if job.flow == "__crash__":
+        # simulate a segfault/OOM kill: bypass all Python cleanup
+        os._exit(139)
+    if job.flow == "__hang__":
+        # simulate a wedged worker: sleep far past any sane job timeout
+        while True:  # pragma: no cover - killed by the pool
+            time.sleep(60)
+
+    t0 = time.perf_counter()
+    circuit = _parse(job.netlist, job.fmt, job.name)
+    check_circuit(circuit)
+    model = _DELAY_MODELS[job.resolved_delay_model()]
+
+    if job.flow == "mcretime":
+        result = mc_retime(
+            circuit,
+            delay_model=model,
+            target_period=job.target_period,
+            objective=job.objective,
+            semantic_classes=job.semantic_classes,
+        )
+        out_circuit = result.circuit
+        check_circuit(out_circuit)
+        timings = dict(result.timings)
+        timings["total"] = sum(timings.values())
+        metrics = {
+            "baseline": _measure(circuit, model),
+            "final": {**_measure(out_circuit, model), "accepted": True},
+            "retime": _retime_metrics(result),
+            "timings": timings,
+        }
+    elif job.flow == "baseline":
+        flow = baseline_flow(circuit, model)
+        out_circuit = flow.circuit
+        metrics = _flow_metrics(flow)
+        metrics["baseline"] = metrics["final"]
+    elif job.flow == "retime":
+        base = baseline_flow(circuit, model)
+        flow = retime_flow(
+            circuit,
+            model,
+            objective=job.objective,
+            mapped=base,
+            target_period=job.target_period,
+            semantic_classes=job.semantic_classes,
+        )
+        out_circuit = flow.circuit
+        metrics = _flow_metrics(flow)
+        metrics["baseline"] = {
+            "n_ff": base.n_ff,
+            "n_lut": base.n_lut,
+            "delay": base.delay,
+            "has_async": base.has_async,
+            "has_enable": base.has_enable,
+        }
+    else:  # decomposed_enable
+        flow = decomposed_enable_flow(
+            circuit,
+            model,
+            objective=job.objective,
+            target_period=job.target_period,
+            semantic_classes=job.semantic_classes,
+        )
+        out_circuit = flow.circuit
+        metrics = _flow_metrics(flow)
+
+    out_fmt = job.resolved_output_fmt()
+    return JobResult(
+        job_id=job.canonical_key,
+        status="done",
+        output=_emit(out_circuit, out_fmt),
+        output_fmt=out_fmt,
+        metrics=metrics,
+        elapsed=time.perf_counter() - t0,
+    )

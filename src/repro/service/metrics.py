@@ -1,0 +1,204 @@
+"""Service metrics: counters and histograms with Prometheus export.
+
+A deliberately small, stdlib-only metrics core: :class:`Counter` and
+:class:`Histogram` registered in a :class:`MetricsRegistry`, rendered
+with :meth:`MetricsRegistry.render` in the Prometheus text exposition
+format (served at ``GET /metrics``).  Histograms additionally keep a
+bounded sample reservoir so reports can ask for latency percentiles
+directly (``histogram.percentile(95)``) without a scrape pipeline.
+
+Both metric types support labels::
+
+    completed = registry.counter("repro_jobs_completed_total", "...")
+    completed.inc()
+    stage = registry.histogram("repro_stage_seconds", "...", buckets=...)
+    stage.observe(0.12, stage="map")
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left, insort
+
+#: default latency buckets (seconds) — tuned for retiming jobs that run
+#: milliseconds on toy designs up to minutes at paper scale
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 120.0, 300.0,
+)
+
+#: per-histogram reservoir size for percentile queries
+_MAX_SAMPLES = 4096
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_text(key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing counter, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._values: dict[tuple, float] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            values = dict(self._values) or {(): 0.0}
+        for key in sorted(values):
+            lines.append(f"{self.name}{_label_text(key)} {_format(values[key])}")
+        return lines
+
+
+class Histogram:
+    """Cumulative-bucket histogram with a percentile reservoir."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.buckets = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        self._counts: dict[tuple, list[int]] = {}
+        self._sums: dict[tuple, float] = {}
+        self._totals: dict[tuple, int] = {}
+        self._samples: dict[tuple, list[float]] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            counts = self._counts.setdefault(key, [0] * len(self.buckets))
+            idx = bisect_left(self.buckets, value)
+            if idx < len(counts):
+                counts[idx] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
+            samples = self._samples.setdefault(key, [])
+            insort(samples, value)
+            if len(samples) > _MAX_SAMPLES:
+                # drop the median neighbour to keep the tails intact
+                del samples[len(samples) // 2]
+
+    def count(self, **labels: str) -> int:
+        with self._lock:
+            return self._totals.get(_label_key(labels), 0)
+
+    def sum(self, **labels: str) -> float:
+        with self._lock:
+            return self._sums.get(_label_key(labels), 0.0)
+
+    def percentile(self, p: float, **labels: str) -> float:
+        """The *p*-th percentile (0–100) of the recorded samples."""
+        with self._lock:
+            samples = self._samples.get(_label_key(labels), [])
+            if not samples:
+                return 0.0
+            rank = max(0, min(len(samples) - 1, round(p / 100 * (len(samples) - 1))))
+            return samples[rank]
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            keys = sorted(self._totals)
+            for key in keys:
+                cumulative = 0
+                for bound, n in zip(self.buckets, self._counts[key]):
+                    cumulative += n
+                    label = _label_text(key + (("le", _format(bound)),))
+                    lines.append(f"{self.name}_bucket{label} {cumulative}")
+                label = _label_text(key + (("le", "+Inf"),))
+                lines.append(f"{self.name}_bucket{label} {self._totals[key]}")
+                lines.append(
+                    f"{self.name}_sum{_label_text(key)} {_format(self._sums[key])}"
+                )
+                lines.append(
+                    f"{self.name}_count{_label_text(key)} {self._totals[key]}"
+                )
+        return lines
+
+
+def _format(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Create-or-get registry for all service metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._get_or_create(Histogram, name, help_text, buckets)
+        return metric
+
+    def _get_or_create(self, cls, name, help_text, *args):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help_text, *args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}"
+                )
+            return metric
+
+    def render(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: list[str] = []
+        for metric in sorted(metrics, key=lambda m: m.name):
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,365 @@
+"""Crash-isolated multiprocessing worker pool for retiming jobs.
+
+Design points:
+
+* **One process per worker, one dispatch queue per worker.**  The
+  supervisor assigns a job to a specific idle worker and records the
+  assignment *before* the worker can touch it, so a worker death is
+  always attributable to the exact job it held — there is no window in
+  which a crashing worker loses a job.  (A shared task queue can't give
+  that guarantee: ``mp.Queue`` flushes through a feeder thread, so a
+  hard ``os._exit``/segfault can swallow the in-flight bookkeeping.)
+  All queues are ``SimpleQueue``s — writes land in the pipe before
+  ``put`` returns, no feeder threads anywhere.
+* **Crash isolation.**  A segfault, OOM kill, or injected ``os._exit``
+  takes down only the job its worker was holding.  The supervisor
+  reaps the corpse, respawns a replacement, and requeues the job (with
+  exponential backoff) up to ``max_retries`` times before recording a
+  structured :class:`~repro.service.jobs.JobFailure`.
+* **Per-job timeouts.**  A worker holding a job past ``job_timeout``
+  seconds is SIGKILLed and treated like a crash (retry, then fail).
+* **Deterministic errors don't retry.**  A Python exception raised by
+  :func:`~repro.service.jobs.execute_job` (parse error, invalid
+  circuit) is reported back and fails the job immediately — re-running
+  a deterministic failure just wastes workers.
+
+The supervisor runs on a daemon thread, so :meth:`RetimePool.submit`
+returns immediately and results are awaited per-job via
+:meth:`RetimePool.wait` (or in bulk via :meth:`RetimePool.run`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing as mp
+import os
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+
+from .jobs import JobFailure, JobResult, RetimeJob, execute_job
+
+_POLL_INTERVAL = 0.05
+
+
+def _worker_main(task_q, result_q) -> None:
+    """Worker loop: execute assigned payloads until the ``None`` sentinel."""
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        job_id, attempt, payload = item
+        try:
+            result = execute_job(RetimeJob.from_dict(payload))
+            result.job_id = job_id
+            result_q.put(("done", os.getpid(), job_id, attempt, result.to_dict()))
+        except BaseException as exc:  # noqa: BLE001 - report, don't die
+            info = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            }
+            result_q.put(("error", os.getpid(), job_id, attempt, info))
+
+
+@dataclass
+class _Entry:
+    """Supervisor-side bookkeeping for one submitted job."""
+
+    job: RetimeJob
+    state: str = "queued"  # queued | running | retrying | done | failed
+    attempts: int = 0
+    result: JobResult | None = None
+    event: threading.Event = field(default_factory=threading.Event)
+    submitted_at: float = field(default_factory=time.time)
+
+
+@dataclass
+class _Worker:
+    """One worker process plus its private dispatch queue."""
+
+    proc: mp.Process
+    task_q: object
+    #: (job_id, attempt, dispatch_monotonic) while busy, else None
+    held: tuple[str, int, float] | None = None
+
+
+class RetimePool:
+    """Supervised pool of retiming workers with retry/timeout policy.
+
+    Args:
+        workers: process count (default ``os.cpu_count()``).
+        job_timeout: seconds a single execution may run before the
+            worker is killed and the job retried.
+        max_retries: crash/timeout retries per job after the first
+            attempt (total attempts = ``max_retries + 1``).
+        retry_backoff: base delay before a retry; attempt *n* waits
+            ``retry_backoff * 2**(n-1)`` seconds.
+        on_event: optional callback ``(kind, job_id, **info)`` invoked
+            from the supervisor thread for ``done`` / ``failed`` /
+            ``retry`` / ``timeout`` / ``crash`` events — the service
+            layer hangs its metrics off this.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        job_timeout: float = 300.0,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        on_event=None,
+    ) -> None:
+        self.workers = max(1, workers if workers is not None else os.cpu_count() or 1)
+        self.job_timeout = job_timeout
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff = retry_backoff
+        self._on_event = on_event
+        self._ctx = mp.get_context()
+        self._result_q = self._ctx.SimpleQueue()
+        self._entries: dict[str, _Entry] = {}
+        self._workers: dict[int, _Worker] = {}
+        self._pending: deque[tuple[str, int]] = deque()  # (job_id, attempt)
+        self._retry_heap: list[tuple[float, str]] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._supervisor: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "RetimePool":
+        if self._supervisor is not None:
+            return self
+        for _ in range(self.workers):
+            self._spawn_worker()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="retime-pool-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        return self
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the supervisor and tear the workers down."""
+        if self._supervisor is None:
+            return
+        self._stop.set()
+        self._supervisor.join(timeout=timeout)
+        for worker in self._workers.values():
+            try:
+                worker.task_q.put(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + timeout
+        for worker in self._workers.values():
+            worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=1.0)
+        self._workers.clear()
+
+    def __enter__(self) -> "RetimePool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission API ------------------------------------------------
+
+    def submit(self, job_id: str, job: RetimeJob) -> None:
+        """Queue *job* under *job_id* (in-flight ids coalesce)."""
+        if self._supervisor is None:
+            raise RuntimeError("pool is not started")
+        with self._lock:
+            entry = self._entries.get(job_id)
+            if entry is not None and not entry.event.is_set():
+                return  # already queued or running: coalesce
+            entry = _Entry(job=job)
+            entry.attempts = 1
+            self._entries[job_id] = entry
+            self._pending.append((job_id, 1))
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobResult:
+        """Block until *job_id* finishes; raises ``TimeoutError``."""
+        with self._lock:
+            entry = self._entries[job_id]
+        if not entry.event.wait(timeout):
+            raise TimeoutError(f"job {job_id} did not finish in {timeout}s")
+        assert entry.result is not None
+        return entry.result
+
+    def state(self, job_id: str) -> str:
+        with self._lock:
+            return self._entries[job_id].state
+
+    def run(self, jobs: dict[str, RetimeJob]) -> dict[str, JobResult]:
+        """Submit every job, wait for all, return results by id."""
+        for job_id, job in jobs.items():
+            self.submit(job_id, job)
+        return {job_id: self.wait(job_id) for job_id in jobs}
+
+    # -- supervisor ----------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        task_q = self._ctx.SimpleQueue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(task_q, self._result_q),
+            daemon=True,
+            name="retime-worker",
+        )
+        proc.start()
+        self._workers[proc.pid] = _Worker(proc=proc, task_q=task_q)
+
+    def _emit(self, kind: str, job_id: str, **info) -> None:
+        if self._on_event is not None:
+            try:
+                self._on_event(kind, job_id, **info)
+            except Exception:  # noqa: BLE001 - observer must not kill the pool
+                pass
+
+    def _supervise(self) -> None:
+        while not self._stop.is_set():
+            drained = self._drain_results()
+            self._reap_dead_workers()
+            self._enforce_timeouts()
+            self._release_retries()
+            self._dispatch()
+            if not drained:
+                time.sleep(_POLL_INTERVAL)
+
+    def _dispatch(self) -> None:
+        """Hand pending jobs to idle workers, recording the assignment
+        before the worker can possibly start executing."""
+        idle = [w for w in self._workers.values() if w.held is None]
+        while idle:
+            with self._lock:
+                if not self._pending:
+                    return
+                job_id, attempt = self._pending.popleft()
+                entry = self._entries.get(job_id)
+                if entry is None or entry.event.is_set():
+                    continue
+                entry.state = "running"
+                entry.attempts = attempt
+                payload = entry.job.to_dict()
+            worker = idle.pop()
+            worker.held = (job_id, attempt, time.monotonic())
+            worker.task_q.put((job_id, attempt, payload))
+
+    def _drain_results(self) -> bool:
+        drained = False
+        while not self._result_q.empty():
+            kind, pid, job_id, attempt, payload = self._result_q.get()
+            drained = True
+            worker = self._workers.get(pid)
+            if worker is not None and worker.held and worker.held[0] == job_id:
+                worker.held = None
+            with self._lock:
+                entry = self._entries.get(job_id)
+            if entry is None:
+                continue
+            if kind == "done":
+                result = JobResult.from_dict(payload)
+                result.attempts = attempt
+                self._finish(entry, job_id, result)
+            else:  # deterministic Python-level failure: no retry
+                result = JobResult(
+                    job_id=job_id,
+                    status="failed",
+                    error=JobFailure(**payload),
+                    attempts=attempt,
+                )
+                self._finish(entry, job_id, result)
+        return drained
+
+    def _finish(self, entry: _Entry, job_id: str, result: JobResult) -> None:
+        if entry.event.is_set():
+            return  # a raced duplicate (timeout kill vs. late done)
+        with self._lock:
+            entry.result = result
+            entry.state = result.status
+        entry.event.set()
+        self._emit(result.status, job_id, result=result)
+
+    def _reap_dead_workers(self) -> None:
+        for pid, worker in list(self._workers.items()):
+            if worker.proc.is_alive():
+                continue
+            worker.proc.join(timeout=0.1)
+            del self._workers[pid]
+            if not self._stop.is_set():
+                self._spawn_worker()
+            if worker.held is not None:
+                job_id, attempt, _t0 = worker.held
+                self._emit("crash", job_id, exitcode=worker.proc.exitcode)
+                self._retry_or_fail(
+                    job_id,
+                    attempt,
+                    reason="worker_crash",
+                    message=(
+                        f"worker died with exit code {worker.proc.exitcode} "
+                        f"on attempt {attempt}"
+                    ),
+                )
+
+    def _enforce_timeouts(self) -> None:
+        if self.job_timeout is None:
+            return
+        now = time.monotonic()
+        for pid, worker in list(self._workers.items()):
+            if worker.held is None:
+                continue
+            job_id, attempt, t0 = worker.held
+            if now - t0 <= self.job_timeout:
+                continue
+            del self._workers[pid]
+            worker.proc.kill()
+            worker.proc.join(timeout=1.0)
+            if not self._stop.is_set():
+                self._spawn_worker()
+            self._emit("timeout", job_id, attempt=attempt)
+            self._retry_or_fail(
+                job_id,
+                attempt,
+                reason="timeout",
+                message=(
+                    f"attempt {attempt} exceeded the {self.job_timeout:.1f}s "
+                    f"job timeout"
+                ),
+            )
+
+    def _retry_or_fail(
+        self, job_id: str, attempt: int, reason: str, message: str
+    ) -> None:
+        with self._lock:
+            entry = self._entries.get(job_id)
+        if entry is None or entry.event.is_set():
+            return
+        if attempt <= self.max_retries:
+            delay = self.retry_backoff * (2 ** (attempt - 1))
+            with self._lock:
+                entry.state = "retrying"
+                entry.attempts = attempt + 1
+            heapq.heappush(
+                self._retry_heap, (time.monotonic() + delay, job_id)
+            )
+            self._emit("retry", job_id, attempt=attempt + 1, reason=reason)
+        else:
+            result = JobResult(
+                job_id=job_id,
+                status="failed",
+                error=JobFailure(type=reason, message=message),
+                attempts=attempt,
+            )
+            self._finish(entry, job_id, result)
+
+    def _release_retries(self) -> None:
+        now = time.monotonic()
+        while self._retry_heap and self._retry_heap[0][0] <= now:
+            _ready, job_id = heapq.heappop(self._retry_heap)
+            with self._lock:
+                entry = self._entries.get(job_id)
+                if entry is None or entry.event.is_set():
+                    continue
+                self._pending.append((job_id, entry.attempts))

@@ -1,0 +1,161 @@
+"""Stdlib HTTP JSON API over :class:`~repro.service.engine.RetimeService`.
+
+Endpoints (see ``docs/SERVICE.md`` for the full reference):
+
+* ``POST /retime`` — submit a job.  Body: ``{"netlist": "...",
+  "fmt": "blif", "name": "...", "flow": "mcretime", "objective":
+  "minarea", "delay_model": null, "target_period": null,
+  "semantic_classes": true, "output_fmt": null, "wait": false}``.
+  Only ``netlist`` is required.  With ``"wait": true`` the response is
+  the finished job record; otherwise submission returns immediately
+  with the job id for polling.
+* ``GET /jobs/<id>`` — job status/result by content-addressed id.
+* ``GET /healthz`` — liveness plus worker/job counts.
+* ``GET /metrics`` — Prometheus text exposition.
+
+The server is a ``ThreadingHTTPServer``: handler threads block on the
+service (pool-backed), so slow jobs never wedge health checks.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..netlist import NetlistError
+from .engine import RetimeService
+from .jobs import RetimeJob
+
+_JOB_FIELDS = (
+    "fmt",
+    "name",
+    "flow",
+    "objective",
+    "delay_model",
+    "target_period",
+    "semantic_classes",
+    "output_fmt",
+)
+
+
+def job_from_request(body: dict) -> RetimeJob:
+    """Build a :class:`RetimeJob` from a ``POST /retime`` JSON body."""
+    if not isinstance(body, dict):
+        raise ValueError("request body must be a JSON object")
+    netlist = body.get("netlist")
+    if not isinstance(netlist, str) or not netlist.strip():
+        raise ValueError("missing required field 'netlist'")
+    options = {
+        key: body[key]
+        for key in _JOB_FIELDS
+        if key in body and body[key] is not None
+    }
+    return RetimeJob(netlist=netlist, **options)
+
+
+def make_handler(service: RetimeService, quiet: bool = True):
+    """Build the request handler class bound to *service*."""
+
+    class RetimeHandler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "mcretime-service/1.0"
+
+        # -- plumbing --------------------------------------------------
+
+        def log_message(self, fmt, *args):  # noqa: N802
+            if not quiet:
+                super().log_message(fmt, *args)
+
+        def _send(self, code: int, payload, content_type="application/json"):
+            body = (
+                payload.encode()
+                if isinstance(payload, str)
+                else json.dumps(payload, indent=1).encode()
+            )
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _error(self, code: int, message: str):
+            self._send(code, {"error": message})
+
+        # -- routes ----------------------------------------------------
+
+        def do_GET(self):  # noqa: N802
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/healthz":
+                self._send(
+                    200,
+                    {
+                        "status": "ok",
+                        "workers": service.pool.workers,
+                        "jobs": service.job_counts(),
+                        "cache_hit_rate": round(service.cache_hit_rate(), 4),
+                    },
+                )
+            elif path == "/metrics":
+                self._send(
+                    200,
+                    service.metrics.render(),
+                    content_type="text/plain; version=0.0.4",
+                )
+            elif path.startswith("/jobs/"):
+                job_id = path[len("/jobs/"):]
+                record = service.status(job_id)
+                if record is None:
+                    self._error(404, f"unknown job {job_id!r}")
+                else:
+                    self._send(200, record)
+            else:
+                self._error(404, f"no route for GET {path}")
+
+        def do_POST(self):  # noqa: N802
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path != "/retime":
+                self._error(404, f"no route for POST {path}")
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                body = json.loads(self.rfile.read(length) or b"{}")
+            except (ValueError, json.JSONDecodeError):
+                self._error(400, "request body is not valid JSON")
+                return
+            try:
+                job = job_from_request(body)
+                job_id = service.submit(job)
+            except (NetlistError, ValueError, TypeError) as exc:
+                self._error(400, str(exc))
+                return
+            if body.get("wait"):
+                service.wait(job_id)
+            self._send(200, service.status(job_id))
+
+    return RetimeHandler
+
+
+def make_server(
+    service: RetimeService,
+    host: str = "127.0.0.1",
+    port: int = 8117,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Bind (but don't start) the HTTP server; port 0 picks a free one."""
+    httpd = ThreadingHTTPServer((host, port), make_handler(service, quiet))
+    httpd.daemon_threads = True
+    return httpd
+
+
+def serve_forever(
+    service: RetimeService, host: str = "127.0.0.1", port: int = 8117
+) -> None:
+    """Blocking serve loop used by ``mcretime serve``."""
+    httpd = make_server(service, host, port, quiet=False)
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()
+        service.close()

@@ -11,18 +11,27 @@ Examples::
     mcretime design.v --map --objective minperiod -o out.v
     mcretime design.blif --target-period 12.5 --report
     mcretime design.blif --check          # validate + stats only
+
+Two subcommands expose the batch service layer
+(:mod:`repro.service`, see ``docs/SERVICE.md``)::
+
+    mcretime batch designs/ -o retimed/ --workers 4
+    mcretime serve --port 8117 --cache-dir ~/.cache/mcretime
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
-from ..flows import baseline_flow
+from ..flows import baseline_flow, retime_flow
 from ..mcretime import mc_retime
 from ..netlist import (
     Circuit,
+    NetlistError,
     check_circuit,
     circuit_stats,
     read_blif,
@@ -31,6 +40,9 @@ from ..netlist import (
     write_verilog,
 )
 from ..timing import UNIT_DELAY, XC4000E_DELAY, analyze
+
+#: netlist suffixes ``mcretime batch`` picks up when given a directory
+BATCH_SUFFIXES = (".blif", ".mcblif", ".v", ".sv")
 
 
 def load_circuit(path: Path) -> Circuit:
@@ -47,6 +59,11 @@ def save_circuit(circuit: Circuit, path: Path) -> None:
         path.write_text(write_verilog(circuit))
     else:
         path.write_text(write_blif(circuit))
+
+
+def _fail(message: str) -> int:
+    print(f"mcretime: error: {message}", file=sys.stderr)
+    return 1
 
 
 def _stats_line(circuit: Circuit, delay_model) -> str:
@@ -66,6 +83,20 @@ def _stats_line(circuit: Circuit, delay_model) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``mcretime`` console script."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "batch":
+        return _batch_main(argv[1:])
+    return _retime_main(argv)
+
+
+# ---------------------------------------------------------------------------
+# single-file retiming (the classic CLI)
+# ---------------------------------------------------------------------------
+
+
+def _retime_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="mcretime", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
@@ -100,8 +131,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    circuit = load_circuit(args.input)
-    check_circuit(circuit)
+    try:
+        circuit = load_circuit(args.input)
+        check_circuit(circuit)
+    except OSError as exc:
+        return _fail(f"cannot read {args.input}: {exc.strerror or exc}")
+    except NetlistError as exc:
+        return _fail(f"{args.input}: {exc}")
     model_name = args.delay_model or ("xc4000e" if args.map else "unit")
     model = XC4000E_DELAY if model_name == "xc4000e" else UNIT_DELAY
 
@@ -109,24 +145,47 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         return 0
 
+    accepted = True
     if args.map:
+        # the paper's Table-2 script: optimise + map, retime on the
+        # mapped netlist, remap, and keep the better netlist under STA
         flow = baseline_flow(circuit, model)
-        circuit = flow.circuit
         print(f"mapped: {flow.n_lut} LUTs, delay {flow.delay:.2f}")
-
-    result = mc_retime(
-        circuit,
-        delay_model=model,
-        target_period=args.target_period,
-        objective=args.objective,
-        semantic_classes=not args.syntactic_classes,
-    )
-    retimed = result.circuit
+        final = retime_flow(
+            circuit,
+            model,
+            objective=args.objective,
+            mapped=flow,
+            target_period=args.target_period,
+            semantic_classes=not args.syntactic_classes,
+        )
+        result = final.retime
+        retimed = final.circuit
+        accepted = final.accepted
+    else:
+        result = mc_retime(
+            circuit,
+            delay_model=model,
+            target_period=args.target_period,
+            objective=args.objective,
+            semantic_classes=not args.syntactic_classes,
+        )
+        retimed = result.circuit
     check_circuit(retimed)
     print(f"retimed: {_stats_line(retimed, model)}")
+    if not accepted:
+        print(
+            "  (retiming rejected: STA delay regressed on the retimed "
+            "netlist; keeping the pre-retiming mapping)"
+        )
 
     if args.report:
         fractions = result.timing_fractions()
+        if not accepted:
+            print(
+                "  retiming REJECTED — the numbers below describe the "
+                "discarded attempt; the kept netlist is the baseline"
+            )
         print(f"  classes          : {result.n_classes}")
         print(
             f"  steps            : {result.steps_moved} moved / "
@@ -151,6 +210,178 @@ def main(argv: list[str] | None = None) -> int:
     if args.output is not None:
         save_circuit(retimed, args.output)
         print(f"wrote {args.output}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# batch mode: fan a directory of netlists across the worker pool
+# ---------------------------------------------------------------------------
+
+
+def _collect_inputs(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.iterdir())
+                if p.suffix in BATCH_SUFFIXES and p.is_file()
+            )
+        else:
+            files.append(path)
+    return files
+
+
+def _batch_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mcretime batch",
+        description=(
+            "Retime every netlist in the given files/directories through "
+            "the concurrent worker pool, with result caching."
+        ),
+    )
+    parser.add_argument(
+        "inputs", type=Path, nargs="+",
+        help="netlist files and/or directories to scan for "
+        + "/".join(BATCH_SUFFIXES),
+    )
+    parser.add_argument(
+        "-o", "--output-dir", type=Path, default=None,
+        help="directory for retimed netlists (default: <input>/retimed)",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--objective", choices=["minarea", "minperiod"], default="minarea"
+    )
+    parser.add_argument(
+        "--map", action="store_true",
+        help="run the full optimise+map+retime+remap flow per design",
+    )
+    parser.add_argument(
+        "--delay-model", choices=["unit", "xc4000e"], default=None
+    )
+    parser.add_argument("--target-period", type=float, default=None)
+    parser.add_argument("--syntactic-classes", action="store_true")
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="persistent result cache (reruns of unchanged designs are free)",
+    )
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("--retries", type=int, default=2)
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="write Prometheus metrics text here after the run",
+    )
+    args = parser.parse_args(argv)
+
+    from ..service import RetimeJob, RetimeService
+
+    files = _collect_inputs(args.inputs)
+    if not files:
+        return _fail("no netlists found (looked for "
+                     + "/".join(BATCH_SUFFIXES) + ")")
+    out_dir = args.output_dir
+    if out_dir is None:
+        base = args.inputs[0] if args.inputs[0].is_dir() else Path.cwd()
+        out_dir = base / "retimed"
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    jobs, job_files = [], []
+    for path in files:
+        try:
+            job = RetimeJob.from_file(
+                path,
+                flow="retime" if args.map else "mcretime",
+                objective=args.objective,
+                delay_model=args.delay_model,
+                target_period=args.target_period,
+                semantic_classes=not args.syntactic_classes,
+            )
+            job.canonical_key  # parse early: reject bad inputs up front
+        except OSError as exc:
+            return _fail(f"cannot read {path}: {exc.strerror or exc}")
+        except NetlistError as exc:
+            return _fail(f"{path}: {exc}")
+        jobs.append(job)
+        job_files.append(path)
+
+    service = RetimeService(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        job_timeout=args.timeout,
+        max_retries=args.retries,
+    )
+    t0 = time.perf_counter()
+    failures = 0
+    try:
+        results = service.batch(jobs)
+        for path, result in zip(job_files, results):
+            if result.ok:
+                out_path = out_dir / path.name
+                out_path.write_text(result.output)
+                tag = " [cached]" if result.cached else ""
+                tries = (
+                    f" after {result.attempts} attempts"
+                    if result.attempts > 1 else ""
+                )
+                print(f"{path.name}: done{tag}{tries} -> {out_path}")
+            else:
+                failures += 1
+                print(
+                    f"{path.name}: FAILED ({result.error.type}: "
+                    f"{result.error.message})"
+                )
+        elapsed = time.perf_counter() - t0
+        print(
+            f"\n{len(jobs)} jobs in {elapsed:.2f}s "
+            f"({len(jobs) / max(elapsed, 1e-9):.2f} jobs/s, "
+            f"{service.pool.workers} workers), "
+            f"cache hit rate {100 * service.cache_hit_rate():.0f}%, "
+            f"{failures} failed"
+        )
+        if args.metrics_out is not None:
+            args.metrics_out.write_text(service.metrics.render())
+            print(f"wrote metrics to {args.metrics_out}")
+    finally:
+        service.close()
+    return 1 if failures else 0
+
+
+# ---------------------------------------------------------------------------
+# serve mode: the HTTP JSON API
+# ---------------------------------------------------------------------------
+
+
+def _serve_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mcretime serve",
+        description="Serve retiming over HTTP (POST /retime, GET /jobs/<id>, "
+        "GET /healthz, GET /metrics).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8117)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--cache-dir", type=Path, default=None)
+    parser.add_argument("--cache-memory", type=int, default=128)
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("--retries", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    from ..service import RetimeService, serve_forever
+
+    service = RetimeService(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        cache_memory=args.cache_memory,
+        job_timeout=args.timeout,
+        max_retries=args.retries,
+    )
+    print(
+        f"mcretime service on http://{args.host}:{args.port} "
+        f"({service.pool.workers} workers"
+        + (f", cache {args.cache_dir}" if args.cache_dir else "")
+        + ")"
+    )
+    serve_forever(service, host=args.host, port=args.port)
     return 0
 
 

@@ -1,0 +1,79 @@
+"""Unit tests for the two-tier result cache."""
+
+from repro.service import JobFailure, JobResult, ResultCache
+
+
+def _result(job_id="k", output="netlist"):
+    return JobResult(job_id=job_id, status="done", output=output)
+
+
+class TestMemoryTier:
+    def test_put_get(self):
+        cache = ResultCache()
+        cache.put("k", _result())
+        hit = cache.get("k")
+        assert hit is not None and hit.output == "netlist"
+        assert cache.memory_hits == 1
+
+    def test_miss(self):
+        cache = ResultCache()
+        assert cache.get("absent") is None
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = ResultCache(memory_size=2)
+        for key in ("a", "b", "c"):
+            cache.put(key, _result(job_id=key))
+        assert cache.get("a") is None  # evicted, no disk tier
+        assert cache.get("c") is not None
+
+    def test_lru_touch_on_get(self):
+        cache = ResultCache(memory_size=2)
+        cache.put("a", _result(job_id="a"))
+        cache.put("b", _result(job_id="b"))
+        cache.get("a")  # refresh a; c should evict b instead
+        cache.put("c", _result(job_id="c"))
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_failures_not_cached(self):
+        cache = ResultCache()
+        cache.put(
+            "k",
+            JobResult(
+                job_id="k",
+                status="failed",
+                error=JobFailure(type="timeout", message="slow"),
+            ),
+        )
+        assert cache.get("k") is None
+
+
+class TestDiskTier:
+    def test_survives_new_instance(self, tmp_path):
+        ResultCache(tmp_path).put("k", _result())
+        fresh = ResultCache(tmp_path)
+        hit = fresh.get("k")
+        assert hit is not None and hit.output == "netlist"
+        assert fresh.disk_hits == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        ResultCache(tmp_path).put("k", _result())
+        fresh = ResultCache(tmp_path)
+        fresh.get("k")
+        fresh.get("k")
+        assert fresh.disk_hits == 1 and fresh.memory_hits == 1
+
+    def test_torn_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "bad.json").write_text("{truncated")
+        assert cache.get("bad") is None
+
+    def test_contains_len_clear(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_size=1)
+        cache.put("a", _result(job_id="a"))
+        cache.put("b", _result(job_id="b"))  # a evicted from memory only
+        assert "a" in cache and "b" in cache
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0 and "a" not in cache

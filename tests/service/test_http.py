@@ -1,0 +1,97 @@
+"""HTTP API integration: server routes, client, error handling."""
+
+import json
+import threading
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.service import (
+    RetimeClient,
+    RetimeService,
+    ServiceError,
+    make_server,
+)
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = RetimeService(workers=2, job_timeout=120.0)
+    httpd = make_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    client = RetimeClient(f"http://127.0.0.1:{httpd.server_address[1]}")
+    yield client
+    httpd.shutdown()
+    httpd.server_close()
+    service.close()
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        health = server.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert set(health["jobs"]) >= {"queued", "running", "done", "failed"}
+
+    def test_retime_blocking(self, server):
+        text = (DATA / "c2_small_mapped.blif").read_text()
+        record = server.retime(text, name="c2_small_mapped")
+        assert record["state"] == "done"
+        result = record["result"]
+        assert result["status"] == "done"
+        assert result["output"].startswith(".model")
+        assert result["metrics"]["final"]["n_ff"] > 0
+
+    def test_submit_then_poll(self, server):
+        text = (DATA / "c3_small_mapped.blif").read_text()
+        record = server.submit(text, name="c3_small_mapped")
+        assert "job_id" in record
+        final = server.wait(record["job_id"], timeout=120)
+        assert final["state"] == "done"
+
+    def test_resubmission_is_cache_hit(self, server):
+        text = (DATA / "c2_small_mapped.blif").read_text()
+        server.retime(text, name="c2_small_mapped")
+        record = server.retime(text, name="c2_small_mapped")
+        assert record["result"]["cached"] is True
+
+    def test_metrics_exposition(self, server):
+        text = server.metrics_text()
+        assert "# TYPE repro_jobs_submitted_total counter" in text
+        assert "repro_job_latency_seconds_bucket" in text
+
+    def test_job_options_rejected_cleanly(self, server):
+        with pytest.raises(ServiceError) as info:
+            server.retime("text", flow="bogus")
+        assert info.value.status == 400
+
+    def test_unparsable_netlist_is_400(self, server):
+        with pytest.raises(ServiceError) as info:
+            server.retime(".model x\nnot blif at all\n")
+        assert info.value.status == 400
+
+    def test_unknown_job_is_404(self, server):
+        with pytest.raises(ServiceError) as info:
+            server.job("deadbeef")
+        assert info.value.status == 404
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(ServiceError) as info:
+            server._request("GET", "/nope")
+        assert info.value.status == 404
+
+    def test_malformed_json_body_is_400(self, server):
+        req = urllib.request.Request(
+            server.base_url + "/retime",
+            data=b"{not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(req, timeout=30)
+        assert info.value.code == 400
+        assert "error" in json.loads(info.value.read())

@@ -1,0 +1,95 @@
+"""Unit tests for the Prometheus-style metrics core."""
+
+import pytest
+
+from repro.service import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total", "help text")
+        c.inc()
+        c.inc(2.5)
+        assert c.total() == 3.5
+
+    def test_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total")
+        c.inc(stage="map")
+        c.inc(2, stage="retime")
+        assert c.value(stage="map") == 1
+        assert c.value(stage="retime") == 2
+        assert c.total() == 3
+
+    def test_negative_rejected(self):
+        c = MetricsRegistry().counter("repro_test_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_render(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total", "a counter")
+        c.inc(3, kind="x")
+        lines = c.render()
+        assert "# HELP repro_test_total a counter" in lines
+        assert "# TYPE repro_test_total counter" in lines
+        assert 'repro_test_total{kind="x"} 3' in lines
+
+
+class TestHistogram:
+    def test_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        text = "\n".join(h.render())
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 3' in text
+        assert 'repro_lat_seconds_bucket{le="10"} 4' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 5' in text
+        assert "repro_lat_seconds_count 5" in text
+
+    def test_sum_and_count(self):
+        h = MetricsRegistry().histogram("repro_h")
+        h.observe(1.0)
+        h.observe(2.0)
+        assert h.count() == 2
+        assert h.sum() == pytest.approx(3.0)
+
+    def test_percentiles(self):
+        h = MetricsRegistry().histogram("repro_h")
+        for i in range(1, 101):
+            h.observe(float(i))
+        assert h.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert h.percentile(95) == pytest.approx(95.0, abs=1.0)
+        assert h.percentile(100) == 100.0
+
+    def test_labelled_series(self):
+        h = MetricsRegistry().histogram("repro_stage_seconds", buckets=(1.0,))
+        h.observe(0.5, stage="map")
+        h.observe(0.7, stage="retime")
+        assert h.count(stage="map") == 1
+        text = "\n".join(h.render())
+        assert 'stage="map"' in text and 'stage="retime"' in text
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro_x_total") is reg.counter("repro_x_total")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x")
+        with pytest.raises(TypeError):
+            reg.histogram("repro_x")
+
+    def test_render_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_b_total", "b").inc()
+        reg.histogram("repro_a_seconds", "a").observe(0.2)
+        text = reg.render()
+        # sorted by name, ends with newline
+        assert text.index("repro_a_seconds") < text.index("repro_b_total")
+        assert text.endswith("\n")

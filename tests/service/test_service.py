@@ -1,0 +1,176 @@
+"""Integration tests: pool fan-out, crash/timeout recovery, caching.
+
+These run real worker processes.  Timeouts and backoffs are tuned small
+so the failure-path tests finish in a couple of seconds.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.mcretime import mc_retime
+from repro.netlist import read_blif, write_blif
+from repro.service import RetimeJob, RetimeService
+from repro.timing import UNIT_DELAY
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+DESIGNS = ["c2_small", "c3_small"]
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = RetimeService(workers=2, job_timeout=120.0, max_retries=1,
+                        retry_backoff=0.05)
+    yield svc
+    svc.close()
+
+
+class TestBatchFanOut:
+    def test_batch_matches_serial_byte_for_byte(self, service):
+        """Fanned-out jobs produce exactly what serial mc_retime does."""
+        jobs = [
+            RetimeJob.from_file(DATA / f"{name}.blif") for name in DESIGNS
+        ]
+        results = service.batch(jobs)
+        for name, result in zip(DESIGNS, results):
+            assert result.ok, result.error
+            serial = mc_retime(
+                read_blif((DATA / f"{name}.blif").read_text(), name_hint=name),
+                delay_model=UNIT_DELAY,
+            )
+            assert result.output == write_blif(serial.circuit)
+
+    def test_results_preserve_submission_order(self, service):
+        jobs = [
+            RetimeJob.from_file(DATA / f"{name}_mapped.blif")
+            for name in DESIGNS
+        ]
+        results = service.batch(jobs)
+        assert [r.job_id for r in results] == [j.canonical_key for j in jobs]
+
+
+class TestCrashIsolation:
+    def test_crash_retries_then_fails_structured(self, service):
+        crash = RetimeJob.from_file(DATA / "c2_small.blif", flow="__crash__")
+        result = service.batch([crash])[0]
+        assert not result.ok
+        assert result.error.type == "worker_crash"
+        assert "exit code" in result.error.message
+        # 1 initial attempt + max_retries=1 retry
+        assert result.attempts == 2
+
+    def test_pool_survives_crashes(self, service):
+        """A crashed worker is respawned; later jobs still complete."""
+        crash = RetimeJob.from_file(DATA / "c3_small.blif", flow="__crash__")
+        ok_job = RetimeJob.from_file(
+            DATA / "c3_small_mapped.blif", delay_model="xc4000e"
+        )
+        crash_result, ok_result = service.batch([crash, ok_job])
+        assert not crash_result.ok
+        assert ok_result.ok
+
+    def test_deterministic_error_fails_without_retry(self, service):
+        # parses fine but violates a structural invariant in the worker
+        bad = RetimeJob(
+            netlist=".model bad\n.inputs a\n.outputs y\n"
+            ".names a miss y\n11 1\n.end\n"
+        )
+        result = service.batch([bad])[0]
+        assert not result.ok
+        assert result.error.type == "NetlistError"
+        assert result.attempts == 1  # no retry for deterministic errors
+
+
+class TestTimeouts:
+    def test_hang_times_out_then_fails(self):
+        svc = RetimeService(
+            workers=1, job_timeout=0.4, max_retries=1, retry_backoff=0.05
+        )
+        try:
+            hang = RetimeJob.from_file(DATA / "c2_small.blif", flow="__hang__")
+            result = svc.batch([hang], timeout=30)[0]
+            assert not result.ok
+            assert result.error.type == "timeout"
+            assert result.attempts == 2
+            assert svc.metrics.counter("repro_jobs_timeout_total").total() == 2
+        finally:
+            svc.close()
+
+
+class TestCaching:
+    def test_identical_resubmission_does_zero_work(self, tmp_path):
+        svc = RetimeService(workers=2, cache_dir=tmp_path)
+        try:
+            job = RetimeJob.from_file(DATA / "c2_small_mapped.blif")
+            first = svc.batch([job])[0]
+            assert first.ok and not first.cached
+            completed = svc.metrics.counter("repro_jobs_completed_total")
+            assert completed.total() == 1
+
+            second = svc.batch([job])[0]
+            assert second.cached
+            assert second.output == first.output
+            # no additional execution happened anywhere in the pool
+            assert completed.total() == 1
+            assert svc.metrics.counter("repro_cache_hits_total").total() == 1
+        finally:
+            svc.close()
+
+    def test_disk_cache_survives_service_restart(self, tmp_path):
+        job = RetimeJob.from_file(DATA / "c3_small_mapped.blif")
+        svc1 = RetimeService(workers=1, cache_dir=tmp_path)
+        try:
+            first = svc1.batch([job])[0]
+        finally:
+            svc1.close()
+
+        svc2 = RetimeService(workers=1, cache_dir=tmp_path)
+        try:
+            hit = svc2.batch([job])[0]
+            assert hit.cached
+            assert hit.output == first.output
+            assert (
+                svc2.metrics.counter("repro_jobs_completed_total").total() == 0
+            )
+        finally:
+            svc2.close()
+
+    def test_warm_rerun_hit_rate_above_90_percent(self, tmp_path):
+        """The acceptance criterion: warm rerun >90% cache hits."""
+        jobs = [
+            RetimeJob.from_file(DATA / f"{name}{suffix}.blif")
+            for name in DESIGNS
+            for suffix in ("", "_mapped")
+        ]
+        svc1 = RetimeService(workers=2, cache_dir=tmp_path)
+        try:
+            assert all(r.ok for r in svc1.batch(jobs))
+        finally:
+            svc1.close()
+        svc2 = RetimeService(workers=2, cache_dir=tmp_path)
+        try:
+            rerun = svc2.batch(jobs)
+            assert all(r.cached for r in rerun)
+            assert svc2.cache_hit_rate() > 0.9
+        finally:
+            svc2.close()
+
+
+class TestStatusTracking:
+    def test_status_and_counts(self, service):
+        job = RetimeJob.from_file(DATA / "c2_small_mapped.blif",
+                                  objective="minperiod")
+        job_id = service.submit(job)
+        service.wait(job_id, timeout=60)
+        record = service.status(job_id)
+        assert record["state"] == "done"
+        assert record["result"]["output"].startswith(".model")
+        assert service.status("unknown-id") is None
+        counts = service.job_counts()
+        assert counts["done"] >= 1
+
+    def test_stage_latency_histograms_populated(self, service):
+        hist = service.metrics.histogram("repro_stage_seconds")
+        # the module-scoped service has retimed several designs by now
+        assert hist.count(stage="minperiod") > 0
+        assert hist.percentile(95, stage="minperiod") >= 0.0
