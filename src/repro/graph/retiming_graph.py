@@ -265,6 +265,16 @@ class RetimingGraph:
             other.add_edge(edge.u, edge.v, w)
         return other
 
+    def compiled(self):
+        """Snapshot this graph into a :class:`repro.kernels.
+        compiled_graph.CompiledGraph` (flat integer arrays for the hot
+        sweeps).  The snapshot does not track later mutations — compile
+        once per solver invocation.
+        """
+        from ..kernels.compiled_graph import compile_graph
+
+        return compile_graph(self)
+
     def zero_weight_cyclic(self) -> bool:
         """True iff some cycle has zero total weight (unretimeable loop)."""
         # Kahn peeling on the subgraph of zero-weight edges

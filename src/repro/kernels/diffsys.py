@@ -1,0 +1,315 @@
+"""Integer-indexed difference-constraint solving with incremental SPFA.
+
+``CompiledSystem`` mirrors :class:`repro.retime.constraints.
+DifferenceSystem` — same dedup-by-tightest-bound semantics, same
+virtual-source SPFA fixed point — on flat arrays keyed by vertex id.
+Because the maximal non-positive solution of a difference system is
+*unique*, the kernel's answers are exactly the dict solver's, however
+they are computed.
+
+The incremental mode is the point: the lazy constraint loops solve,
+add a few period constraints, and solve again.  Distances only ever
+decrease when constraints are added, so re-relaxation can start from
+the previous solution instead of from scratch — warm-started
+Bellman-Ford converges in as many synchronous rounds as the new
+constraints' influence cone is deep, usually one or two.  With numpy
+the rounds themselves vectorise: arcs are pre-sorted by target once
+and each round is a gather + ``minimum.reduceat`` + scatter.  Either
+way a round still updating after |V| rounds is the classic negative-
+cycle certificate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..graph.retiming_graph import HOST
+from .compiled_graph import HAVE_NUMPY, CompiledGraph
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a retime<->kernels cycle
+    from ..retime.constraints import DifferenceSystem
+
+if HAVE_NUMPY:  # pragma: no branch - container ships numpy
+    import numpy as _np
+else:  # pragma: no cover - exercised via the forced-list tests
+    _np = None
+
+#: Below this arc count the numpy round overhead beats its win.
+_NUMPY_MIN_ARCS = 192
+
+
+class CompiledSystem:
+    """A difference-constraint system over integer vertex ids."""
+
+    __slots__ = (
+        "names",
+        "index",
+        "n",
+        "arc_u",
+        "arc_v",
+        "arc_b",
+        "arcs_from",
+        "pair",
+        "self_negative",
+        "dist",
+        "_dirty",
+        "host",
+        "_bf_m",
+        "_bf_order",
+        "_bf_av",
+        "_bf_seg",
+        "_bf_targets",
+    )
+
+    def __init__(self, names: list[str], index: dict[str, int]) -> None:
+        # the universe is shared with (not copied from) the caller until
+        # a variable is appended, at which point it is forked
+        self.names = names
+        self.index = index
+        self.n = len(names)
+        # constraint (u, v, b) ≡ r(u) − r(v) ≤ b ≡ relaxation arc v→u
+        self.arc_u: list[int] = []
+        self.arc_v: list[int] = []
+        self.arc_b: list[int] = []
+        self.arcs_from: list[list[int]] = [[] for _ in range(self.n)]
+        #: (u, v) -> arc slot, insertion-ordered like the dict system
+        self.pair: dict[tuple[int, int], int] = {}
+        #: a negative self-constraint was recorded (instant infeasibility)
+        self.self_negative = False
+        #: last solution (shared-source SPFA distances), or None
+        self.dist: list[int] | None = None
+        #: arc slots added/tightened since the last solve
+        self._dirty: list[int] = []
+        self.host = index.get(HOST, -1)
+        # vectorised-round cache (arcs sorted by target); keyed on the
+        # arc count, so it stays valid across copies until either grows
+        self._bf_m = -1
+        self._bf_order = None
+        self._bf_av = None
+        self._bf_seg = None
+        self._bf_targets = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    @classmethod
+    def from_system(
+        cls, system: DifferenceSystem, cg: CompiledGraph
+    ) -> "CompiledSystem":
+        """Compile a dict system, using *cg*'s vertex ids as the base
+        universe (extra system variables are appended after them)."""
+        names = list(cg.names)
+        index = dict(cg.index)
+        for name in system.variables():
+            if name not in index:
+                index[name] = len(names)
+                names.append(name)
+        cs = cls(names, index)
+        add = cs.add
+        for constraint in system:
+            add(index[constraint.u], index[constraint.v], constraint.bound)
+        cs._dirty.clear()
+        return cs
+
+    def add_variable(self, name: str) -> int:
+        """Declare a variable; returns its id."""
+        i = self.index.get(name)
+        if i is None:
+            # fork the universe lazily — the base lists may be shared
+            self.names = list(self.names)
+            self.index = dict(self.index)
+            i = len(self.names)
+            self.index[name] = i
+            self.names.append(name)
+            self.n += 1
+            self.arcs_from.append([])
+            if self.dist is not None:
+                self.dist.append(0)
+        return i
+
+    def add(self, u: int, v: int, bound: int) -> bool:
+        """Add ``r(u) − r(v) ≤ bound``; True iff it tightened.
+
+        Same semantics as the dict system: keep the minimum bound per
+        ordered pair, drop vacuous non-negative self-pairs, record
+        negative self-pairs (making the system infeasible).
+        """
+        if u == v and bound >= 0:
+            return False
+        key = (u, v)
+        slot = self.pair.get(key)
+        if slot is not None:
+            if self.arc_b[slot] <= bound:
+                return False
+            self.arc_b[slot] = bound
+            self._dirty.append(slot)
+            return True
+        slot = len(self.arc_b)
+        self.pair[key] = slot
+        self.arc_u.append(u)
+        self.arc_v.append(v)
+        self.arc_b.append(bound)
+        if u == v:
+            self.self_negative = True
+        else:
+            self.arcs_from[v].append(slot)
+        self._dirty.append(slot)
+        return True
+
+    def __len__(self) -> int:
+        return len(self.arc_b)
+
+    def copy(self) -> "CompiledSystem":
+        """Independent copy (shares the name table, forks on growth)."""
+        other = CompiledSystem.__new__(CompiledSystem)
+        other.names = self.names
+        other.index = self.index
+        other.n = self.n
+        other.arc_u = list(self.arc_u)
+        other.arc_v = list(self.arc_v)
+        other.arc_b = list(self.arc_b)
+        other.arcs_from = [list(a) for a in self.arcs_from]
+        other.pair = dict(self.pair)
+        other.self_negative = self.self_negative
+        other.dist = list(self.dist) if self.dist is not None else None
+        other._dirty = list(self._dirty)
+        other.host = self.host
+        other._bf_m = self._bf_m
+        other._bf_order = self._bf_order
+        other._bf_av = self._bf_av
+        other._bf_seg = self._bf_seg
+        other._bf_targets = self._bf_targets
+        return other
+
+    # ------------------------------------------------------------------ #
+    # solving
+
+    def solve(self) -> list[int] | None:
+        """Maximal non-positive solution, or None when infeasible.
+
+        Identical fixed point to ``DifferenceSystem.solve``.  Runs
+        incrementally from the previous solution when one exists (the
+        unique fixed point makes warm and cold starts agree exactly).
+        """
+        if self.self_negative:
+            return None
+        if self.dist is not None and not self._dirty:
+            return self.dist
+        if _np is not None and len(self.arc_b) >= _NUMPY_MIN_ARCS:
+            result = self._solve_vectorized()
+        elif self.dist is not None:
+            result = self._solve_warm_list()
+        else:
+            result = self._solve_full()
+        self.dist = result
+        self._dirty.clear()
+        return result
+
+    def _solve_full(self) -> list[int] | None:
+        """Cold SPFA from the all-zero start (the dict engine's loop)."""
+        n = self.n
+        arc_u, arc_b = self.arc_u, self.arc_b
+        arcs_from = self.arcs_from
+        dist = [0] * n
+        in_queue = bytearray([1]) * n
+        relax_count = [0] * n
+        queue: deque[int] = deque(range(n))
+        push, pop = queue.append, queue.popleft
+        while queue:
+            vi = pop()
+            in_queue[vi] = 0
+            dvi = dist[vi]
+            for slot in arcs_from[vi]:
+                ui = arc_u[slot]
+                nd = dvi + arc_b[slot]
+                if nd < dist[ui]:
+                    dist[ui] = nd
+                    relax_count[ui] += 1
+                    if relax_count[ui] > n:
+                        return None  # negative cycle
+                    if not in_queue[ui]:
+                        in_queue[ui] = 1
+                        push(ui)
+        return dist
+
+    def _solve_warm_list(self) -> list[int] | None:
+        """Warm Bellman-Ford rounds seeded from the previous solution.
+
+        The previous fixed point upper-bounds the new one (constraints
+        only tighten), so in-place rounds converge monotonically within
+        |V| sweeps; a round still improving after that proves a negative
+        cycle.  Round-robin sweeps avoid the queue-thrash a sparsely
+        seeded label-correcting pass suffers when a tightened constraint
+        shifts a large region.
+        """
+        prev = self.dist
+        assert prev is not None
+        dist = list(prev)
+        arc_u, arc_v, arc_b = self.arc_u, self.arc_v, self.arc_b
+        m = len(arc_b)
+        for _ in range(self.n + 1):
+            changed = False
+            for slot in range(m):
+                nd = dist[arc_v[slot]] + arc_b[slot]
+                if nd < dist[arc_u[slot]]:
+                    dist[arc_u[slot]] = nd
+                    changed = True
+            if not changed:
+                return dist
+        return None  # negative cycle
+
+    def _solve_vectorized(self) -> list[int] | None:
+        """Bellman-Ford with vectorised synchronous rounds.
+
+        Arcs are pre-sorted by constrained vertex (cached until the arc
+        list grows) so one round is a gather, a segmented minimum and a
+        masked scatter.  Warm-starts from the previous solution when one
+        exists; an update in round |V|+1 certifies a negative cycle.
+        """
+        np = _np
+        m = len(self.arc_b)
+        if self._bf_m != m:
+            au = np.asarray(self.arc_u, dtype=np.int64)
+            order = np.argsort(au, kind="stable")
+            au_s = au[order]
+            boundary = np.empty(m, dtype=bool)
+            boundary[0] = True
+            np.not_equal(au_s[1:], au_s[:-1], out=boundary[1:])
+            seg = np.flatnonzero(boundary)
+            self._bf_av = np.asarray(self.arc_v, dtype=np.int64)[order]
+            # bounds can tighten in place, so re-gather them every solve;
+            # only the ordering is cached
+            self._bf_seg = seg
+            self._bf_targets = au_s[seg]
+            self._bf_m = m
+            self._bf_order = order
+        ab = np.asarray(self.arc_b, dtype=np.int64)[self._bf_order]
+        av, seg, targets = self._bf_av, self._bf_seg, self._bf_targets
+        if self.dist is not None:
+            dist = np.asarray(self.dist, dtype=np.int64)
+        else:
+            dist = np.zeros(self.n, dtype=np.int64)
+        for _ in range(self.n + 1):
+            mins = np.minimum.reduceat(dist[av] + ab, seg)
+            updated = mins < dist[targets]
+            if not updated.any():
+                return dist.tolist()
+            dist[targets[updated]] = mins[updated]
+        return None  # negative cycle
+
+    def normalized(self, dist: list[int]) -> list[int]:
+        """Shift a solution so the host variable reads 0."""
+        shift = dist[self.host] if self.host >= 0 else 0
+        if shift:
+            return [d - shift for d in dist]
+        return list(dist)
+
+    def violated(self, r: list[int]) -> list[tuple[int, int, int]]:
+        """Constraints violated by *r* as (u, v, bound) id triples."""
+        out = []
+        arc_u, arc_v, arc_b = self.arc_u, self.arc_v, self.arc_b
+        for slot in range(len(arc_b)):
+            if r[arc_u[slot]] - r[arc_v[slot]] > arc_b[slot]:
+                out.append((arc_u[slot], arc_v[slot], arc_b[slot]))
+        return out

@@ -1,0 +1,121 @@
+"""Kernel implementation of min-area retiming (LP dual via flow).
+
+Mirrors :mod:`repro.retime.minarea` on compiled structures: the
+difference system solves incrementally between lazy rounds, the LP dual
+runs on the integer-node flow kernel, and Δ sweeps run on the compiled
+graph.  Two order-sensitivity notes:
+
+* the flow network's arc order determines Dijkstra tie-breaking and
+  hence *which* optimal dual solution is returned, so period
+  constraints must enter the system in the same order the dict engine
+  generates them — the topological order of each round's full sweep.
+  Min-area therefore uses full (not incremental) Δ sweeps; they are
+  still array-kernel fast, and the lazy rounds here are few.
+* node ids follow the system's variable declaration order, exactly like
+  ``system.variables()`` in the dict engine.
+"""
+
+from __future__ import annotations
+
+from ..graph.retiming_graph import RetimingGraph
+from .compiled_graph import compile_graph
+from .delta import delta_sweep
+from .diffsys import CompiledSystem
+from .mcf import IntMinCostFlow
+from .minperiod import EPS, MAX_LAZY_ROUNDS
+
+
+def min_area_kernel(
+    graph: RetimingGraph,
+    phi: float,
+    bounds: dict[str, tuple[int, int]] | None,
+    model,
+):
+    """Minimum-area retiming achieving period ≤ *phi* (kernel path).
+
+    *model* is a prepared :class:`~repro.retime.sharing_model.
+    SharingModel`; returns an ``AreaResult`` identical to the dict
+    engine's.  Raises ``InfeasibleError`` when *phi* is infeasible.
+    """
+    from ..retime.constraints import InfeasibleError
+    from ..retime.feas import compute_delta
+    from ..retime.minarea import AreaResult
+    from ..retime.minperiod import base_system
+    from ..retime.sharing_model import shared_register_count
+
+    extended = model.graph
+    cg = compile_graph(extended)
+    csys = CompiledSystem.from_system(base_system(extended, bounds), cg)
+
+    # dense cost vector in variable order; reject unconstrained costs
+    # exactly like the dict engine
+    supply = [0] * csys.n
+    for name, c in model.cost.items():
+        i = csys.index.get(name)
+        if i is None:
+            raise InfeasibleError(f"cost on unconstrained vertex {name!r}")
+        supply[i] = -c
+
+    n = cg.n
+    is_mirror = cg.is_mirror
+    best: list[int] | None = None
+    rounds = 0
+    for rounds in range(1, MAX_LAZY_ROUNDS + 1):
+        r = _solve_lp(csys, supply)
+        if r is None:
+            raise InfeasibleError(f"period {phi} infeasible for {graph.name!r}")
+        violations = csys.violated(r)
+        if violations:  # numerical/duality bug guard: never expected
+            names = csys.names
+            shown = [
+                (names[u], names[v], b) for u, v, b in violations[:3]
+            ]
+            raise RuntimeError(f"LP solution violates {shown}")
+        sweep = delta_sweep(cg, r[:n])
+        delta = sweep.delta
+        added = False
+        limit = phi + EPS
+        for v in sweep.order:  # dict-engine constraint order: topo order
+            if delta[v] <= limit or is_mirror[v]:
+                continue
+            u = sweep.trace_start(v)
+            bound = r[u] - r[v] - 1
+            if csys.add(u, v, bound):
+                added = True
+        if not added:
+            best = r
+            break
+    if best is None:
+        raise RuntimeError("lazy period-constraint generation did not converge")
+
+    index = csys.index
+    real_r = {v: best[index[v]] for v in graph.vertices}
+    period = compute_delta(graph, real_r).period
+    return AreaResult(
+        r=real_r,
+        registers=shared_register_count(graph, real_r),
+        registers_before=shared_register_count(graph),
+        period=period,
+        rounds=rounds,
+        constraints=len(csys),
+    )
+
+
+def _solve_lp(csys: CompiledSystem, supply: list[int]) -> list[int] | None:
+    """One LP solve: min Σ c·r subject to *csys*; None if infeasible."""
+    dist = csys.solve()
+    if dist is None:
+        return None
+    flow = IntMinCostFlow(csys.n)
+    flow.supply = list(supply)
+    add_arc = flow.add_arc
+    arc_u, arc_v, arc_b = csys.arc_u, csys.arc_v, csys.arc_b
+    for slot in range(len(arc_b)):
+        add_arc(arc_u[slot], arc_v[slot], arc_b[slot])
+    # π = −r0 gives non-negative reduced costs for every constraint arc
+    flow.solve(initial_potentials=[-d for d in dist])
+    r = [-int(round(p)) for p in flow.potential]
+    shift = r[csys.host] if csys.host >= 0 else 0
+    if shift:
+        r = [val - shift for val in r]
+    return r

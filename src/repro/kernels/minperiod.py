@@ -1,0 +1,131 @@
+"""Kernel implementation of lazy feasibility and min-period search.
+
+The algorithm is exactly :mod:`repro.retime.minperiod` — same lazy
+constraint generation, same binary-search trajectory, same float
+arithmetic — rebuilt on the compiled graph/system kernels:
+
+* the graph is compiled once per search and shared by every probe;
+* inside a feasibility check, rounds after the first re-solve the
+  difference system *incrementally* (only newly added period
+  constraints are relaxed, seeded from the previous solution) and
+  re-sweep Δ *incrementally* (only the cone of vertices the solve
+  actually moved);
+* each feasible probe's achieved period is read off the final sweep
+  instead of re-deriving it.
+
+Because each round's solve has a unique fixed point and each sweep is
+bit-identical to the dict sweep, the generated constraint sets, the
+probe trajectory, and the returned retiming all match the dict engine
+exactly.
+"""
+
+from __future__ import annotations
+
+from ..graph.retiming_graph import RetimingGraph
+from .compiled_graph import CompiledGraph, compile_graph
+from .delta import KernelSweep, delta_sweep, refresh
+from .diffsys import CompiledSystem
+
+#: Same tolerances/limits as the dict engine (imported lazily to avoid
+#: an import cycle with repro.retime.minperiod).
+EPS = 1e-9
+MAX_LAZY_ROUNDS = 10_000
+
+
+class KernelFeasibility:
+    """Outcome of one kernel lazy feasibility check."""
+
+    __slots__ = ("r", "rounds", "constraints", "sweep")
+
+    def __init__(
+        self,
+        r: list[int] | None,
+        rounds: int,
+        constraints: int,
+        sweep: KernelSweep | None,
+    ) -> None:
+        self.r = r
+        self.rounds = rounds
+        self.constraints = constraints
+        #: final Δ sweep for the returned retiming (feasible case only)
+        self.sweep = sweep
+
+
+def check_period_kernel(
+    cg: CompiledGraph, phi: float, csys: CompiledSystem
+) -> KernelFeasibility:
+    """Lazy feasibility of period *phi* over compiled structures.
+
+    Mutates *csys* exactly as the dict engine mutates its system.
+    """
+    n = cg.n
+    is_mirror = cg.is_mirror
+    sweep: KernelSweep | None = None
+    for rounds in range(1, MAX_LAZY_ROUNDS + 1):
+        dist = csys.solve()
+        if dist is None:
+            return KernelFeasibility(None, rounds, len(csys), None)
+        r = csys.normalized(dist)
+        rg = r[: n]
+        if sweep is None:
+            sweep = delta_sweep(cg, rg)
+        else:
+            sweep = refresh(cg, sweep, rg)
+        delta = sweep.delta
+        added = False
+        limit = phi + EPS
+        for v in range(n):
+            if delta[v] <= limit or is_mirror[v]:
+                continue
+            u = sweep.trace_start(v)
+            bound = r[u] - r[v] - 1
+            if csys.add(u, v, bound):
+                added = True
+        if not added:
+            return KernelFeasibility(r, rounds, len(csys), sweep)
+    raise RuntimeError("lazy period-constraint generation did not converge")
+
+
+def min_period_kernel(
+    graph: RetimingGraph,
+    bounds: dict[str, tuple[int, int]] | None,
+    eps: float,
+):
+    """Binary-search the minimum feasible period (kernel path).
+
+    Returns a ``MinPeriodResult`` identical to the dict engine's.
+    """
+    from ..retime.minperiod import MinPeriodResult, base_system
+
+    cg = compile_graph(graph)
+    zero = [0] * cg.n
+    start = delta_sweep(cg, zero).period
+    lo = max(cg.delay, default=0.0)
+    best_phi = start
+    best_r = cg.r_dict(zero)
+    probes = 0
+    rounds = 0
+    base = CompiledSystem.from_system(base_system(graph, bounds), cg)
+    hi = start
+    while hi - lo > eps:
+        mid = (lo + hi) / 2.0
+        probes += 1
+        result = check_period_kernel(cg, mid, base.copy())
+        rounds += result.rounds
+        if result.r is not None:
+            achieved = result.sweep.period
+            best_phi = achieved
+            best_r = _r_dict(base, result.r)
+            hi = min(achieved, mid)
+        else:
+            lo = mid
+    return MinPeriodResult(
+        phi=best_phi, r=best_r, achieved=best_phi, probes=probes, rounds=rounds
+    )
+
+
+def _r_dict(csys: CompiledSystem, r: list[int]) -> dict[str, int]:
+    """Name-keyed view of a solution, in variable declaration order
+    (matching the dict solver's returned dict exactly)."""
+    names = csys.names
+    return {names[i]: r[i] for i in range(len(r))}

@@ -84,27 +84,32 @@ def _maximal_retime(
     while queue:
         name = queue.popleft()
         queued.discard(name)
-        while (
-            counts.get(name, 0) < per_vertex_cap
-            and probe(graph, name) is not None
-        ):
+        count = counts.get(name, 0)
+        moved = False
+        while count < per_vertex_cap and probe(graph, name) is not None:
             move(graph, name)
-            counts[name] = counts.get(name, 0) + 1
+            count += 1
+            moved = True
             total += 1
             if total > move_cap:
                 raise BoundsError(
                     "maximal retiming exceeded its move budget despite "
                     "the per-vertex cap — graph is pathological"
                 )
-            neighbors = (
-                graph.predecessors(name)
-                if direction == "backward"
-                else graph.successors(name)
-            )
-            for n in neighbors:
-                if graph.vertices[n].movable and n not in queued:
-                    queue.append(n)
-                    queued.add(n)
+        if not moved:
+            continue
+        counts[name] = count
+        # moves change edge weights only, never topology, so the
+        # neighbor set is loop-invariant: compute it once per drain
+        neighbors = (
+            graph.predecessors(name)
+            if direction == "backward"
+            else graph.successors(name)
+        )
+        for n in neighbors:
+            if graph.vertices[n].movable and n not in queued:
+                queue.append(n)
+                queued.add(n)
     return counts, total
 
 

@@ -89,6 +89,7 @@ def mc_retime(
     semantic_classes: bool = True,
     max_conflict_resolves: int = 25,
     verify_resets: bool = True,
+    use_kernels: bool | None = None,
 ) -> MCRetimeResult:
     """Run multiple-class retiming on *circuit* (non-destructive).
 
@@ -104,6 +105,9 @@ def mc_retime(
         max_conflict_resolves: bound on conflict-driven re-solves.
         verify_resets: double-check every recorded reset requirement by
             forward implication after relocation.
+        use_kernels: route the retiming solves through the compiled
+            kernels (:mod:`repro.kernels`); None defers to the global
+            switch.  Results are bit-identical either way.
 
     Returns:
         :class:`MCRetimeResult`; ``result.circuit`` is a retimed clone.
@@ -138,7 +142,7 @@ def mc_retime(
     while True:
         t0 = time.perf_counter()
         if target_period is None:
-            mp = min_period(work_graph, work_bounds)
+            mp = min_period(work_graph, work_bounds, use_kernels=use_kernels)
             phi = mp.phi
         else:
             phi = target_period
@@ -146,7 +150,7 @@ def mc_retime(
 
         t0 = time.perf_counter()
         if objective == "minarea":
-            area = min_area(work_graph, phi, work_bounds)
+            area = min_area(work_graph, phi, work_bounds, use_kernels=use_kernels)
             r = area.r
             area_registers = area.registers
         elif objective == "minperiod":
@@ -155,7 +159,9 @@ def mc_retime(
             else:
                 from ..retime.minperiod import feasible_retiming
 
-                r = feasible_retiming(work_graph, phi, work_bounds)
+                r = feasible_retiming(
+                    work_graph, phi, work_bounds, use_kernels=use_kernels
+                )
                 if r is None:
                     from ..retime.constraints import InfeasibleError
 

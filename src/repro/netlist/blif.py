@@ -17,12 +17,18 @@ line is accepted and becomes a plain register on the named clock.
 from __future__ import annotations
 
 import io
+import re
 from typing import Iterable, TextIO
 
 from ..logic.ternary import TX, ternary_char, ternary_from_char
 from .cells import GateFn
 from .circuit import Circuit, NetlistError
 from .signals import CONST0, CONST1, is_const
+
+# precompiled at module scope: these run once per cover line / kv token,
+# the two hottest spots when parsing mapped netlists
+_COVER_RE = re.compile(r"[01-]*")
+_KV_RE = re.compile(r"([^=]*)=(.*)")
 
 
 class BlifError(NetlistError):
@@ -31,21 +37,24 @@ class BlifError(NetlistError):
 
 def _logical_lines(text: Iterable[str]) -> Iterable[tuple[int, str]]:
     """Yield (line number, line) with ``\\`` continuations joined."""
-    buffer = ""
+    parts: list[str] = []
     start = 0
     for i, raw in enumerate(text, 1):
-        line = raw.split("#", 1)[0].rstrip()
-        if not buffer:
+        line = (raw.split("#", 1)[0] if "#" in raw else raw).rstrip()
+        if not parts:
             start = i
         if line.endswith("\\"):
-            buffer += line[:-1] + " "
+            parts.append(line[:-1])
+            parts.append(" ")
             continue
-        buffer += line
-        if buffer.strip():
-            yield start, buffer.strip()
-        buffer = ""
-    if buffer.strip():
-        yield start, buffer.strip()
+        parts.append(line)
+        joined = "".join(parts).strip() if len(parts) > 1 else line.strip()
+        parts.clear()
+        if joined:
+            yield start, joined
+    tail = "".join(parts).strip()
+    if tail:
+        yield start, tail
 
 
 def _cover_to_table(n_inputs: int, cover: list[tuple[str, str]], lineno: int) -> int:
@@ -62,13 +71,14 @@ def _cover_to_table(n_inputs: int, cover: list[tuple[str, str]], lineno: int) ->
             raise BlifError(
                 f"line {lineno}: cover width {len(pattern)} != {n_inputs} inputs"
             )
+        if _COVER_RE.fullmatch(pattern) is None:
+            bad = next(ch for ch in pattern if ch not in "01-")
+            raise BlifError(f"line {lineno}: bad cover character {bad!r}")
         free = [i for i, ch in enumerate(pattern) if ch == "-"]
         base = 0
         for i, ch in enumerate(pattern):
             if ch == "1":
                 base |= 1 << i
-            elif ch not in "0-":
-                raise BlifError(f"line {lineno}: bad cover character {ch!r}")
         for combo in range(1 << len(free)):
             idx = base
             for j, pos in enumerate(free):
@@ -83,10 +93,10 @@ def _cover_to_table(n_inputs: int, cover: list[tuple[str, str]], lineno: int) ->
 def _parse_kv(tokens: list[str], lineno: int) -> dict[str, str]:
     result = {}
     for tok in tokens:
-        if "=" not in tok:
+        match = _KV_RE.fullmatch(tok)
+        if match is None:
             raise BlifError(f"line {lineno}: expected key=value, got {tok!r}")
-        key, value = tok.split("=", 1)
-        result[key] = value
+        result[match.group(1)] = match.group(2)
     return result
 
 

@@ -13,7 +13,7 @@ generation in :mod:`repro.retime.minperiod`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..graph.retiming_graph import GraphError, RetimingGraph
 
@@ -26,11 +26,20 @@ class DeltaResult:
     delta: dict[str, float]
     #: argmax zero-weight predecessor per vertex (path tracing).
     pred: dict[str, str | None]
+    #: the topological order the sweep used — callers doing repeated
+    #: sweeps with a stable zero-subgraph can feed it back to
+    #: :func:`compute_delta` to skip the Kahn pass
+    order: list[str] | None = None
+    _period: float | None = field(
+        default=None, repr=False, compare=False, init=False
+    )
 
     @property
     def period(self) -> float:
-        """The clock period: max Δ."""
-        return max(self.delta.values(), default=0.0)
+        """The clock period: max Δ (computed once, then cached)."""
+        if self._period is None:
+            self._period = max(self.delta.values(), default=0.0)
+        return self._period
 
     def trace_start(self, v: str) -> str:
         """Walk predecessors back to the start of v's critical path."""
@@ -40,10 +49,30 @@ class DeltaResult:
         return node
 
 
+def _order_fits(
+    order: list[str], graph: RetimingGraph, zero_in: dict[str, list[str]]
+) -> bool:
+    """Is *order* a topological order of this zero-weight subgraph?"""
+    if len(order) != len(graph.vertices):
+        return False
+    pos: dict[str, int] = {}
+    for i, v in enumerate(order):
+        if v not in graph.vertices or v in pos:
+            return False
+        pos[v] = i
+    for v, preds in zero_in.items():
+        pv = pos[v]
+        for u in preds:
+            if pos[u] >= pv:
+                return False
+    return True
+
+
 def compute_delta(
     graph: RetimingGraph,
     r: dict[str, int] | None = None,
     through_host: bool | None = None,
+    order: list[str] | None = None,
 ) -> DeltaResult:
     """CP sweep over the (optionally retimed) zero-weight subgraph.
 
@@ -54,6 +83,11 @@ def compute_delta(
     cycle PO → host → PI on any register-free input-to-output path.
     Classic FEAS (which treats the host as an ordinary vertex and
     normalises afterwards) passes ``through_host=True`` explicitly.
+
+    A caller holding a topological *order* from a previous sweep (see
+    :attr:`DeltaResult.order`) can pass it back; it is validated against
+    the current zero subgraph in one O(E) pass and used directly when
+    still consistent, skipping the Kahn pass.
 
     Raises :class:`GraphError` if the zero-weight subgraph is cyclic
     (which legality of *r* rules out whenever every original cycle
@@ -72,23 +106,26 @@ def compute_delta(
         if w == 0 and (through_host or graph.vertices[edge.u].kind != "host"):
             zero_in[edge.v].append(edge.u)
 
-    indeg = {v: len(preds) for v, preds in zero_in.items()}
-    queue = [v for v, d in indeg.items() if d == 0]
-    order: list[str] = []
-    # Kahn's algorithm needs out-adjacency; rebuild it once
-    zero_out: dict[str, list[str]] = {v: [] for v in graph.vertices}
-    for v, preds in zero_in.items():
-        for u in preds:
-            zero_out[u].append(v)
-    while queue:
-        v = queue.pop()
-        order.append(v)
-        for s in zero_out[v]:
-            indeg[s] -= 1
-            if indeg[s] == 0:
-                queue.append(s)
-    if len(order) != len(graph.vertices):
-        raise GraphError("zero-weight subgraph is cyclic")
+    if order is not None and not _order_fits(order, graph, zero_in):
+        order = None  # stale order: fall back to a fresh Kahn pass
+    if order is None:
+        indeg = {v: len(preds) for v, preds in zero_in.items()}
+        queue = [v for v, d in indeg.items() if d == 0]
+        order = []
+        # Kahn's algorithm needs out-adjacency; rebuild it once
+        zero_out: dict[str, list[str]] = {v: [] for v in graph.vertices}
+        for v, preds in zero_in.items():
+            for u in preds:
+                zero_out[u].append(v)
+        while queue:
+            v = queue.pop()
+            order.append(v)
+            for s in zero_out[v]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    queue.append(s)
+        if len(order) != len(graph.vertices):
+            raise GraphError("zero-weight subgraph is cyclic")
 
     delta: dict[str, float] = {}
     pred: dict[str, str | None] = {}
@@ -101,7 +138,7 @@ def compute_delta(
                 best_pred = u
         delta[v] = best + graph.vertices[v].delay
         pred[v] = best_pred
-    return DeltaResult(delta, pred)
+    return DeltaResult(delta, pred, order)
 
 
 def clock_period(graph: RetimingGraph, r: dict[str, int] | None = None) -> float:
@@ -120,6 +157,8 @@ def feas(
     """
     eps = 1e-9
     r = {v: 0 for v in graph.vertices}
+    sweep = None
+    changed = False
     for _ in range(max(len(graph.vertices) - 1, 1)):
         sweep = compute_delta(graph, r, through_host=True)
         changed = False
@@ -129,7 +168,9 @@ def feas(
                 changed = True
         if not changed:
             break
-    if compute_delta(graph, r, through_host=True).period > phi + eps:
+    if changed or sweep is None:  # r moved after the last sweep
+        sweep = compute_delta(graph, r, through_host=True)
+    if sweep.period > phi + eps:
         return None
     if normalize is not None and normalize in r:
         shift = r[normalize]

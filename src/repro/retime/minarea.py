@@ -82,14 +82,39 @@ def min_area(
     phi: float,
     bounds: dict[str, tuple[int, int]] | None = None,
     model: SharingModel | None = None,
+    use_kernels: bool | None = None,
 ) -> AreaResult:
     """Minimum-area retiming achieving clock period ≤ *phi*.
 
     Raises :class:`InfeasibleError` if *phi* is not feasible for the
     graph under the given bounds.
     """
+    from .. import kernels
+
     if model is None:
         model = build_sharing_model(graph)
+    if not kernels.resolve(use_kernels):
+        return _min_area_dict(graph, phi, bounds, model)
+    result = kernels.min_area_kernel(graph, phi, bounds, model)
+    if kernels.kernel_check_enabled():
+        oracle = _min_area_dict(graph, phi, bounds, model)
+        kernels.expect_equal("min_area.r", result.r, oracle.r)
+        kernels.expect_equal("min_area.registers", result.registers, oracle.registers)
+        kernels.expect_equal("min_area.period", result.period, oracle.period)
+        kernels.expect_equal("min_area.rounds", result.rounds, oracle.rounds)
+        kernels.expect_equal(
+            "min_area.constraints", result.constraints, oracle.constraints
+        )
+    return result
+
+
+def _min_area_dict(
+    graph: RetimingGraph,
+    phi: float,
+    bounds: dict[str, tuple[int, int]] | None,
+    model: SharingModel,
+) -> AreaResult:
+    """Dict-based reference engine for :func:`min_area`."""
     extended = model.graph
     system = base_system(extended, bounds)
 

@@ -15,11 +15,19 @@ The minimum φ is then found by binary search, shrinking the upper end
 to the period actually *achieved* by each feasible solution (so the
 search converges on an attainable value rather than an arbitrary
 midpoint).
+
+Two engines implement the identical algorithm: the dict-based reference
+below, and the compiled integer-indexed kernels in
+:mod:`repro.kernels.minperiod` (graph compiled once per search,
+incremental SPFA and incremental Δ re-sweeps between lazy rounds).
+``use_kernels=None`` defers to the global switch; results are
+bit-identical either way, which ``REPRO_KERNEL_CHECK=1`` verifies on
+every call.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..graph.retiming_graph import HOST, RetimingGraph
 from .constraints import DifferenceSystem
@@ -39,6 +47,9 @@ class FeasibilityResult:
     r: dict[str, int] | None
     rounds: int = 0
     constraints: int = 0
+    #: period achieved by ``r`` (read off the final sweep; None when
+    #: infeasible) — saves the caller a redundant re-sweep
+    achieved: float | None = None
 
     @property
     def feasible(self) -> bool:
@@ -93,22 +104,12 @@ def _solve_normalized(system: DifferenceSystem) -> dict[str, int] | None:
     return r
 
 
-def check_period(
+def _check_period_dict(
     graph: RetimingGraph,
     phi: float,
     system: DifferenceSystem,
 ) -> FeasibilityResult:
-    """Lazy feasibility of period *phi*; mutates *system* (adds period
-    constraints, which remain valid for any smaller φ probe as well).
-
-    Note on Maheshwari–Sapatnekar bounds pruning (which the paper
-    expects to compose with the class constraints): lazy generation gets
-    it *for free* — a constraint implied by the class bounds can never
-    be violated by a bounds-respecting solution, so this loop never even
-    generates it.  The explicit prune lives in the dense formulation
-    (:func:`repro.retime.dense.dense_period_system`), where constraints
-    are materialised unconditionally.
-    """
+    """Dict-based reference engine for :func:`check_period`."""
     for rounds in range(1, MAX_LAZY_ROUNDS + 1):
         r = _solve_normalized(system)
         if r is None:
@@ -126,31 +127,89 @@ def check_period(
             if system.add(u, v, bound, tag="period"):
                 added = True
         if not added:
-            return FeasibilityResult(r, rounds, len(system))
+            return FeasibilityResult(r, rounds, len(system), sweep.period)
     raise RuntimeError("lazy period-constraint generation did not converge")
+
+
+def _check_period_kernel(
+    graph: RetimingGraph,
+    phi: float,
+    system: DifferenceSystem,
+) -> FeasibilityResult:
+    """Kernel engine for :func:`check_period`, mirroring generated
+    constraints back into the caller's dict *system*."""
+    from .. import kernels
+
+    cg = kernels.compile_graph(graph)
+    csys = kernels.CompiledSystem.from_system(system, cg)
+    before = len(csys)
+    outcome = kernels.check_period_kernel(cg, phi, csys)
+    # replay additions/tightenings so the dict system stays the record
+    names = csys.names
+    if len(csys) != before or outcome.rounds > 1:
+        for (u, v), slot in csys.pair.items():
+            bound = csys.arc_b[slot]
+            if system.bound(names[u], names[v]) != bound:
+                system.add(names[u], names[v], bound, tag="period")
+    if outcome.r is None:
+        return FeasibilityResult(None, outcome.rounds, len(system))
+    r = {names[i]: outcome.r[i] for i in range(len(outcome.r))}
+    return FeasibilityResult(
+        r, outcome.rounds, len(system), outcome.sweep.period
+    )
+
+
+def check_period(
+    graph: RetimingGraph,
+    phi: float,
+    system: DifferenceSystem,
+    use_kernels: bool | None = None,
+) -> FeasibilityResult:
+    """Lazy feasibility of period *phi*; mutates *system* (adds period
+    constraints, which remain valid for any smaller φ probe as well).
+
+    Note on Maheshwari–Sapatnekar bounds pruning (which the paper
+    expects to compose with the class constraints): lazy generation gets
+    it *for free* — a constraint implied by the class bounds can never
+    be violated by a bounds-respecting solution, so this loop never even
+    generates it.  The explicit prune lives in the dense formulation
+    (:func:`repro.retime.dense.dense_period_system`), where constraints
+    are materialised unconditionally.
+    """
+    from .. import kernels
+
+    if not kernels.resolve(use_kernels):
+        return _check_period_dict(graph, phi, system)
+    if kernels.kernel_check_enabled():
+        shadow = system.copy()
+        result = _check_period_kernel(graph, phi, system)
+        oracle = _check_period_dict(graph, phi, shadow)
+        kernels.expect_equal("check_period.r", result.r, oracle.r)
+        kernels.expect_equal("check_period.rounds", result.rounds, oracle.rounds)
+        kernels.expect_equal(
+            "check_period.constraints", result.constraints, oracle.constraints
+        )
+        return result
+    return _check_period_kernel(graph, phi, system)
 
 
 def feasible_retiming(
     graph: RetimingGraph,
     phi: float,
     bounds: dict[str, tuple[int, int]] | None = None,
+    use_kernels: bool | None = None,
 ) -> dict[str, int] | None:
     """One-shot feasibility: a legal retiming with period ≤ φ, or None."""
     system = base_system(graph, bounds)
-    return check_period(graph, phi, system).r
+    return check_period(graph, phi, system, use_kernels=use_kernels).r
 
 
-def min_period(
+def _min_period_dict(
     graph: RetimingGraph,
-    bounds: dict[str, tuple[int, int]] | None = None,
-    eps: float = 1e-6,
+    bounds: dict[str, tuple[int, int]] | None,
+    eps: float,
 ) -> MinPeriodResult:
-    """Binary-search the minimum feasible clock period.
-
-    Returns the best feasible (φ, r); φ is the period actually achieved
-    by the returned retiming.  For graphs with integral delays the
-    result is exact; for float delays it is within *eps*.
-    """
+    """Dict-based reference engine for :func:`min_period`."""
     zero = {v: 0 for v in graph.vertices}
     start = compute_delta(graph, zero).period
     lo = max((v.delay for v in graph.vertices.values()), default=0.0)
@@ -166,10 +225,10 @@ def min_period(
     while hi - lo > eps:
         mid = (lo + hi) / 2.0
         probes += 1
-        result = check_period(graph, mid, base.copy())
+        result = _check_period_dict(graph, mid, base.copy())
         rounds += result.rounds
         if result.feasible:
-            achieved = compute_delta(graph, result.r).period
+            achieved = result.achieved
             best_phi = achieved
             best_r = result.r
             hi = min(achieved, mid)
@@ -178,3 +237,29 @@ def min_period(
     return MinPeriodResult(
         phi=best_phi, r=best_r, achieved=best_phi, probes=probes, rounds=rounds
     )
+
+
+def min_period(
+    graph: RetimingGraph,
+    bounds: dict[str, tuple[int, int]] | None = None,
+    eps: float = 1e-6,
+    use_kernels: bool | None = None,
+) -> MinPeriodResult:
+    """Binary-search the minimum feasible clock period.
+
+    Returns the best feasible (φ, r); φ is the period actually achieved
+    by the returned retiming.  For graphs with integral delays the
+    result is exact; for float delays it is within *eps*.
+    """
+    from .. import kernels
+
+    if not kernels.resolve(use_kernels):
+        return _min_period_dict(graph, bounds, eps)
+    result = kernels.min_period_kernel(graph, bounds, eps)
+    if kernels.kernel_check_enabled():
+        oracle = _min_period_dict(graph, bounds, eps)
+        kernels.expect_equal("min_period.phi", result.phi, oracle.phi)
+        kernels.expect_equal("min_period.r", result.r, oracle.r)
+        kernels.expect_equal("min_period.probes", result.probes, oracle.probes)
+        kernels.expect_equal("min_period.rounds", result.rounds, oracle.rounds)
+    return result

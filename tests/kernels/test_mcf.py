@@ -1,0 +1,114 @@
+"""IntMinCostFlow vs the named-node MinCostFlow oracle.
+
+Node ids in the dict engine follow ``add_node`` insertion order and its
+Dijkstra breaks ties on (distance, node id) — the same keys the int
+kernel uses — so building both networks in the same order must yield
+identical potentials (the LP dual the retiming caller consumes).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.kernels import IntMinCostFlow
+from repro.kernels.mcf import FlowInfeasibleError as KernelInfeasible
+from repro.retime.mincostflow import INF, FlowInfeasibleError, MinCostFlow
+
+
+def _build_pair(seed: int, n: int = 8):
+    rng = random.Random(seed)
+    sup = [0] * n
+    for _ in range(3):
+        a, b = rng.sample(range(n), 2)
+        amount = rng.randint(1, 4)
+        sup[a] += amount
+        sup[b] -= amount
+    oracle = MinCostFlow()
+    kernel = IntMinCostFlow(n)
+    for i in range(n):
+        oracle.add_node(str(i), sup[i])
+        kernel.supply[i] = sup[i]
+    arcs = []
+    for i in range(n):  # uncapacitated ring: always feasible
+        arcs.append((i, (i + 1) % n, rng.randint(0, 5), INF))
+    for _ in range(2 * n):
+        u, v = rng.sample(range(n), 2)
+        cap = INF if rng.random() < 0.5 else float(rng.randint(1, 5))
+        arcs.append((u, v, rng.randint(0, 8), cap))
+    for u, v, cost, cap in arcs:
+        oracle.add_arc(str(u), str(v), cost, cap)
+        kernel.add_arc(u, v, cost, cap)
+    return oracle, kernel, n
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_potentials_identical(seed):
+    oracle, kernel, n = _build_pair(seed)
+    oracle.solve()
+    kernel.solve()
+    expected = oracle.potentials()
+    assert kernel.potential == [expected[str(i)] for i in range(n)]
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_initial_potentials_respected(seed):
+    oracle, kernel, n = _build_pair(seed)
+    # a uniform shift keeps every reduced cost unchanged, so it is valid
+    oracle.solve({str(i): 1.0 for i in range(n)})
+    kernel.solve([1.0] * n)
+    expected = oracle.potentials()
+    assert kernel.potential == [expected[str(i)] for i in range(n)]
+
+
+def test_unbalanced_supplies_rejected():
+    oracle = MinCostFlow()
+    oracle.add_node("a", 1)
+    oracle.add_node("b", 0)
+    oracle.add_arc("a", "b", 1)
+    with pytest.raises(FlowInfeasibleError):
+        oracle.solve()
+    kernel = IntMinCostFlow(2)
+    kernel.supply[0] = 1
+    kernel.add_arc(0, 1, 1)
+    with pytest.raises(KernelInfeasible):
+        kernel.solve()
+
+
+def test_negative_reduced_cost_rejected():
+    oracle = MinCostFlow()
+    oracle.add_node("a", 1)
+    oracle.add_node("b", -1)
+    oracle.add_arc("a", "b", -2)
+    with pytest.raises(ValueError):
+        oracle.solve()
+    kernel = IntMinCostFlow(2)
+    kernel.supply = [1, -1]
+    kernel.add_arc(0, 1, -2)
+    with pytest.raises(ValueError):
+        kernel.solve()
+    # the same arc is fine once the potentials absorb its cost
+    kernel2 = IntMinCostFlow(2)
+    kernel2.supply = [1, -1]
+    kernel2.add_arc(0, 1, -2)
+    kernel2.solve([0.0, -2.0])
+    oracle2 = MinCostFlow()
+    oracle2.add_node("a", 1)
+    oracle2.add_node("b", -1)
+    oracle2.add_arc("a", "b", -2)
+    oracle2.solve({"a": 0.0, "b": -2.0})
+    expected = oracle2.potentials()
+    assert kernel2.potential == [expected["a"], expected["b"]]
+
+
+def test_unreachable_demand_rejected():
+    oracle = MinCostFlow()
+    oracle.add_node("a", 1)
+    oracle.add_node("b", -1)  # no arc a->b at all
+    with pytest.raises(FlowInfeasibleError):
+        oracle.solve()
+    kernel = IntMinCostFlow(2)
+    kernel.supply = [1, -1]
+    with pytest.raises(KernelInfeasible):
+        kernel.solve()

@@ -1,0 +1,118 @@
+"""CompiledSTA vs the dict analyzer, full and incremental modes."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.kernels import CompiledSTA, analyze_kernel
+from repro.timing import UNIT_DELAY, XC4000E_DELAY
+from repro.timing.sta import _analyze_dict
+from tests.strategies import circuits
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _assert_results_equal(kernel, oracle):
+    assert kernel.max_delay == oracle.max_delay
+    assert kernel.arrival == oracle.arrival
+    # the arrival dict's *insertion order* is part of the contract
+    assert list(kernel.arrival) == list(oracle.arrival)
+    assert kernel.critical_path == oracle.critical_path
+    assert kernel.critical_sink == oracle.critical_sink
+
+
+@RELAXED
+@given(circuit=circuits())
+def test_full_sweep_matches_dict_unit_delay(circuit):
+    _assert_results_equal(
+        analyze_kernel(circuit, UNIT_DELAY), _analyze_dict(circuit, UNIT_DELAY)
+    )
+
+
+@RELAXED
+@given(circuit=circuits())
+def test_full_sweep_matches_dict_xc4000e(circuit):
+    _assert_results_equal(
+        analyze_kernel(circuit, XC4000E_DELAY),
+        _analyze_dict(circuit, XC4000E_DELAY),
+    )
+
+
+@RELAXED
+@given(circuit=circuits(max_gates=10))
+def test_incremental_update_equals_full_resweep(circuit):
+    """After overriding source arrivals, ``update`` must land on exactly
+    the state a full sweep with the same overrides produces."""
+    sta = CompiledSTA(circuit, XC4000E_DELAY)
+    sta.full_sweep()
+    reference = CompiledSTA(circuit, XC4000E_DELAY)
+    overrides: dict[str, float] = {}
+    # walk a few sources, perturbing one more each round
+    sources = [net for net in circuit.inputs if net != "clk"][:3]
+    for step, net in enumerate(sources, start=1):
+        overrides[net] = 1.5 * step
+        sta.update({net: 1.5 * step})
+        reference.full_sweep(overrides)
+        assert sta.arrival == reference.arrival
+        assert sta.pred == reference.pred
+        k, o = sta.result(), reference.result()
+        assert k.max_delay == o.max_delay
+        assert k.arrival == o.arrival
+
+
+def _pipeline_circuit():
+    from repro.netlist import read_blif
+
+    return read_blif(
+        """
+.model pipe
+.inputs clk a b
+.outputs out
+.names a b n1
+11 1
+.names n1 q1 n2
+10 1
+.mcff r1 d=n2 q=q1 clk=clk
+.mcff r2 d=n1 q=q2 clk=clk
+.names q1 q2 out
+01 1
+.end
+"""
+    )
+
+
+def test_update_noop_and_unknown_nets():
+    c = _pipeline_circuit()
+    sta = CompiledSTA(c, XC4000E_DELAY)
+    sta.full_sweep()
+    before = list(sta.arrival)
+    # same value again: nothing is dirty, no gate re-evaluated
+    q = next(iter(c.registers.values())).q
+    assert sta.update({q: XC4000E_DELAY.clock_to_q}) == 0
+    assert sta.arrival == before
+    # unknown nets are ignored
+    assert sta.update({"no-such-net": 99.0}) == 0
+    assert sta.arrival == before
+
+
+def test_update_dirty_region_is_partial():
+    c = _pipeline_circuit()
+    sta = CompiledSTA(c, XC4000E_DELAY)
+    sta.full_sweep()
+    q1 = c.registers["r1"].q
+    evaluated = sta.update({q1: XC4000E_DELAY.clock_to_q + 2.0})
+    # only the fanout cone of q1 (the output gate) re-evaluates, not all
+    assert 0 < evaluated < len(sta.gate_order)
+    reference = CompiledSTA(c, XC4000E_DELAY)
+    reference.full_sweep({q1: XC4000E_DELAY.clock_to_q + 2.0})
+    assert sta.arrival == reference.arrival
+
+
+def test_compiled_sta_reachable_from_timing_package():
+    from repro.timing import CompiledSTA as ReExported
+
+    assert ReExported is CompiledSTA
