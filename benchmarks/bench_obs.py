@@ -1,0 +1,297 @@
+"""Benchmark: disabled-tracing overhead of the obs instrumentation.
+
+The retiming hot loops (PR 2's compiled kernels) carry permanent
+``obs.span`` / ``obs.count`` / ``obs.gauge`` call sites.  With no
+tracer installed each call is one global load plus an identity check —
+this bench gates that the *disabled* path stays under 3 % overhead by
+timing the kernel loops twice, interleaved: once against the real
+:mod:`repro.obs` dispatch functions and once with them swapped for
+bare do-nothing stubs (the cheapest possible baseline the call sites
+permit).  If a future change makes the disabled path do real work, the
+ratio trips the gate.
+
+Runs under pytest (``pytest benchmarks/bench_obs.py``) or standalone::
+
+    PYTHONPATH=src:. python benchmarks/bench_obs.py --check-overhead
+    PYTHONPATH=src:. python benchmarks/bench_obs.py --smoke \
+        --out-dir /tmp/obs_smoke
+
+``--check-overhead`` exits non-zero when any kernel loop exceeds the
+threshold (default 3 %).  ``--smoke`` runs one traced Table-2 row,
+validates the Chrome-trace and JSONL schemas, and checks that span
+totals reproduce the flow's ``timings`` dict exactly — the CI
+``obs-smoke`` contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import sys
+import time
+from pathlib import Path
+
+_perf_counter = time.perf_counter
+
+#: disabled-tracing overhead budget (percent) for --check-overhead
+OVERHEAD_BUDGET_PCT = 3.0
+
+#: interleaved repeats per workload (median taken over these)
+DEFAULT_REPEATS = 15
+
+
+@contextlib.contextmanager
+def _stubbed_obs():
+    """Swap the obs dispatch helpers for bare no-op stubs.
+
+    Instrumented modules hold a reference to the ``repro.obs`` package
+    and resolve ``obs.span`` etc. at call time, so patching the package
+    attributes reaches every call site at once.
+    """
+    from repro import obs
+
+    saved = {
+        name: getattr(obs, name)
+        for name in ("span", "timed", "count", "gauge", "enabled")
+    }
+
+    def _null_span(*args, **kwargs):
+        return obs.NULL_SPAN
+
+    def _noop(*args, **kwargs):
+        return None
+
+    obs.span = _null_span
+    obs.timed = lambda *a, **k: obs.Stopwatch()
+    obs.count = _noop
+    obs.gauge = _noop
+    obs.enabled = lambda: False
+    try:
+        yield
+    finally:
+        for name, fn in saved.items():
+            setattr(obs, name, fn)
+
+
+def _paired_overhead(fn, repeats: int) -> tuple[float, float, float]:
+    """Overhead estimate for *fn*: (real_s, stub_s, overhead_pct).
+
+    Each repeat times one real run and one stubbed run back to back and
+    keeps their ratio; the reported overhead is the **median of the
+    per-pair ratios**.  Adjacent runs share the same host conditions
+    (~tens of ms apart), so machine-wide drift cancels out of each
+    ratio, and the pair order alternates every repeat because running
+    second in a pair is measurably faster (warm allocator/branch state)
+    — a fixed order would bias the ratio far more than the effect under
+    test.
+    """
+    import statistics
+
+    fn()
+    fn()  # two warm-up runs; the first is much slower than steady state
+    real = []
+    stub = []
+    ratios = []
+
+    def run_real() -> float:
+        t0 = _perf_counter()
+        fn()
+        dt = _perf_counter() - t0
+        real.append(dt)
+        return dt
+
+    def run_stub() -> float:
+        with _stubbed_obs():
+            t0 = _perf_counter()
+            fn()
+            dt = _perf_counter() - t0
+        stub.append(dt)
+        return dt
+
+    for i in range(repeats):
+        if i % 2 == 0:
+            a = run_real()
+            b = run_stub()
+        else:
+            b = run_stub()
+            a = run_real()
+        ratios.append(a / b)
+    overhead = 100.0 * (statistics.median(ratios) - 1.0)
+    return statistics.median(real), statistics.median(stub), overhead
+
+
+def _workloads(quick: bool):
+    """The PR 2 kernel hot loops, sized so each run is well above timer
+    resolution (tens of milliseconds)."""
+    from repro import kernels
+    from repro.retime.minperiod import base_system
+    from tests.retime.helpers import random_graph
+
+    n, m = (150, 500) if quick else (400, 1400)
+    graph = random_graph(11, n_vertices=n, n_edges=m)
+    cg = kernels.compile_graph(graph)
+    zero = [0] * cg.n
+    # each workload must run tens of milliseconds: at the 1–2 ms scale
+    # scheduler/allocator noise swamps the sub-percent effect under test
+    sweeps = 250 if quick else 300
+    checks = 12 if quick else 6
+
+    def delta_sweep():
+        for _ in range(sweeps):
+            kernels.delta_sweep(cg, zero)
+
+    def check_period():
+        from repro.retime.minperiod import _check_period_kernel
+
+        phi = _min_period_kernel_phi[0]
+        for _ in range(checks):
+            _check_period_kernel(graph, phi, base_system(graph))
+
+    def min_period():
+        kernels.min_period_kernel(graph, None, 1e-6)
+
+    # resolve the achievable period once, outside the timed region
+    from repro.kernels import min_period_kernel
+
+    _min_period_kernel_phi = [min_period_kernel(graph, None, 1e-6).phi]
+
+    return {
+        "delta_sweep": delta_sweep,
+        "check_period": check_period,
+        "min_period": min_period,
+    }
+
+
+def check_overhead(
+    repeats: int = DEFAULT_REPEATS,
+    threshold: float = OVERHEAD_BUDGET_PCT,
+    quick: bool = False,
+) -> dict[str, dict[str, float]]:
+    """Measure disabled-obs overhead per kernel loop; raises on breach."""
+    from repro import obs
+
+    assert not obs.enabled(), "tracing must be disabled for the overhead gate"
+    report: dict[str, dict[str, float]] = {}
+    failures = []
+    for name, fn in _workloads(quick).items():
+        # a genuine regression breaches the budget on every attempt;
+        # host-noise spikes (~1.5 % sigma here) do not survive retries
+        best = None
+        for attempt in range(3):
+            real, stub, overhead = _paired_overhead(fn, repeats)
+            if best is None or overhead < best[2]:
+                best = (real, stub, overhead)
+            if overhead <= threshold:
+                break
+            print(f"{name}: {overhead:+.2f}% > {threshold}%, re-measuring")
+        real, stub, overhead = best
+        report[name] = {
+            "real_s": real,
+            "stub_s": stub,
+            "overhead_pct": overhead,
+        }
+        print(
+            f"{name:16s} real {real * 1e3:8.2f}ms  "
+            f"stub {stub * 1e3:8.2f}ms  overhead {overhead:+6.2f}%"
+        )
+        if overhead > threshold:
+            failures.append(f"{name}: {overhead:.2f}% > {threshold}%")
+    if failures:
+        raise AssertionError(
+            "disabled-tracing overhead budget exceeded: " + "; ".join(failures)
+        )
+    return report
+
+
+# --------------------------------------------------------------------- #
+# traced smoke run (the CI obs-smoke contract)
+
+
+def smoke(out_dir: Path, design: str = "C1", scale: float = 0.3) -> None:
+    """One traced Table-2 row; validates every export format."""
+    from repro import obs
+    from repro.flows import retime_flow
+    from repro.obs import report
+    from repro.synth import build_design
+    from repro.timing import XC4000E_DELAY
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace = out_dir / "obs_smoke_trace.json"
+    jsonl = out_dir / "obs_smoke_run.jsonl"
+    with obs.session(trace=trace, jsonl=jsonl) as tracer:
+        circuit = build_design(design, scale).circuit
+        flow = retime_flow(circuit, XC4000E_DELAY)
+
+    report.validate_chrome_trace(trace)
+    report.validate_jsonl(jsonl)
+    json.loads(trace.read_text())  # belt and braces: well-formed JSON
+
+    totals = report.span_totals(report.load_events(jsonl))
+    for stage, seconds in flow.timings.items():
+        if stage == "total":
+            continue
+        assert totals[f"flow.{stage}"] == seconds, (
+            f"span total for flow.{stage} != timings[{stage!r}] "
+            f"({totals.get('flow.' + stage)} vs {seconds})"
+        )
+
+    counters = tracer.counters
+    for required in ("feas.passes", "bf.rounds", "mcf.augmentations"):
+        assert counters.get(required, 0) > 0, f"counter {required} missing"
+
+    print(f"obs smoke OK: {design} traced, {len(tracer.events)} events")
+    print(f"  chrome trace : {trace}")
+    print(f"  jsonl log    : {jsonl}")
+    print(f"  counters     : " + ", ".join(sorted(counters)))
+
+
+# --------------------------------------------------------------------- #
+# pytest entry points (quick variants; benchmarks/ is not in testpaths,
+# run explicitly with `pytest benchmarks/bench_obs.py`)
+
+
+def test_overhead_gate_quick():
+    check_overhead(repeats=5, threshold=OVERHEAD_BUDGET_PCT, quick=True)
+
+
+def test_smoke(tmp_path):
+    smoke(tmp_path, design="C1", scale=0.3)
+
+
+# --------------------------------------------------------------------- #
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check-overhead", action="store_true")
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument(
+        "--threshold", type=float, default=OVERHEAD_BUDGET_PCT,
+        help="overhead budget in percent (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=Path("benchmarks") / "obs_smoke",
+        help="where --smoke writes its trace artifacts",
+    )
+    parser.add_argument("--design", default="C1")
+    parser.add_argument("--scale", type=float, default=0.3)
+    args = parser.parse_args(argv)
+
+    if not (args.check_overhead or args.smoke):
+        parser.error("pick at least one of --check-overhead / --smoke")
+    try:
+        if args.check_overhead:
+            check_overhead(args.repeats, args.threshold, args.quick)
+        if args.smoke:
+            smoke(args.out_dir, args.design, args.scale)
+    except AssertionError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

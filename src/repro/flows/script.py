@@ -13,16 +13,20 @@ Three flows mirror the three experimental setups:
   retime flow runs (mc-retiming still handles the remaining AS/AC
   classes).
 
+Stage timings come from :mod:`repro.obs` spans (``flow.*``), so a
+traced run shows the flow stages as the top level of the span tree;
+``timings["total"]`` remains the sum of the stage entries.
+
 Flows never mutate their input circuit.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..mcretime import MCRetimeResult, mc_retime
 from ..netlist import Circuit, circuit_stats
+from ..obs import StageClock, finalize_total
 from ..opt import optimize
 from ..techmap import XC4000E_ARCH, decompose_enables, map_luts, remap
 from ..timing import XC4000E_DELAY, analyze
@@ -57,12 +61,6 @@ def _measure(circuit: Circuit, model: DelayModel) -> tuple[int, int, float]:
     return stats.n_ff, stats.n_lut, delay
 
 
-def _total(timings: dict[str, float]) -> dict[str, float]:
-    """Set ``timings["total"]`` to the sum of the stage entries."""
-    timings["total"] = sum(v for k, v in timings.items() if k != "total")
-    return timings
-
-
 def baseline_flow(
     circuit: Circuit,
     delay_model: DelayModel = XC4000E_DELAY,
@@ -74,16 +72,14 @@ def baseline_flow(
     delay* script; ``"area"`` the plain *minimal area* script (the
     system provides both, Sec. 6).
     """
-    timings: dict[str, float] = {}
+    clock = StageClock()
     work = circuit.clone()
-    t0 = time.perf_counter()
-    XC4000E_ARCH.prepare(work)  # decompose SS/SC: no such FF pins on-chip
-    optimize(work)
-    timings["optimize"] = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    mapped = map_luts(work, mode=mapping_mode).circuit
-    XC4000E_ARCH.check_mapped(mapped)
-    timings["map"] = time.perf_counter() - t0
+    with clock.stage("optimize", "flow.optimize"):
+        XC4000E_ARCH.prepare(work)  # decompose SS/SC: no such FF pins on-chip
+        optimize(work)
+    with clock.stage("map", "flow.map", mode=mapping_mode):
+        mapped = map_luts(work, mode=mapping_mode).circuit
+        XC4000E_ARCH.check_mapped(mapped)
     stats = circuit_stats(mapped)
     n_ff, n_lut, delay = _measure(mapped, delay_model)
     return FlowResult(
@@ -93,7 +89,7 @@ def baseline_flow(
         delay=delay,
         has_async=stats.has_async,
         has_enable=stats.has_enable,
-        timings=_total(timings),
+        timings=clock.done(),
     )
 
 
@@ -112,20 +108,18 @@ def retime_flow(
     Pass a precomputed ``mapped`` result to skip re-running the baseline.
     """
     base = mapped or baseline_flow(circuit, delay_model)
-    timings = {k: v for k, v in base.timings.items() if k != "total"}
-    t0 = time.perf_counter()
-    result = mc_retime(
-        base.circuit,
-        delay_model=delay_model,
-        objective=objective,
-        target_period=target_period,
-        semantic_classes=semantic_classes,
-    )
-    timings["retime"] = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    final = remap(result.circuit, delay_model=delay_model).circuit
-    XC4000E_ARCH.check_mapped(final)
-    timings["remap"] = time.perf_counter() - t0
+    clock = StageClock(seed=base.timings)
+    with clock.stage("retime", "flow.retime", objective=objective):
+        result = mc_retime(
+            base.circuit,
+            delay_model=delay_model,
+            objective=objective,
+            target_period=target_period,
+            semantic_classes=semantic_classes,
+        )
+    with clock.stage("remap", "flow.remap"):
+        final = remap(result.circuit, delay_model=delay_model).circuit
+        XC4000E_ARCH.check_mapped(final)
     n_ff, n_lut, delay = _measure(final, delay_model)
     # the retiming optimum is exact on the graph model but full STA adds
     # clock-to-Q, setup and fanout-dependent wire terms; on rare small
@@ -144,7 +138,7 @@ def retime_flow(
         has_async=stats.has_async,
         has_enable=stats.has_enable,
         retime=result,
-        timings=_total(timings),
+        timings=clock.done(),
         accepted=accepted,
     )
 
@@ -164,9 +158,9 @@ def decomposed_enable_flow(
     enables matters.
     """
     work = circuit.clone()
-    t0 = time.perf_counter()
-    decompose_enables(work)
-    pre = time.perf_counter() - t0
+    clock = StageClock()
+    with clock.stage("decompose_en", "flow.decompose_en"):
+        decompose_enables(work)
     result = retime_flow(
         work,
         delay_model,
@@ -174,6 +168,6 @@ def decomposed_enable_flow(
         target_period=target_period,
         semantic_classes=semantic_classes,
     )
-    result.timings["decompose_en"] = pre
-    _total(result.timings)
+    result.timings["decompose_en"] = clock.timings["decompose_en"]
+    finalize_total(result.timings)
     return result

@@ -29,6 +29,7 @@ pattern the retiming loops need — one compile, thousands of sweeps.
 
 from __future__ import annotations
 
+from .. import obs
 from ..graph.retiming_graph import HOST, RetimingGraph
 
 try:  # pragma: no cover - exercised implicitly everywhere
@@ -86,6 +87,7 @@ class CompiledGraph:
 
 def compile_graph(graph: RetimingGraph) -> CompiledGraph:
     """Snapshot *graph* into a :class:`CompiledGraph`."""
+    obs.count("kernels.compile_graph")
     cg = CompiledGraph()
     names = list(graph.vertices)
     index = {name: i for i, name in enumerate(names)}

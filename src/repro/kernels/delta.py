@@ -18,6 +18,7 @@ typically moves only a few vertices.
 
 from __future__ import annotations
 
+from .. import obs
 from ..graph.retiming_graph import GraphError
 from .compiled_graph import CompiledGraph
 
@@ -113,6 +114,7 @@ def delta_sweep(
     cg: CompiledGraph, r: list[int], through_host: bool | None = None
 ) -> KernelSweep:
     """Full CP sweep; bit-identical to the dict ``compute_delta``."""
+    obs.count("delta.sweeps")
     if through_host is None:
         through_host = cg.through_host
     n = cg.n
@@ -193,7 +195,9 @@ def refresh(
     changed = [i for i in range(n) if r[i] != r_old[i]]
     if not changed:
         return sweep
+    obs.count("delta.refreshes")
     if n <= _REFRESH_MIN_N or len(changed) > n * _REFRESH_FRACTION:
+        obs.count("delta.refresh_full")
         return delta_sweep(cg, r, through_host)
 
     eu, ev, ew, src_host = cg.eu, cg.ev, cg.ew, cg.src_host
@@ -246,7 +250,10 @@ def refresh(
                     stack.append(t)
 
     cone = [i for i in range(n) if in_cone[i]]
+    if obs.enabled():
+        obs.gauge("delta.cone", len(cone))
     if len(cone) > n * _REFRESH_FRACTION:
+        obs.count("delta.refresh_full")
         return delta_sweep(cg, r, through_host)
 
     # restricted Kahn: indegree counts only zero edges from cone vertices

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING
 
+from .. import obs
 from ..graph.retiming_graph import HOST
 from .compiled_graph import HAVE_NUMPY, CompiledGraph
 
@@ -204,6 +205,8 @@ class CompiledSystem:
             result = self._solve_full()
         self.dist = result
         self._dirty.clear()
+        if obs.enabled():
+            obs.count("bf.solves")
         return result
 
     def _solve_full(self) -> list[int] | None:
@@ -227,10 +230,17 @@ class CompiledSystem:
                     dist[ui] = nd
                     relax_count[ui] += 1
                     if relax_count[ui] > n:
+                        if obs.enabled():
+                            obs.count("bf.relaxations", sum(relax_count))
                         return None  # negative cycle
                     if not in_queue[ui]:
                         in_queue[ui] = 1
                         push(ui)
+        if obs.enabled():
+            obs.count("bf.relaxations", sum(relax_count))
+            # queue-based SPFA has no synchronous rounds; report the
+            # depth an equivalent round-based Bellman-Ford would need
+            obs.count("bf.rounds", max(relax_count, default=0) + 1)
         return dist
 
     def _solve_warm_list(self) -> list[int] | None:
@@ -248,7 +258,7 @@ class CompiledSystem:
         dist = list(prev)
         arc_u, arc_v, arc_b = self.arc_u, self.arc_v, self.arc_b
         m = len(arc_b)
-        for _ in range(self.n + 1):
+        for rounds in range(1, self.n + 2):
             changed = False
             for slot in range(m):
                 nd = dist[arc_v[slot]] + arc_b[slot]
@@ -256,7 +266,11 @@ class CompiledSystem:
                     dist[arc_u[slot]] = nd
                     changed = True
             if not changed:
+                if obs.enabled():
+                    obs.count("bf.rounds", rounds)
                 return dist
+        if obs.enabled():
+            obs.count("bf.rounds", self.n + 1)
         return None  # negative cycle
 
     def _solve_vectorized(self) -> list[int] | None:
@@ -290,12 +304,16 @@ class CompiledSystem:
             dist = np.asarray(self.dist, dtype=np.int64)
         else:
             dist = np.zeros(self.n, dtype=np.int64)
-        for _ in range(self.n + 1):
+        for rounds in range(1, self.n + 2):
             mins = np.minimum.reduceat(dist[av] + ab, seg)
             updated = mins < dist[targets]
             if not updated.any():
+                if obs.enabled():
+                    obs.count("bf.rounds", rounds)
                 return dist.tolist()
             dist[targets[updated]] = mins[updated]
+        if obs.enabled():
+            obs.count("bf.rounds", self.n + 1)
         return None  # negative cycle
 
     def normalized(self, dist: list[int]) -> list[int]:

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import heapq
 
+from .. import obs
+
 INF = float("inf")
 
 
@@ -82,6 +84,7 @@ class IntMinCostFlow:
         ]
 
         heappush, heappop = heapq.heappush, heapq.heappop
+        augmentations = 0
         while True:
             sources = [i for i, e in enumerate(excess) if e > 0]
             if not sources:
@@ -135,3 +138,13 @@ class IntMinCostFlow:
                 node = to[slot ^ 1]
             excess[node] -= amount
             excess[target] += amount
+            augmentations += 1
+        if obs.enabled():
+            obs.count("mcf.augmentations", augmentations)
+            # all arcs are INF-capacity forward slots, so routed flow
+            # sits entirely on the backward (odd) slots
+            total = sum(
+                int(cap[slot ^ 1]) * cost[slot]
+                for slot in range(0, len(to), 2)
+            )
+            obs.count("mcf.cost", total)

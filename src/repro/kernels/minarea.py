@@ -17,6 +17,7 @@ graph.  Two order-sensitivity notes:
 
 from __future__ import annotations
 
+from .. import obs
 from ..graph.retiming_graph import RetimingGraph
 from .compiled_graph import compile_graph
 from .delta import delta_sweep
@@ -60,33 +61,40 @@ def min_area_kernel(
     is_mirror = cg.is_mirror
     best: list[int] | None = None
     rounds = 0
-    for rounds in range(1, MAX_LAZY_ROUNDS + 1):
-        r = _solve_lp(csys, supply)
-        if r is None:
-            raise InfeasibleError(f"period {phi} infeasible for {graph.name!r}")
-        violations = csys.violated(r)
-        if violations:  # numerical/duality bug guard: never expected
-            names = csys.names
-            shown = [
-                (names[u], names[v], b) for u, v, b in violations[:3]
-            ]
-            raise RuntimeError(f"LP solution violates {shown}")
-        sweep = delta_sweep(cg, r[:n])
-        delta = sweep.delta
-        added = False
-        limit = phi + EPS
-        for v in sweep.order:  # dict-engine constraint order: topo order
-            if delta[v] <= limit or is_mirror[v]:
-                continue
-            u = sweep.trace_start(v)
-            bound = r[u] - r[v] - 1
-            if csys.add(u, v, bound):
-                added = True
-        if not added:
-            best = r
-            break
-    if best is None:
-        raise RuntimeError("lazy period-constraint generation did not converge")
+    with obs.span("minarea.solve", phi=phi, engine="kernel") as span:
+        for rounds in range(1, MAX_LAZY_ROUNDS + 1):
+            r = _solve_lp(csys, supply)
+            if r is None:
+                raise InfeasibleError(
+                    f"period {phi} infeasible for {graph.name!r}"
+                )
+            violations = csys.violated(r)
+            if violations:  # numerical/duality bug guard: never expected
+                names = csys.names
+                shown = [
+                    (names[u], names[v], b) for u, v, b in violations[:3]
+                ]
+                raise RuntimeError(f"LP solution violates {shown}")
+            sweep = delta_sweep(cg, r[:n])
+            delta = sweep.delta
+            added = False
+            limit = phi + EPS
+            for v in sweep.order:  # dict-engine constraint order: topo order
+                if delta[v] <= limit or is_mirror[v]:
+                    continue
+                u = sweep.trace_start(v)
+                bound = r[u] - r[v] - 1
+                if csys.add(u, v, bound):
+                    added = True
+            if not added:
+                best = r
+                break
+        if best is None:
+            raise RuntimeError(
+                "lazy period-constraint generation did not converge"
+            )
+        obs.count("minarea.rounds", rounds)
+        span.set(rounds=rounds)
 
     index = csys.index
     real_r = {v: best[index[v]] for v in graph.vertices}

@@ -21,6 +21,7 @@ exactly.
 
 from __future__ import annotations
 
+from .. import obs
 from ..graph.retiming_graph import RetimingGraph
 from .compiled_graph import CompiledGraph, compile_graph
 from .delta import KernelSweep, delta_sweep, refresh
@@ -61,28 +62,33 @@ def check_period_kernel(
     n = cg.n
     is_mirror = cg.is_mirror
     sweep: KernelSweep | None = None
-    for rounds in range(1, MAX_LAZY_ROUNDS + 1):
-        dist = csys.solve()
-        if dist is None:
-            return KernelFeasibility(None, rounds, len(csys), None)
-        r = csys.normalized(dist)
-        rg = r[: n]
-        if sweep is None:
-            sweep = delta_sweep(cg, rg)
-        else:
-            sweep = refresh(cg, sweep, rg)
-        delta = sweep.delta
-        added = False
-        limit = phi + EPS
-        for v in range(n):
-            if delta[v] <= limit or is_mirror[v]:
-                continue
-            u = sweep.trace_start(v)
-            bound = r[u] - r[v] - 1
-            if csys.add(u, v, bound):
-                added = True
-        if not added:
-            return KernelFeasibility(r, rounds, len(csys), sweep)
+    with obs.span("minperiod.feas", phi=phi, engine="kernel") as span:
+        for rounds in range(1, MAX_LAZY_ROUNDS + 1):
+            dist = csys.solve()
+            if dist is None:
+                obs.count("feas.passes", rounds)
+                span.set(rounds=rounds, feasible=False)
+                return KernelFeasibility(None, rounds, len(csys), None)
+            r = csys.normalized(dist)
+            rg = r[: n]
+            if sweep is None:
+                sweep = delta_sweep(cg, rg)
+            else:
+                sweep = refresh(cg, sweep, rg)
+            delta = sweep.delta
+            added = False
+            limit = phi + EPS
+            for v in range(n):
+                if delta[v] <= limit or is_mirror[v]:
+                    continue
+                u = sweep.trace_start(v)
+                bound = r[u] - r[v] - 1
+                if csys.add(u, v, bound):
+                    added = True
+            if not added:
+                obs.count("feas.passes", rounds)
+                span.set(rounds=rounds, feasible=True)
+                return KernelFeasibility(r, rounds, len(csys), sweep)
     raise RuntimeError("lazy period-constraint generation did not converge")
 
 
@@ -97,28 +103,32 @@ def min_period_kernel(
     """
     from ..retime.minperiod import MinPeriodResult, base_system
 
-    cg = compile_graph(graph)
-    zero = [0] * cg.n
-    start = delta_sweep(cg, zero).period
-    lo = max(cg.delay, default=0.0)
-    best_phi = start
-    best_r = cg.r_dict(zero)
-    probes = 0
-    rounds = 0
-    base = CompiledSystem.from_system(base_system(graph, bounds), cg)
-    hi = start
-    while hi - lo > eps:
-        mid = (lo + hi) / 2.0
-        probes += 1
-        result = check_period_kernel(cg, mid, base.copy())
-        rounds += result.rounds
-        if result.r is not None:
-            achieved = result.sweep.period
-            best_phi = achieved
-            best_r = _r_dict(base, result.r)
-            hi = min(achieved, mid)
-        else:
-            lo = mid
+    with obs.span("minperiod.search", engine="kernel") as span:
+        cg = compile_graph(graph)
+        zero = [0] * cg.n
+        start = delta_sweep(cg, zero).period
+        lo = max(cg.delay, default=0.0)
+        best_phi = start
+        best_r = cg.r_dict(zero)
+        probes = 0
+        rounds = 0
+        base = CompiledSystem.from_system(base_system(graph, bounds), cg)
+        hi = start
+        while hi - lo > eps:
+            mid = (lo + hi) / 2.0
+            probes += 1
+            result = check_period_kernel(cg, mid, base.copy())
+            rounds += result.rounds
+            if result.r is not None:
+                achieved = result.sweep.period
+                best_phi = achieved
+                best_r = _r_dict(base, result.r)
+                hi = min(achieved, mid)
+            else:
+                lo = mid
+        obs.count("minperiod.probes", probes)
+        obs.gauge("minperiod.phi", best_phi)
+        span.set(phi=best_phi, probes=probes)
     return MinPeriodResult(
         phi=best_phi, r=best_r, achieved=best_phi, probes=probes, rounds=rounds
     )

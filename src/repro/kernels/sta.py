@@ -17,6 +17,7 @@ CompiledGraph`.
 
 from __future__ import annotations
 
+from .. import obs
 from ..netlist.circuit import Circuit
 from ..netlist.signals import is_const
 from ..timing.delay_models import DelayModel
@@ -185,6 +186,9 @@ class CompiledSTA:
             evaluated += 1
             if arrival[out] != before:
                 dirty[out] = 1
+        if obs.enabled():
+            obs.count("sta.updates")
+            obs.gauge("sta.dirty_gates", evaluated)
         return evaluated
 
     # ------------------------------------------------------------------ #

@@ -17,9 +17,9 @@ reproduced.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..graph.build import build_mcgraph
 from ..logic.simulate import eval_nets
 from ..logic.ternary import TX
@@ -114,23 +114,23 @@ def mc_retime(
     """
     timings: dict[str, float] = {}
 
-    t0 = time.perf_counter()
-    classifier = Classifier(circuit, semantic=semantic_classes)
-    build = build_mcgraph(circuit, delay_model, classifier.classify)
-    graph = build.graph
-    timings["build"] = time.perf_counter() - t0
+    with obs.timed("engine.build", circuit=circuit.name) as sp:
+        classifier = Classifier(circuit, semantic=semantic_classes)
+        build = build_mcgraph(circuit, delay_model, classifier.classify)
+        graph = build.graph
+    timings["build"] = sp.duration
 
-    t0 = time.perf_counter()
-    bounds = compute_bounds(graph)
-    timings["bounds"] = time.perf_counter() - t0
+    with obs.timed("engine.bounds") as sp:
+        bounds = compute_bounds(graph)
+    timings["bounds"] = sp.duration
 
-    t0 = time.perf_counter()
-    transform = apply_sharing_transform(
-        graph, bounds.bounds, bounds.backward_graph
-    )
-    work_graph = transform.graph
-    work_bounds = dict(transform.bounds)
-    timings["sharing"] = time.perf_counter() - t0
+    with obs.timed("engine.sharing") as sp:
+        transform = apply_sharing_transform(
+            graph, bounds.bounds, bounds.backward_graph
+        )
+        work_graph = transform.graph
+        work_bounds = dict(transform.bounds)
+    timings["sharing"] = sp.duration
 
     period_before = clock_period(graph)
     stats = JustificationStats()
@@ -140,48 +140,52 @@ def mc_retime(
     timings.setdefault("relocate", 0.0)
 
     while True:
-        t0 = time.perf_counter()
-        if target_period is None:
-            mp = min_period(work_graph, work_bounds, use_kernels=use_kernels)
-            phi = mp.phi
-        else:
-            phi = target_period
-        timings["minperiod"] += time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        if objective == "minarea":
-            area = min_area(work_graph, phi, work_bounds, use_kernels=use_kernels)
-            r = area.r
-            area_registers = area.registers
-        elif objective == "minperiod":
+        with obs.timed("engine.minperiod", attempt=attempts) as sp:
             if target_period is None:
-                r = mp.r
+                mp = min_period(work_graph, work_bounds, use_kernels=use_kernels)
+                phi = mp.phi
             else:
-                from ..retime.minperiod import feasible_retiming
+                phi = target_period
+        timings["minperiod"] += sp.duration
 
-                r = feasible_retiming(
+        with obs.timed("engine.minarea", phi=phi) as sp:
+            if objective == "minarea":
+                area = min_area(
                     work_graph, phi, work_bounds, use_kernels=use_kernels
                 )
-                if r is None:
-                    from ..retime.constraints import InfeasibleError
+                r = area.r
+                area_registers = area.registers
+            elif objective == "minperiod":
+                if target_period is None:
+                    r = mp.r
+                else:
+                    from ..retime.minperiod import feasible_retiming
 
-                    raise InfeasibleError(
-                        f"target period {phi} infeasible for {circuit.name!r}"
+                    r = feasible_retiming(
+                        work_graph, phi, work_bounds, use_kernels=use_kernels
                     )
-            area_registers = None
-        else:
-            raise ValueError(f"unknown objective {objective!r}")
-        timings["minarea"] += time.perf_counter() - t0
+                    if r is None:
+                        from ..retime.constraints import InfeasibleError
+
+                        raise InfeasibleError(
+                            f"target period {phi} infeasible for "
+                            f"{circuit.name!r}"
+                        )
+                area_registers = None
+            else:
+                raise ValueError(f"unknown objective {objective!r}")
+        timings["minarea"] += sp.duration
 
         gate_r = {name: r.get(name, 0) for name in circuit.gates}
 
-        t0 = time.perf_counter()
         try:
-            reloc = relocate(circuit, gate_r, classifier)
-            timings["relocate"] += time.perf_counter() - t0
+            with obs.timed("engine.relocate", attempt=attempts) as sp:
+                reloc = relocate(circuit, gate_r, classifier)
+            timings["relocate"] += sp.duration
             break
         except JustificationConflict as conflict:
-            timings["relocate"] += time.perf_counter() - t0
+            timings["relocate"] += sp.duration
+            obs.count("relocate.conflicts")
             stats.unresolvable += 1
             attempts += 1
             if attempts > max_conflict_resolves:

@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .. import obs
 from ..logic.justify import justify_cone
 from ..logic.ternary import TX, meet
 from ..netlist import Circuit, Register
@@ -268,6 +269,7 @@ def _try_backward(
             reg.aval = va.get(net, TX)
             requirements[reg.name] = frozen
         stats.local_steps += 1
+        obs.count("relocate.local_steps")
         performed[gate.name] = performed.get(gate.name, 0) + 1
         return True
 
@@ -277,6 +279,7 @@ def _try_backward(
         stats.unresolvable += 1
         raise JustificationConflict(gate.name, performed.get(gate.name, 0))
     stats.global_steps += 1
+    obs.count("relocate.global_steps")
     performed[gate.name] = performed.get(gate.name, 0) + 1
     return True
 
@@ -392,4 +395,5 @@ def _try_forward(
         aval=aval,
     )
     stats.forward_steps += 1
+    obs.count("relocate.forward_steps")
     return True

@@ -1,0 +1,183 @@
+"""``repro.obs`` — zero-dependency tracing for the retiming pipeline.
+
+Hierarchical spans, monotonic counters, and gauges over the whole
+stack (engine phases, FEAS passes, Bellman–Ford rounds, binary-search
+probes, min-cost-flow augmentations, STA dirty regions, service cache
+hits), exported through pluggable sinks:
+
+* Chrome ``trace_event`` JSON (open in Perfetto / ``chrome://tracing``),
+* structured JSONL run logs (one event per line, streamed),
+* a human-readable text summary tree (``mcretime report``).
+
+Instrumented code uses the module-level helpers::
+
+    from repro import obs
+
+    with obs.span("minperiod.feas", probe=phi):
+        ...
+    obs.count("bf.rounds", rounds)
+    obs.gauge("sta.dirty_gates", evaluated)
+
+When no tracer is installed (the default) ``span`` returns a shared
+no-op singleton and ``count``/``gauge`` return immediately — the
+disabled path costs one global load per call site and is gated at <3 %
+overhead on the kernel loops by ``benchmarks/bench_obs.py``.
+
+Enable tracing with :func:`session` (what the CLI's ``--trace`` /
+``--log-json`` / ``-v`` flags use), the ``REPRO_TRACE*`` environment
+variables (:func:`configure_from_env`), or :func:`start`/:func:`stop`
+directly.  Worker processes use :func:`job_trace`, keyed by the job's
+canonical key so a trace id survives the process boundary.
+
+Environment variables
+---------------------
+``REPRO_TRACE``          write a Chrome trace_event JSON to this path.
+``REPRO_TRACE_LOG``      write a JSONL run log to this path.
+``REPRO_TRACE_SUMMARY``  print the text summary tree to stderr at exit.
+``REPRO_TRACE_DIR``      (workers) write one JSONL per job under this dir.
+``REPRO_TRACE_SPANS``    (workers) trace in-memory only, so span totals
+                         and counters ride back in ``metrics["obs"]``.
+
+See ``docs/OBSERVABILITY.md`` for the span/counter taxonomy.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import sys
+from pathlib import Path
+from typing import Any
+
+from .report import (
+    cpu_split,
+    load_events,
+    render_summary,
+    validate_chrome_trace,
+    validate_jsonl,
+)
+from .sinks import ChromeTraceSink, JsonlSink, MemorySink
+from .tracer import (
+    NULL_SPAN,
+    Span,
+    StageClock,
+    Stopwatch,
+    Tracer,
+    count,
+    current,
+    enabled,
+    finalize_total,
+    gauge,
+    span,
+    start,
+    stop,
+    timed,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "MemorySink",
+    "Span",
+    "StageClock",
+    "Stopwatch",
+    "Tracer",
+    "configure_from_env",
+    "count",
+    "cpu_split",
+    "current",
+    "enabled",
+    "finalize_total",
+    "gauge",
+    "job_trace",
+    "load_events",
+    "render_summary",
+    "session",
+    "span",
+    "start",
+    "stop",
+    "timed",
+    "validate_chrome_trace",
+    "validate_jsonl",
+]
+
+
+@contextlib.contextmanager
+def session(
+    trace: str | Path | None = None,
+    jsonl: str | Path | None = None,
+    summary: bool = False,
+    trace_id: str | None = None,
+    meta: dict[str, Any] | None = None,
+):
+    """Trace a block of work, wiring up the requested sinks.
+
+    Yields the installed :class:`Tracer` (or None when an outer tracer
+    is already active — nested sessions join the enclosing trace rather
+    than shadowing it).  On exit the tracer is finalised, sinks are
+    closed, and the summary tree is printed to stderr if requested.
+    """
+    if current() is not None:
+        yield None
+        return
+    sinks: list[Any] = []
+    if trace:
+        sinks.append(ChromeTraceSink(trace))
+    if jsonl:
+        sinks.append(JsonlSink(jsonl))
+    tracer = start(trace_id=trace_id, sinks=tuple(sinks), meta=meta)
+    try:
+        yield tracer
+    finally:
+        stop()
+        if summary:
+            print(tracer.summary(), file=sys.stderr)
+
+
+@contextlib.contextmanager
+def configure_from_env(environ: dict[str, str] | None = None):
+    """A :func:`session` configured from the ``REPRO_TRACE*`` env vars.
+
+    Yields None without tracing when none of the variables are set, so
+    callers can wrap unconditionally.
+    """
+    env = os.environ if environ is None else environ
+    trace = env.get("REPRO_TRACE") or None
+    jsonl = env.get("REPRO_TRACE_LOG") or None
+    summary = bool(env.get("REPRO_TRACE_SUMMARY"))
+    if not (trace or jsonl or summary):
+        yield None
+        return
+    with session(trace=trace, jsonl=jsonl, summary=summary) as tracer:
+        yield tracer
+
+
+@contextlib.contextmanager
+def job_trace(job_id: str, environ: dict[str, str] | None = None):
+    """Per-job tracing inside service worker processes.
+
+    The pool propagates ``REPRO_TRACE_DIR`` / ``REPRO_TRACE_SPANS``
+    into workers; this starts a fresh tracer whose trace id **is** the
+    job's canonical key, so the trace written in the worker and the
+    metrics observed in the service process correlate.  Yields None
+    (without touching the active tracer) when an outer tracer is
+    already running or neither variable is set.
+    """
+    if current() is not None:
+        yield None
+        return
+    env = os.environ if environ is None else environ
+    trace_dir = env.get("REPRO_TRACE_DIR") or None
+    spans_only = bool(env.get("REPRO_TRACE_SPANS"))
+    if not (trace_dir or spans_only):
+        yield None
+        return
+    sinks: list[Any] = []
+    if trace_dir:
+        sinks.append(JsonlSink(Path(trace_dir) / f"{job_id[:16]}.jsonl"))
+    tracer = start(trace_id=job_id, sinks=tuple(sinks), meta={"job": job_id[:16]})
+    try:
+        yield tracer
+    finally:
+        stop()

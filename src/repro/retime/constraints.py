@@ -19,6 +19,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from .. import obs
+
 
 class InfeasibleError(Exception):
     """Raised when a difference system has no solution (negative cycle)."""
@@ -123,10 +125,19 @@ class DifferenceSystem:
                     dist[ui] = nd
                     relax_count[ui] += 1
                     if relax_count[ui] > n:
+                        if obs.enabled():
+                            obs.count("bf.solves")
+                            obs.count("bf.relaxations", sum(relax_count))
                         return None  # negative cycle
                     if not in_queue[ui]:
                         in_queue[ui] = True
                         queue.append(ui)
+        if obs.enabled():
+            obs.count("bf.solves")
+            obs.count("bf.relaxations", sum(relax_count))
+            # queue-based SPFA has no synchronous rounds; report the
+            # depth an equivalent round-based Bellman-Ford would need
+            obs.count("bf.rounds", max(relax_count, default=0) + 1)
         return {name: dist[index[name]] for name in names}
 
     def check(self, r: dict[str, int]) -> list[Constraint]:

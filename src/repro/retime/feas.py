@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..graph.retiming_graph import GraphError, RetimingGraph
 
 
@@ -94,6 +95,7 @@ def compute_delta(
     carries a register).
     """
     r = r or {}
+    obs.count("delta.sweeps")
     if through_host is None:
         through_host = graph.combinational_host
     zero_in: dict[str, list[str]] = {v: [] for v in graph.vertices}
@@ -159,8 +161,10 @@ def feas(
     r = {v: 0 for v in graph.vertices}
     sweep = None
     changed = False
+    passes = 0
     for _ in range(max(len(graph.vertices) - 1, 1)):
         sweep = compute_delta(graph, r, through_host=True)
+        passes += 1
         changed = False
         for v, dv in sweep.delta.items():
             if dv > phi + eps:
@@ -170,6 +174,7 @@ def feas(
             break
     if changed or sweep is None:  # r moved after the last sweep
         sweep = compute_delta(graph, r, through_host=True)
+    obs.count("feas.passes", passes)
     if sweep.period > phi + eps:
         return None
     if normalize is not None and normalize in r:

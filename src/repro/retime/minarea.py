@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..graph.retiming_graph import HOST, RetimingGraph
 from .constraints import DifferenceSystem, InfeasibleError
 from .feas import compute_delta
@@ -118,6 +119,34 @@ def _min_area_dict(
     extended = model.graph
     system = base_system(extended, bounds)
 
+    with obs.span("minarea.solve", phi=phi) as span:
+        best, rounds = _lazy_lp_rounds(graph, extended, system, model, phi)
+        obs.count("minarea.rounds", rounds)
+        span.set(rounds=rounds)
+
+    real_r = {
+        v: best.get(v, 0)
+        for v in graph.vertices
+    }
+    period = compute_delta(graph, real_r).period
+    return AreaResult(
+        r=real_r,
+        registers=shared_register_count(graph, real_r),
+        registers_before=shared_register_count(graph),
+        period=period,
+        rounds=rounds,
+        constraints=len(system),
+    )
+
+
+def _lazy_lp_rounds(
+    graph: RetimingGraph,
+    extended: RetimingGraph,
+    system: DifferenceSystem,
+    model: SharingModel,
+    phi: float,
+) -> tuple[dict[str, int], int]:
+    """The lazy LP loop; returns (solution, rounds used)."""
     best: dict[str, int] | None = None
     for rounds in range(1, MAX_LAZY_ROUNDS + 1):
         r = _solve_lp(system, model)
@@ -142,17 +171,4 @@ def _min_area_dict(
             break
     if best is None:
         raise RuntimeError("lazy period-constraint generation did not converge")
-
-    real_r = {
-        v: best.get(v, 0)
-        for v in graph.vertices
-    }
-    period = compute_delta(graph, real_r).period
-    return AreaResult(
-        r=real_r,
-        registers=shared_register_count(graph, real_r),
-        registers_before=shared_register_count(graph),
-        period=period,
-        rounds=rounds,
-        constraints=len(system),
-    )
+    return best, rounds

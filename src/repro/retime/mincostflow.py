@@ -17,6 +17,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from .. import obs
+
 INF = float("inf")
 
 
@@ -117,6 +119,7 @@ class MinCostFlow:
                     )
         self._potential = potential
 
+        augmentations = 0
         while True:
             sources = [i for i in range(n) if excess[i] > 0]
             if not sources:
@@ -170,6 +173,7 @@ class MinCostFlow:
                 node = self._to[slot ^ 1]
             excess[node] -= amount
             excess[target] += amount
+            augmentations += 1
 
         total = 0
         for slot, view in self._public:
@@ -178,6 +182,9 @@ class MinCostFlow:
             )
             total += view.flow * view.cost
         self._solved = True
+        if obs.enabled():
+            obs.count("mcf.augmentations", augmentations)
+            obs.count("mcf.cost", total)
         return total
 
     def potentials(self) -> dict[str, float]:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..graph.retiming_graph import HOST, RetimingGraph
 from .constraints import DifferenceSystem
 from .feas import compute_delta
@@ -110,24 +111,29 @@ def _check_period_dict(
     system: DifferenceSystem,
 ) -> FeasibilityResult:
     """Dict-based reference engine for :func:`check_period`."""
-    for rounds in range(1, MAX_LAZY_ROUNDS + 1):
-        r = _solve_normalized(system)
-        if r is None:
-            return FeasibilityResult(None, rounds, len(system))
-        sweep = compute_delta(graph, r)
-        added = False
-        for v, dv in sweep.delta.items():
-            if dv <= phi + EPS:
-                continue
-            if graph.vertices[v].kind == "mirror":
-                continue  # synthetic fanout-model vertex: not a real path end
-            u = sweep.trace_start(v)
-            # register-free path u ~> v: original weight = r(u) − r(v)
-            bound = r.get(u, 0) - r.get(v, 0) - 1
-            if system.add(u, v, bound, tag="period"):
-                added = True
-        if not added:
-            return FeasibilityResult(r, rounds, len(system), sweep.period)
+    with obs.span("minperiod.feas", phi=phi) as span:
+        for rounds in range(1, MAX_LAZY_ROUNDS + 1):
+            r = _solve_normalized(system)
+            if r is None:
+                obs.count("feas.passes", rounds)
+                span.set(rounds=rounds, feasible=False)
+                return FeasibilityResult(None, rounds, len(system))
+            sweep = compute_delta(graph, r)
+            added = False
+            for v, dv in sweep.delta.items():
+                if dv <= phi + EPS:
+                    continue
+                if graph.vertices[v].kind == "mirror":
+                    continue  # synthetic fanout vertex: not a real path end
+                u = sweep.trace_start(v)
+                # register-free path u ~> v: original weight = r(u) − r(v)
+                bound = r.get(u, 0) - r.get(v, 0) - 1
+                if system.add(u, v, bound, tag="period"):
+                    added = True
+            if not added:
+                obs.count("feas.passes", rounds)
+                span.set(rounds=rounds, feasible=True)
+                return FeasibilityResult(r, rounds, len(system), sweep.period)
     raise RuntimeError("lazy period-constraint generation did not converge")
 
 
@@ -210,30 +216,34 @@ def _min_period_dict(
     eps: float,
 ) -> MinPeriodResult:
     """Dict-based reference engine for :func:`min_period`."""
-    zero = {v: 0 for v in graph.vertices}
-    start = compute_delta(graph, zero).period
-    lo = max((v.delay for v in graph.vertices.values()), default=0.0)
-    best_phi = start
-    best_r = zero
-    probes = 0
-    rounds = 0
-    # a period constraint generated while probing φ1 remains valid for
-    # every φ ≤ φ1 but can over-constrain larger φ probes, so each probe
-    # starts from a fresh copy of the base system
-    base = base_system(graph, bounds)
-    hi = start
-    while hi - lo > eps:
-        mid = (lo + hi) / 2.0
-        probes += 1
-        result = _check_period_dict(graph, mid, base.copy())
-        rounds += result.rounds
-        if result.feasible:
-            achieved = result.achieved
-            best_phi = achieved
-            best_r = result.r
-            hi = min(achieved, mid)
-        else:
-            lo = mid
+    with obs.span("minperiod.search") as span:
+        zero = {v: 0 for v in graph.vertices}
+        start = compute_delta(graph, zero).period
+        lo = max((v.delay for v in graph.vertices.values()), default=0.0)
+        best_phi = start
+        best_r = zero
+        probes = 0
+        rounds = 0
+        # a period constraint generated while probing φ1 remains valid for
+        # every φ ≤ φ1 but can over-constrain larger φ probes, so each probe
+        # starts from a fresh copy of the base system
+        base = base_system(graph, bounds)
+        hi = start
+        while hi - lo > eps:
+            mid = (lo + hi) / 2.0
+            probes += 1
+            result = _check_period_dict(graph, mid, base.copy())
+            rounds += result.rounds
+            if result.feasible:
+                achieved = result.achieved
+                best_phi = achieved
+                best_r = result.r
+                hi = min(achieved, mid)
+            else:
+                lo = mid
+        obs.count("minperiod.probes", probes)
+        obs.gauge("minperiod.phi", best_phi)
+        span.set(phi=best_phi, probes=probes)
     return MinPeriodResult(
         phi=best_phi, r=best_r, achieved=best_phi, probes=probes, rounds=rounds
     )

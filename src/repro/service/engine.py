@@ -11,7 +11,13 @@ values here.  Responsibilities:
   and never touch the worker pool;
 * **metrics**: every lifecycle event increments the Prometheus
   registry, including per-stage latency histograms fed from
-  ``FlowResult.timings``.
+  ``FlowResult.timings`` and per-span histograms fed from the workers'
+  :mod:`repro.obs` trace snapshots (``metrics["obs"]``).
+
+Tracing: pass ``trace_dir`` to have every worker write a per-job JSONL
+trace there (the trace id is the job's canonical key); span totals are
+additionally bridged into ``repro_span_seconds{span=...}`` whenever
+workers trace (``trace_dir`` set, or ``REPRO_TRACE_SPANS`` inherited).
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import threading
 import time
 from pathlib import Path
 
+from .. import obs
 from .cache import ResultCache
 from .jobs import JobResult, RetimeJob
 from .metrics import MetricsRegistry
@@ -38,6 +45,7 @@ class RetimeService:
         max_retries: int = 2,
         retry_backoff: float = 0.5,
         metrics: MetricsRegistry | None = None,
+        trace_dir: str | Path | None = None,
     ) -> None:
         self.metrics = metrics or MetricsRegistry()
         m = self.metrics
@@ -74,6 +82,17 @@ class RetimeService:
         self._stage_seconds = m.histogram(
             "repro_stage_seconds", "Per-flow-stage wall-clock seconds"
         )
+        self._span_seconds = m.histogram(
+            "repro_span_seconds",
+            "Per-trace-span wall-clock seconds (from worker trace snapshots)",
+        )
+
+        worker_env: dict[str, str] = {}
+        if trace_dir is not None:
+            worker_env["REPRO_TRACE_DIR"] = str(trace_dir)
+            # memory tracing rides along so span totals reach the metrics
+            worker_env["REPRO_TRACE_SPANS"] = "1"
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
 
         self.cache = ResultCache(cache_dir, memory_size=cache_memory)
         self.pool = RetimePool(
@@ -82,6 +101,7 @@ class RetimeService:
             max_retries=max_retries,
             retry_backoff=retry_backoff,
             on_event=self._on_pool_event,
+            worker_env=worker_env,
         ).start()
         self._lock = threading.Lock()
         #: job_id -> record dict (state machine mirrored for the HTTP API)
@@ -104,6 +124,7 @@ class RetimeService:
                     # completed earlier this session: an in-memory hit —
                     # re-mark the record so waiters see cached=True
                     self._cache_hits.inc()
+                    obs.count("service.cache.hit")
                     hit = JobResult.from_dict(record["result"].to_dict())
                     hit.cached = True
                     record["result"] = hit
@@ -111,12 +132,14 @@ class RetimeService:
                 else:
                     # still queued/running: coalesce onto the in-flight job
                     self._deduped.inc()
+                    obs.count("service.cache.dedup")
                 return job_id
         cached = self.cache.get(job_id)
         if cached is not None:
             cached.cached = True
             cached.job_id = job_id
             self._cache_hits.inc()
+            obs.count("service.cache.hit")
             with self._lock:
                 self._jobs[job_id] = {
                     "state": "done",
@@ -126,6 +149,7 @@ class RetimeService:
                 }
             return job_id
         self._cache_misses.inc()
+        obs.count("service.cache.miss")
         with self._lock:
             self._jobs[job_id] = {
                 "state": "queued",
@@ -223,6 +247,10 @@ class RetimeService:
             for stage, seconds in result.metrics.get("timings", {}).items():
                 if stage != "total":
                     self._stage_seconds.observe(seconds, stage=stage)
+            snapshot = result.metrics.get("obs")
+            if snapshot:
+                for span, seconds in snapshot.get("spans", {}).items():
+                    self._span_seconds.observe(seconds, span=span)
             self.cache.put(job_id, result)
             self._record_final(job_id, result)
         elif kind == "failed":

@@ -26,6 +26,7 @@ from dataclasses import asdict, dataclass, field
 from functools import cached_property
 from pathlib import Path
 
+from .. import obs
 from ..flows import FlowResult, baseline_flow, decomposed_enable_flow, retime_flow
 from ..mcretime import MCRetimeResult, mc_retime
 from ..netlist import (
@@ -262,10 +263,34 @@ def execute_job(job: RetimeJob) -> JobResult:
             time.sleep(60)
 
     t0 = time.perf_counter()
-    circuit = _parse(job.netlist, job.fmt, job.name)
-    check_circuit(circuit)
-    model = _DELAY_MODELS[job.resolved_delay_model()]
+    with obs.job_trace(job.canonical_key) as tracer:
+        metrics = _run_flow(job)
+        if tracer is not None:
+            metrics["obs"] = tracer.snapshot()
+    out_circuit = metrics.pop("_circuit")
+    out_fmt = job.resolved_output_fmt()
+    return JobResult(
+        job_id=job.canonical_key,
+        status="done",
+        output=_emit(out_circuit, out_fmt),
+        output_fmt=out_fmt,
+        metrics=metrics,
+        elapsed=time.perf_counter() - t0,
+    )
 
+
+def _run_flow(job: RetimeJob) -> dict:
+    """Execute the job's flow; returns its metrics dict (the output
+    circuit rides along under the ``_circuit`` key)."""
+    with obs.span("job.execute", flow=job.flow, job=job.canonical_key[:16]):
+        circuit = _parse(job.netlist, job.fmt, job.name)
+        check_circuit(circuit)
+        model = _DELAY_MODELS[job.resolved_delay_model()]
+        metrics = _dispatch_flow(job, circuit, model)
+    return metrics
+
+
+def _dispatch_flow(job: RetimeJob, circuit: Circuit, model) -> dict:
     if job.flow == "mcretime":
         result = mc_retime(
             circuit,
@@ -319,12 +344,5 @@ def execute_job(job: RetimeJob) -> JobResult:
         out_circuit = flow.circuit
         metrics = _flow_metrics(flow)
 
-    out_fmt = job.resolved_output_fmt()
-    return JobResult(
-        job_id=job.canonical_key,
-        status="done",
-        output=_emit(out_circuit, out_fmt),
-        output_fmt=out_fmt,
-        metrics=metrics,
-        elapsed=time.perf_counter() - t0,
-    )
+    metrics["_circuit"] = out_circuit
+    return metrics

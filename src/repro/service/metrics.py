@@ -101,16 +101,37 @@ class Histogram:
         self._totals: dict[tuple, int] = {}
         self._samples: dict[tuple, list[float]] = {}
 
+    def labels(self, **labels: str) -> "Histogram":
+        """Pre-register a label set so it renders before any observation.
+
+        Mirrors ``prometheus_client``'s ``labels()`` idiom: dashboards
+        that alert on absent series need every expected label set to
+        expose a full zero-valued ``_bucket``/``_sum``/``_count`` family
+        from the first scrape, not from the first observation.
+        """
+        key = _label_key(labels)
+        with self._lock:
+            self._register(key)
+        return self
+
+    def _register(self, key: tuple) -> None:
+        """Ensure all per-series state exists for *key* (lock held)."""
+        if key not in self._totals:
+            self._counts[key] = [0] * len(self.buckets)
+            self._sums[key] = 0.0
+            self._totals[key] = 0
+            self._samples[key] = []
+
     def observe(self, value: float, **labels: str) -> None:
         key = _label_key(labels)
         with self._lock:
-            counts = self._counts.setdefault(key, [0] * len(self.buckets))
+            self._register(key)
             idx = bisect_left(self.buckets, value)
-            if idx < len(counts):
-                counts[idx] += 1
-            self._sums[key] = self._sums.get(key, 0.0) + value
-            self._totals[key] = self._totals.get(key, 0) + 1
-            samples = self._samples.setdefault(key, [])
+            if idx < len(self.buckets):
+                self._counts[key][idx] += 1
+            self._sums[key] += value
+            self._totals[key] += 1
+            samples = self._samples[key]
             insort(samples, value)
             if len(samples) > _MAX_SAMPLES:
                 # drop the median neighbour to keep the tails intact
@@ -125,13 +146,26 @@ class Histogram:
             return self._sums.get(_label_key(labels), 0.0)
 
     def percentile(self, p: float, **labels: str) -> float:
-        """The *p*-th percentile (0–100) of the recorded samples."""
+        """The *p*-th percentile (0–100) of the recorded samples.
+
+        Linear interpolation between adjacent reservoir samples (the
+        "inclusive"/``numpy.percentile`` definition): with *n* samples
+        the fractional rank is ``(n - 1) * p / 100`` and the result
+        blends the two neighbouring order statistics.  Nearest-rank
+        jumps a full sample width whenever an observation lands, which
+        makes p50/p95 jitter badly at small sample counts; interpolation
+        moves smoothly.
+        """
         with self._lock:
             samples = self._samples.get(_label_key(labels), [])
             if not samples:
                 return 0.0
-            rank = max(0, min(len(samples) - 1, round(p / 100 * (len(samples) - 1))))
-            return samples[rank]
+            rank = max(0.0, min(1.0, p / 100.0)) * (len(samples) - 1)
+            lo = int(rank)
+            frac = rank - lo
+            if frac == 0.0 or lo + 1 >= len(samples):
+                return samples[lo]
+            return samples[lo] + (samples[lo + 1] - samples[lo]) * frac
 
     def render(self) -> list[str]:
         lines = [
@@ -139,21 +173,30 @@ class Histogram:
             f"# TYPE {self.name} {self.kind}",
         ]
         with self._lock:
-            keys = sorted(self._totals)
-            for key in keys:
-                cumulative = 0
-                for bound, n in zip(self.buckets, self._counts[key]):
-                    cumulative += n
-                    label = _label_text(key + (("le", _format(bound)),))
-                    lines.append(f"{self.name}_bucket{label} {cumulative}")
-                label = _label_text(key + (("le", "+Inf"),))
-                lines.append(f"{self.name}_bucket{label} {self._totals[key]}")
-                lines.append(
-                    f"{self.name}_sum{_label_text(key)} {_format(self._sums[key])}"
-                )
-                lines.append(
-                    f"{self.name}_count{_label_text(key)} {self._totals[key]}"
-                )
+            if not self._totals:
+                # match Counter: an empty metric still exposes one
+                # unlabelled zero-valued series so scrapes see the name
+                counts = {(): [0] * len(self.buckets)}
+                sums: dict[tuple, float] = {(): 0.0}
+                totals: dict[tuple, int] = {(): 0}
+            else:
+                counts = {k: list(v) for k, v in self._counts.items()}
+                sums = dict(self._sums)
+                totals = dict(self._totals)
+        for key in sorted(totals):
+            cumulative = 0
+            for bound, n in zip(self.buckets, counts[key]):
+                cumulative += n
+                label = _label_text(key + (("le", _format(bound)),))
+                lines.append(f"{self.name}_bucket{label} {cumulative}")
+            label = _label_text(key + (("le", "+Inf"),))
+            lines.append(f"{self.name}_bucket{label} {totals[key]}")
+            lines.append(
+                f"{self.name}_sum{_label_text(key)} {_format(sums[key])}"
+            )
+            lines.append(
+                f"{self.name}_count{_label_text(key)} {totals[key]}"
+            )
         return lines
 
 

@@ -44,8 +44,17 @@ from .jobs import JobFailure, JobResult, RetimeJob, execute_job
 _POLL_INTERVAL = 0.05
 
 
-def _worker_main(task_q, result_q) -> None:
-    """Worker loop: execute assigned payloads until the ``None`` sentinel."""
+def _worker_main(task_q, result_q, env=None) -> None:
+    """Worker loop: execute assigned payloads until the ``None`` sentinel.
+
+    *env* entries are applied to ``os.environ`` before the first job, so
+    the supervisor can propagate tracing configuration
+    (``REPRO_TRACE_DIR`` / ``REPRO_TRACE_SPANS``) across the process
+    boundary; the trace id itself is the job's canonical key, carried by
+    the job payload.
+    """
+    if env:
+        os.environ.update(env)
     while True:
         item = task_q.get()
         if item is None:
@@ -101,6 +110,8 @@ class RetimePool:
             from the supervisor thread for ``done`` / ``failed`` /
             ``retry`` / ``timeout`` / ``crash`` events — the service
             layer hangs its metrics off this.
+        worker_env: environment variables applied in every worker
+            process before it takes jobs (tracing configuration).
     """
 
     def __init__(
@@ -110,12 +121,14 @@ class RetimePool:
         max_retries: int = 2,
         retry_backoff: float = 0.5,
         on_event=None,
+        worker_env: dict[str, str] | None = None,
     ) -> None:
         self.workers = max(1, workers if workers is not None else os.cpu_count() or 1)
         self.job_timeout = job_timeout
         self.max_retries = max(0, max_retries)
         self.retry_backoff = retry_backoff
         self._on_event = on_event
+        self._worker_env = dict(worker_env or {})
         self._ctx = mp.get_context()
         self._result_q = self._ctx.SimpleQueue()
         self._entries: dict[str, _Entry] = {}
@@ -204,7 +217,7 @@ class RetimePool:
         task_q = self._ctx.SimpleQueue()
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(task_q, self._result_q),
+            args=(task_q, self._result_q, self._worker_env),
             daemon=True,
             name="retime-worker",
         )

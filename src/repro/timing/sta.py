@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..netlist import Circuit
 from ..netlist.signals import is_const
 from .delay_models import DelayModel, UNIT_DELAY
@@ -48,9 +49,10 @@ def analyze(
     """
     from .. import kernels
 
-    if not kernels.resolve(use_kernels):
-        return _analyze_dict(circuit, model)
-    result = kernels.analyze_kernel(circuit, model)
+    with obs.span("sta.analyze"):
+        if not kernels.resolve(use_kernels):
+            return _analyze_dict(circuit, model)
+        result = kernels.analyze_kernel(circuit, model)
     if kernels.kernel_check_enabled():
         oracle = _analyze_dict(circuit, model)
         kernels.expect_equal("sta.max_delay", result.max_delay, oracle.max_delay)

@@ -17,16 +17,27 @@ Two subcommands expose the batch service layer
 
     mcretime batch designs/ -o retimed/ --workers 4
     mcretime serve --port 8117 --cache-dir ~/.cache/mcretime
+
+Tracing (see ``docs/OBSERVABILITY.md``): ``--trace out.json`` writes a
+Chrome trace_event JSON, ``--log-json run.jsonl`` a structured run log,
+``-v`` prints the span summary tree to stderr; ``mcretime report``
+renders a saved trace back into that tree::
+
+    mcretime design.blif --trace out.json --log-json run.jsonl -v
+    mcretime report run.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 import time
 from pathlib import Path
 
+from .. import obs
 from ..flows import baseline_flow, retime_flow
 from ..mcretime import mc_retime
 from ..netlist import (
@@ -61,6 +72,10 @@ def save_circuit(circuit: Circuit, path: Path) -> None:
         path.write_text(write_blif(circuit))
 
 
+def _no_tracing():
+    return contextlib.nullcontext()
+
+
 def _fail(message: str) -> int:
     print(f"mcretime: error: {message}", file=sys.stderr)
     return 1
@@ -88,6 +103,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "batch":
         return _batch_main(argv[1:])
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     return _retime_main(argv)
 
 
@@ -129,6 +146,18 @@ def _retime_main(argv: list[str]) -> int:
     parser.add_argument(
         "--report", action="store_true", help="print the retiming report"
     )
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="OUT.json",
+        help="write a Chrome trace_event JSON (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--log-json", type=Path, default=None, metavar="RUN.jsonl",
+        help="write a structured JSONL run log (one event per line)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print the trace summary tree to stderr after the run",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -145,33 +174,49 @@ def _retime_main(argv: list[str]) -> int:
     if args.check:
         return 0
 
+    # CLI flags take precedence; the REPRO_TRACE* env vars fill gaps so
+    # wrappers can trace without threading flags through their scripts
+    trace = args.trace or os.environ.get("REPRO_TRACE") or None
+    log_json = args.log_json or os.environ.get("REPRO_TRACE_LOG") or None
+    verbose = args.verbose or bool(os.environ.get("REPRO_TRACE_SUMMARY"))
+
     accepted = True
-    if args.map:
-        # the paper's Table-2 script: optimise + map, retime on the
-        # mapped netlist, remap, and keep the better netlist under STA
-        flow = baseline_flow(circuit, model)
-        print(f"mapped: {flow.n_lut} LUTs, delay {flow.delay:.2f}")
-        final = retime_flow(
-            circuit,
-            model,
-            objective=args.objective,
-            mapped=flow,
-            target_period=args.target_period,
-            semantic_classes=not args.syntactic_classes,
-        )
-        result = final.retime
-        retimed = final.circuit
-        accepted = final.accepted
-    else:
-        result = mc_retime(
-            circuit,
-            delay_model=model,
-            target_period=args.target_period,
-            objective=args.objective,
-            semantic_classes=not args.syntactic_classes,
-        )
-        retimed = result.circuit
-    check_circuit(retimed)
+    with obs.session(
+        trace=trace,
+        jsonl=log_json,
+        summary=verbose,
+        meta={"input": str(args.input), "objective": args.objective},
+    ) if (trace or log_json or verbose) else _no_tracing():
+        if args.map:
+            # the paper's Table-2 script: optimise + map, retime on the
+            # mapped netlist, remap, and keep the better netlist under STA
+            flow = baseline_flow(circuit, model)
+            print(f"mapped: {flow.n_lut} LUTs, delay {flow.delay:.2f}")
+            final = retime_flow(
+                circuit,
+                model,
+                objective=args.objective,
+                mapped=flow,
+                target_period=args.target_period,
+                semantic_classes=not args.syntactic_classes,
+            )
+            result = final.retime
+            retimed = final.circuit
+            accepted = final.accepted
+        else:
+            result = mc_retime(
+                circuit,
+                delay_model=model,
+                target_period=args.target_period,
+                objective=args.objective,
+                semantic_classes=not args.syntactic_classes,
+            )
+            retimed = result.circuit
+        check_circuit(retimed)
+    if trace:
+        print(f"wrote trace to {trace}", file=sys.stderr)
+    if log_json:
+        print(f"wrote run log to {log_json}", file=sys.stderr)
     print(f"retimed: {_stats_line(retimed, model)}")
     if not accepted:
         print(
@@ -271,6 +316,11 @@ def _batch_main(argv: list[str]) -> int:
         "--metrics-out", type=Path, default=None,
         help="write Prometheus metrics text here after the run",
     )
+    parser.add_argument(
+        "--trace-dir", type=Path, default=None,
+        help="write one JSONL trace per job here (trace id = job key); "
+        "render with `mcretime report <dir>/<id>.jsonl`",
+    )
     args = parser.parse_args(argv)
 
     from ..service import RetimeJob, RetimeService
@@ -309,6 +359,7 @@ def _batch_main(argv: list[str]) -> int:
         cache_dir=args.cache_dir,
         job_timeout=args.timeout,
         max_retries=args.retries,
+        trace_dir=args.trace_dir,
     )
     t0 = time.perf_counter()
     failures = 0
@@ -344,6 +395,56 @@ def _batch_main(argv: list[str]) -> int:
     finally:
         service.close()
     return 1 if failures else 0
+
+
+# ---------------------------------------------------------------------------
+# report mode: render saved traces into the text summary tree
+# ---------------------------------------------------------------------------
+
+
+def _report_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mcretime report",
+        description=(
+            "Render a saved trace (JSONL run log or Chrome trace JSON, "
+            "from --trace/--log-json/REPRO_TRACE*) as a text summary "
+            "tree: per-span totals, self times, counters, and gauges."
+        ),
+    )
+    parser.add_argument(
+        "trace", type=Path,
+        help="trace file: a .jsonl run log or a Chrome trace_event JSON",
+    )
+    parser.add_argument(
+        "--top", type=int, default=5,
+        help="how many spans to list in the hot-spans section",
+    )
+    parser.add_argument(
+        "--max-depth", type=int, default=6,
+        help="maximum span-tree depth to print",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="check the file against the trace schema and exit",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.validate:
+            head = args.trace.read_text()[:200].strip()
+            if '"traceEvents"' in head:
+                obs.validate_chrome_trace(args.trace)
+            else:
+                obs.validate_jsonl(args.trace)
+            print(f"{args.trace}: OK")
+            return 0
+        events = obs.load_events(args.trace)
+        print(obs.render_summary(events, top=args.top, max_depth=args.max_depth))
+    except OSError as exc:
+        return _fail(f"cannot read {args.trace}: {exc.strerror or exc}")
+    except (ValueError, KeyError) as exc:
+        return _fail(f"{args.trace}: {exc}")
+    return 0
 
 
 # ---------------------------------------------------------------------------

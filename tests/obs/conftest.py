@@ -1,0 +1,13 @@
+"""Shared fixtures: never leak an active tracer between tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def no_tracer_leak():
+    """Tracing state is process-global; reset it around every test."""
+    obs.stop()
+    yield
+    obs.stop()

@@ -65,6 +65,53 @@ class TestHistogram:
         assert h.percentile(95) == pytest.approx(95.0, abs=1.0)
         assert h.percentile(100) == 100.0
 
+    def test_percentile_interpolates_between_samples(self):
+        h = MetricsRegistry().histogram("repro_h")
+        for v in (10.0, 20.0):
+            h.observe(v)
+        # rank (n-1)*p/100 = 0.5 for p50 with two samples
+        assert h.percentile(50) == pytest.approx(15.0)
+        assert h.percentile(25) == pytest.approx(12.5)
+        assert h.percentile(0) == 10.0
+        assert h.percentile(100) == 20.0
+
+    def test_percentile_small_sample_stability(self):
+        # nearest-rank would report 1.0 for p50 of [1, 100]; the
+        # interpolated value reflects both samples
+        h = MetricsRegistry().histogram("repro_h")
+        h.observe(1.0)
+        h.observe(100.0)
+        assert h.percentile(50) == pytest.approx(50.5)
+
+    def test_empty_percentile(self):
+        h = MetricsRegistry().histogram("repro_h")
+        assert h.percentile(50) == 0.0
+
+    def test_labels_preregistration_renders_zero_buckets(self):
+        h = MetricsRegistry().histogram(
+            "repro_stage_seconds", buckets=(1.0, 10.0)
+        )
+        h.labels(stage="map")
+        text = "\n".join(h.render())
+        assert 'repro_stage_seconds_bucket{stage="map",le="1"} 0' in text
+        assert 'repro_stage_seconds_bucket{stage="map",le="10"} 0' in text
+        assert 'repro_stage_seconds_bucket{stage="map",le="+Inf"} 0' in text
+        assert 'repro_stage_seconds_sum{stage="map"} 0' in text
+        assert 'repro_stage_seconds_count{stage="map"} 0' in text
+        # observations after pre-registration accumulate normally
+        h.observe(0.5, stage="map")
+        text = "\n".join(h.render())
+        assert 'repro_stage_seconds_bucket{stage="map",le="1"} 1' in text
+        assert h.count(stage="map") == 1
+
+    def test_empty_histogram_renders_zero_series(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=(1.0,))
+        text = "\n".join(h.render())
+        assert 'repro_h_bucket{le="1"} 0' in text
+        assert 'repro_h_bucket{le="+Inf"} 0' in text
+        assert "repro_h_sum 0" in text
+        assert "repro_h_count 0" in text
+
     def test_labelled_series(self):
         h = MetricsRegistry().histogram("repro_stage_seconds", buckets=(1.0,))
         h.observe(0.5, stage="map")
