@@ -7,6 +7,10 @@ index arrays (:mod:`.compiled_graph`) and the four hot sweeps — CP/Δ
 (:mod:`.delta`), the difference-constraint solver (:mod:`.diffsys`),
 min-cost flow (:mod:`.mcf`) and STA (:mod:`.sta`) — run over integers
 with incremental re-evaluation between lazy-constraint rounds.
+:mod:`.sim` is the bit-parallel sequential simulator the verification
+subsystem runs on: 64 stimulus lanes per Python-int word over an
+interned netlist, with full generic-register (EN/SR/AR) and ternary
+semantics.
 
 Every kernel replicates its oracle bit-for-bit (iteration orders, tie
 breaking, float addition order), so flipping the flag never changes a
@@ -32,6 +36,15 @@ from .diffsys import CompiledSystem
 from .mcf import IntMinCostFlow
 from .minarea import min_area_kernel
 from .minperiod import check_period_kernel, min_period_kernel
+from .sim import (
+    BitSimulator,
+    CompiledCircuit,
+    broadcast,
+    compile_circuit,
+    pack_lanes,
+    pack_vectors,
+    unpack_lane,
+)
 from .sta import CompiledSTA, analyze_kernel
 
 _enabled = os.environ.get("REPRO_USE_KERNELS", "1") != "0"
@@ -94,6 +107,8 @@ def expect_equal(what: str, kernel_value, oracle_value) -> None:
 
 __all__ = [
     "HAVE_NUMPY",
+    "BitSimulator",
+    "CompiledCircuit",
     "CompiledGraph",
     "CompiledSTA",
     "CompiledSystem",
@@ -101,9 +116,14 @@ __all__ = [
     "KernelMismatchError",
     "KernelSweep",
     "analyze_kernel",
+    "broadcast",
     "check_period_kernel",
+    "compile_circuit",
     "compile_graph",
     "delta_sweep",
+    "pack_lanes",
+    "pack_vectors",
+    "unpack_lane",
     "expect_equal",
     "kernel_check_enabled",
     "kernels_enabled",

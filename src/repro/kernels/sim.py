@@ -1,0 +1,438 @@
+"""Bit-parallel ternary circuit simulation (the verification kernel).
+
+The scalar :class:`~repro.logic.simulate.SequentialSimulator` evaluates
+one stimulus vector per Python-level sweep — fine for unit tests,
+hopeless for a verification stage that wants thousands of cycles on
+every retimed netlist.  This module packs **one stimulus lane per bit of
+a Python int** (64 lanes per machine word, arbitrarily many per int)
+and evaluates all lanes simultaneously with word-wide boolean algebra.
+
+Ternary values use the classic **two-word encoding**: a net's lanes are
+a pair ``(v, x)`` of equal-width bit masks where lane *i* is
+
+* ``X``  when bit *i* of ``x`` is set (the ``v`` bit is then 0 — the
+  encoding is kept canonical: ``v & x == 0``),
+* ``1``  when bit *i* of ``v`` is set,
+* ``0``  otherwise.
+
+Gate evaluation implements the **exact completion semantics** of
+:func:`repro.logic.functions.eval_table` (binary iff every binary
+completion of the X inputs agrees) by Shannon cofactoring the truth
+table: for each input the lanes split into "can be 0" / "can be 1"
+branch masks and the two cofactor sub-tables are evaluated recursively,
+giving per-lane ``can0``/``can1`` sets in O(2^n) word operations with
+aggressive constant-subtable pruning (AND/OR-like tables cost O(n)).
+The scalar evaluator's :data:`~repro.logic.functions.MAX_EXACT_UNKNOWNS`
+guard is reproduced per lane with a bit-sliced unknown counter so wide
+gates stay bit-identical to the oracle.
+
+Register update implements the full generic-register semantics of
+paper Fig. 2a exactly as the scalar simulator does (async set/clear
+sampled per cycle, dominant over sync set/clear, over EN; an X enable
+holds only when D already equals the stored value), lane-parallel.
+
+Like :mod:`repro.kernels.compiled_graph`, the circuit is interned once
+into flat integer-indexed arrays (:func:`compile_circuit`) — net ids,
+topological gate order with per-gate pin-id tuples, register pin ids —
+and a :class:`BitSimulator` then runs any number of cycles against the
+snapshot.  Mutating the source circuit invalidates the snapshot.
+
+Differential contract: for any circuit, initial state, and stimulus,
+lane *i* of a :class:`BitSimulator` run is **bit-identical** to a
+:class:`~repro.logic.simulate.SequentialSimulator` run on lane *i*'s
+scalar vectors (tests/verify/test_sim_kernel.py enforces this with
+hypothesis; ``benchmarks/bench_verify.py`` gates the >=20x cycle
+throughput this kernel exists for).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .. import obs
+from ..logic.functions import MAX_EXACT_UNKNOWNS
+from ..logic.simulate import SequentialSimulator
+from ..logic.ternary import T0, T1, TX
+from ..netlist import Circuit
+from ..netlist.signals import CONST0, CONST1
+
+#: Default lane count: one 64-bit machine word per Python int.
+DEFAULT_LANES = 64
+
+
+class CompiledCircuit:
+    """Flat integer-indexed snapshot of a :class:`Circuit` for simulation.
+
+    Net ids are assigned in a fixed order (constants, primary inputs,
+    register Q nets, gate outputs in topological order, then any
+    remaining referenced nets) so compiled runs are deterministic and
+    reproducible across processes.
+    """
+
+    __slots__ = (
+        "name",
+        "n_nets",
+        "net_names",
+        "net_index",
+        "input_ids",
+        "input_names",
+        "output_ids",
+        "output_names",
+        "gate_out",
+        "gate_pins",
+        "gate_table",
+        "gate_wide",
+        "reg_names",
+        "reg_d",
+        "reg_q",
+        "reg_en",
+        "reg_sr",
+        "reg_ar",
+        "reg_sval",
+        "reg_aval",
+        "reg_reset",
+        "n_regs",
+    )
+
+
+def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+    """Intern *circuit* into a :class:`CompiledCircuit` snapshot."""
+    obs.count("kernels.compile_circuit")
+    cc = CompiledCircuit()
+    cc.name = circuit.name
+
+    index: dict[str, int] = {CONST0: 0, CONST1: 1}
+    names = [CONST0, CONST1]
+
+    def intern(net: str) -> int:
+        nid = index.get(net)
+        if nid is None:
+            nid = len(names)
+            index[net] = nid
+            names.append(net)
+        return nid
+
+    for net in circuit.inputs:
+        intern(net)
+    for reg in circuit.registers.values():
+        intern(reg.q)
+
+    topo = circuit.topo_gates()
+    for gate in topo:
+        intern(gate.output)
+    for net in sorted(circuit.nets()):
+        intern(net)
+
+    cc.net_index = index
+    cc.net_names = names
+    cc.n_nets = len(names)
+    cc.input_ids = [index[n] for n in circuit.inputs]
+    cc.input_names = list(circuit.inputs)
+    cc.output_ids = [index[n] for n in circuit.outputs]
+    cc.output_names = list(circuit.outputs)
+
+    # nets with a defined value during a sweep; everything else reads
+    # as the scalar simulator's defaults (X for gates/D, constants for
+    # register control pins)
+    driven = bytearray(cc.n_nets)
+    driven[0] = driven[1] = 1
+    for nid in cc.input_ids:
+        driven[nid] = 1
+    for reg in circuit.registers.values():
+        driven[index[reg.q]] = 1
+    for gate in topo:
+        driven[index[gate.output]] = 1
+
+    cc.gate_out = [index[g.output] for g in topo]
+    cc.gate_pins = [tuple(index[n] for n in g.inputs) for g in topo]
+    cc.gate_table = [g.truth_table() for g in topo]
+    cc.gate_wide = [len(g.inputs) > MAX_EXACT_UNKNOWNS for g in topo]
+
+    def ctrl_id(net: str | None) -> int:
+        """Control pin id; -1 when the pin is absent or the net is
+        undriven (both read as the pin's constant default)."""
+        if net is None:
+            return -1
+        nid = index[net]
+        return nid if driven[nid] else -1
+
+    cc.reg_names = []
+    cc.reg_d = []
+    cc.reg_q = []
+    cc.reg_en = []
+    cc.reg_sr = []
+    cc.reg_ar = []
+    cc.reg_sval = []
+    cc.reg_aval = []
+    cc.reg_reset = []
+    for reg in circuit.registers.values():
+        cc.reg_names.append(reg.name)
+        d_id = index[reg.d]
+        cc.reg_d.append(d_id if driven[d_id] else -1)  # undriven D reads X
+        cc.reg_q.append(index[reg.q])
+        cc.reg_en.append(ctrl_id(reg.en))
+        cc.reg_sr.append(ctrl_id(reg.sr))
+        cc.reg_ar.append(ctrl_id(reg.ar))
+        cc.reg_sval.append(reg.sval)
+        cc.reg_aval.append(reg.aval)
+    reset = SequentialSimulator.default_reset_state(circuit)
+    cc.reg_reset = [reset[name] for name in cc.reg_names]
+    cc.n_regs = len(cc.reg_names)
+    return cc
+
+
+# --------------------------------------------------------------------- #
+# word-level gate evaluation
+
+
+def _eval_table_words(
+    table: int, m0s: Sequence[int], m1s: Sequence[int], full: int
+) -> tuple[int, int]:
+    """Exact ternary table evaluation over lane words.
+
+    ``m0s[i]`` / ``m1s[i]`` are the lanes where input *i* can complete
+    to 0 / to 1 (an X input appears in both).  Returns ``(v, x)`` lane
+    words for the gate output under the exact completion semantics.
+    """
+    can0, can1 = _cofactor(table, len(m0s), m0s, m1s, full)
+    return can1 & ~can0 & full, can1 & can0
+
+
+def _cofactor(
+    table: int, k: int, m0s: Sequence[int], m1s: Sequence[int], full: int
+) -> tuple[int, int]:
+    """Per-lane ``(can0, can1)`` sets for a ``2^k``-entry truth table."""
+    if table == 0:
+        return full, 0
+    if table == (1 << (1 << k)) - 1:
+        return 0, full
+    half = 1 << (k - 1)
+    t0 = table & ((1 << half) - 1)
+    t1 = table >> half
+    m0 = m0s[k - 1]
+    m1 = m1s[k - 1]
+    c00, c01 = _cofactor(t0, k - 1, m0s, m1s, full) if m0 else (0, 0)
+    c10, c11 = _cofactor(t1, k - 1, m0s, m1s, full) if m1 else (0, 0)
+    return (m0 & c00) | (m1 & c10), (m0 & c01) | (m1 & c11)
+
+
+def _lanes_over_unknown_limit(
+    x_words: Sequence[int], limit: int, full: int
+) -> int:
+    """Lanes where more than *limit* of the given X-words are set.
+
+    Bit-sliced vertical counter (5 bits saturate well above the 16-pin
+    gate-width cap); only consulted for gates wider than the scalar
+    evaluator's exact-completion guard, so the cost never shows up on
+    mapped 4-LUT netlists.
+    """
+    c0 = c1 = c2 = c3 = c4 = 0
+    for xw in x_words:
+        carry = xw
+        c0, carry = c0 ^ carry, c0 & carry
+        c1, carry = c1 ^ carry, c1 & carry
+        c2, carry = c2 ^ carry, c2 & carry
+        c3, carry = c3 ^ carry, c3 & carry
+        c4 |= carry
+    del limit  # fixed at MAX_EXACT_UNKNOWNS == 12: count >= 13 below
+    return (c4 | (c3 & c2 & (c1 | c0))) & full
+
+
+# --------------------------------------------------------------------- #
+# lane packing helpers
+
+
+def pack_lanes(values: Sequence[int]) -> tuple[int, int]:
+    """Pack a per-lane list of ternary values into ``(v, x)`` words."""
+    v = x = 0
+    for i, t in enumerate(values):
+        if t == T1:
+            v |= 1 << i
+        elif t == TX:
+            x |= 1 << i
+    return v, x
+
+
+def unpack_lane(words: tuple[int, int], lane: int) -> int:
+    """Extract one lane's ternary value from ``(v, x)`` words."""
+    v, x = words
+    if (x >> lane) & 1:
+        return TX
+    return T1 if (v >> lane) & 1 else T0
+
+
+def pack_vectors(
+    vectors: Sequence[Mapping[str, int]],
+) -> dict[str, tuple[int, int]]:
+    """Turn per-lane scalar stimulus dicts into one word-stimulus dict.
+
+    Lane *i* carries ``vectors[i]``; nets missing from a lane's dict are
+    X in that lane (matching the scalar simulator's default).
+    """
+    nets: dict[str, None] = {}
+    for vec in vectors:
+        for net in vec:
+            nets.setdefault(net)
+    return {
+        net: pack_lanes([vec.get(net, TX) for vec in vectors])
+        for net in nets
+    }
+
+
+def broadcast(value: int, full: int) -> tuple[int, int]:
+    """All-lanes words for one ternary value."""
+    if value == T1:
+        return full, 0
+    if value == TX:
+        return 0, full
+    return 0, 0
+
+
+class BitSimulator:
+    """Cycle simulator running ``lanes`` stimulus lanes in parallel.
+
+    Mirrors :class:`~repro.logic.simulate.SequentialSimulator` lane by
+    lane: same reset-state convention, same Mealy outputs, same
+    generic-register semantics.  ``state`` may override the default
+    reset state with a per-register ternary value (broadcast to every
+    lane) or with explicit ``(v, x)`` words.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit | CompiledCircuit,
+        lanes: int = DEFAULT_LANES,
+        state: Mapping[str, int | tuple[int, int]] | None = None,
+    ) -> None:
+        cc = circuit if isinstance(circuit, CompiledCircuit) else None
+        self.cc = cc or compile_circuit(circuit)
+        self.lanes = lanes
+        self.full = (1 << lanes) - 1
+        self.cycles = 0
+        self._v = [0] * self.cc.n_nets
+        self._x = [0] * self.cc.n_nets
+        # undriven nets read X for gate/D pins; overwritten per sweep
+        # for inputs, Q nets, and gate outputs
+        for nid in range(2, self.cc.n_nets):
+            self._x[nid] = self.full
+        self._v[1] = self.full  # CONST1
+        self._x[0] = self._x[1] = 0
+        self.state: list[tuple[int, int]] = []
+        for i, name in enumerate(self.cc.reg_names):
+            value: int | tuple[int, int] = self.cc.reg_reset[i]
+            if state is not None and name in state:
+                value = state[name]
+            if isinstance(value, tuple):
+                self.state.append(value)
+            else:
+                self.state.append(broadcast(value, self.full))
+
+    # -- one cycle ------------------------------------------------------
+
+    def _sweep(self, stimulus: Mapping[str, tuple[int, int]]) -> None:
+        cc = self.cc
+        v, x = self._v, self._x
+        full = self.full
+        for name, nid in zip(cc.input_names, cc.input_ids):
+            words = stimulus.get(name)
+            if words is None:
+                v[nid], x[nid] = 0, full
+            else:
+                v[nid], x[nid] = words[0] & full, words[1] & full
+        for i in range(cc.n_regs):
+            qv, qx = self.state[i]
+            q = cc.reg_q[i]
+            v[q], x[q] = qv, qx
+        tables = cc.gate_table
+        outs = cc.gate_out
+        wides = cc.gate_wide
+        for g, pins in enumerate(cc.gate_pins):
+            m0s = []
+            m1s = []
+            for pid in pins:
+                pv = v[pid]
+                px = x[pid]
+                m0s.append(full & ~pv)
+                m1s.append(pv | px)
+            can0, can1 = _cofactor(tables[g], len(pins), m0s, m1s, full)
+            ov = can1 & ~can0 & full
+            ox = can1 & can0
+            if wides[g]:
+                many = _lanes_over_unknown_limit(
+                    [x[pid] for pid in pins], MAX_EXACT_UNKNOWNS, full
+                )
+                ov &= ~many
+                ox |= many
+            o = outs[g]
+            v[o], x[o] = ov, ox
+
+    def _read(self, nid: int) -> tuple[int, int]:
+        return self._v[nid], self._x[nid]
+
+    def step(
+        self, stimulus: Mapping[str, tuple[int, int]]
+    ) -> list[tuple[int, int]]:
+        """Advance one cycle; returns per-output ``(v, x)`` words
+        (Mealy view: outputs are sampled before the state update)."""
+        cc = self.cc
+        self._sweep(stimulus)
+        v, x = self._v, self._x
+        full = self.full
+        outputs = [(v[o], x[o]) for o in cc.output_ids]
+
+        next_state: list[tuple[int, int]] = []
+        for i in range(cc.n_regs):
+            ar_id = cc.reg_ar[i]
+            sr_id = cc.reg_sr[i]
+            en_id = cc.reg_en[i]
+            arv, arx = (v[ar_id], x[ar_id]) if ar_id >= 0 else (0, 0)
+            srv, srx = (v[sr_id], x[sr_id]) if sr_id >= 0 else (0, 0)
+            env, enx = (v[en_id], x[en_id]) if en_id >= 0 else (full, 0)
+            d_id = cc.reg_d[i]
+            dv, dx = (v[d_id], x[d_id]) if d_id >= 0 else (0, full)
+            hv, hx = self.state[i]
+            av_v, av_x = broadcast(cc.reg_aval[i], full)
+            sv_v, sv_x = broadcast(cc.reg_sval[i], full)
+
+            nv = arv & av_v
+            nx = (arv & av_x) | arx
+            live = full & ~(arv | arx)  # lanes with ar == 0
+
+            m = live & srv
+            nv |= m & sv_v
+            nx |= (m & sv_x) | (live & srx)
+            live &= ~(srv | srx)  # lanes with sr == 0 as well
+
+            m = live & env
+            nv |= m & dv
+            nx |= m & dx
+
+            m = live & enx  # X enable: keep D only where D == hold
+            eq = full & ~((dv ^ hv) | (dx ^ hx))
+            nv |= m & eq & dv
+            nx |= m & ((full & ~eq) | dx)
+
+            m = live & ~(env | enx)  # enable low: hold
+            nv |= m & hv
+            nx |= m & hx
+            next_state.append((nv & full, nx & full))
+        self.state = next_state
+        self.cycles += 1
+        return outputs
+
+    def run(
+        self, stimulus: Sequence[Mapping[str, tuple[int, int]]]
+    ) -> list[list[tuple[int, int]]]:
+        """Apply a sequence of word-stimulus dicts; per-cycle outputs."""
+        return [self.step(words) for words in stimulus]
+
+    # -- scalar interop -------------------------------------------------
+
+    def output_lane(
+        self, outputs: list[tuple[int, int]], lane: int
+    ) -> dict[str, int]:
+        """One lane of a :meth:`step` result as a scalar output dict."""
+        return {
+            net: unpack_lane(words, lane)
+            for net, words in zip(self.cc.output_names, outputs)
+        }

@@ -50,9 +50,9 @@ def eval_nets(
 class SequentialSimulator:
     """Cycle simulator over the generic-register semantics.
 
-    The state maps register names to ternary Q values.  ``reset()``
-    loads each register's *asynchronous* reset value if it has one, else
-    its synchronous value, else X — callers may instead supply an
+    The state maps register names to ternary Q values.  The default
+    state loads each register's *synchronous* reset value if it has one,
+    else its asynchronous value, else X — callers may instead supply an
     explicit state (e.g. one produced by relocation) via ``state=``.
     """
 
@@ -73,13 +73,27 @@ class SequentialSimulator:
 
     @staticmethod
     def default_reset_state(circuit: Circuit) -> dict[str, int]:
-        """Async value, else sync value, else X — per register."""
+        """Sync value, else async value, else X — per register.
+
+        The synchronous-first preference matches the equivalent-reset-
+        state convention of :mod:`repro.mcretime.reset`: relocation
+        propagates and justifies the ``sval`` channel as *the* state a
+        register holds after its reset sequence, with ``aval`` carried
+        alongside for the async-assert case.  Forward implication is
+        exact ternary evaluation, so whenever an implied ``sval`` is
+        binary it agrees with the implication of any binary refinement
+        of the source svals — which makes the sval-first pick consistent
+        across a retiming move.  Async values are still honoured
+        dynamically: the AR path dominates in :meth:`step`, so a
+        warm-up cycle that asserts the async reset reloads ``aval``
+        regardless of this initial pick.
+        """
         state = {}
         for reg in circuit.registers.values():
-            if reg.has_async_reset and reg.aval != TX:
-                state[reg.name] = reg.aval
-            elif reg.has_sync_reset and reg.sval != TX:
+            if reg.has_sync_reset and reg.sval != TX:
                 state[reg.name] = reg.sval
+            elif reg.has_async_reset and reg.aval != TX:
+                state[reg.name] = reg.aval
             else:
                 state[reg.name] = TX
         return state

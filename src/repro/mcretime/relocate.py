@@ -37,8 +37,10 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from .. import obs
-from ..logic.justify import justify_cone
-from ..logic.ternary import TX, meet
+from ..bdd import BDD, FALSE, TRUE
+from ..logic.netfn import net_functions
+from ..logic.simulate import eval_nets
+from ..logic.ternary import T0, T1, TX, meet
 from ..netlist import Circuit, Register
 from ..netlist.signals import is_const
 from .classes import Classifier
@@ -224,21 +226,31 @@ def _try_backward(
     # terminal requirement anchored at this gate's output net: a derived
     # X-valued register at `out_net` may coexist with a hard requirement
     # (net, s, a) that deeper logic satisfied until now — inserting the
-    # new layer cuts that path, so the layer must carry it itself
+    # new layer cuts that path, so the layer must carry it itself.
+    # Requirements anchored here by *other* registers' histories count
+    # too: `out_net` may itself be an original register position whose
+    # implied value a sibling layer elsewhere still depends on, and the
+    # new layer pins that implied value to g(new values).
     local_values: tuple[dict[str, int], dict[str, int]] | None = None
+    anchored = [item for item in req_items if item[0] == out_net]
+    for reqs in requirements.values():
+        anchored.extend(item for item in reqs if item[0] == out_net)
     req_s = _meet_all(
-        [reg.sval for reg in removed]
-        + [s for net, s, _a in req_items if net == out_net]
+        [reg.sval for reg in removed] + [s for _net, s, _a in anchored]
     )
     req_a = _meet_all(
-        [reg.aval for reg in removed]
-        + [a for net, _s, a in req_items if net == out_net]
+        [reg.aval for reg in removed] + [a for _net, _s, a in anchored]
     )
     if req_s is not None and req_a is not None:
         vs = justify_pins(gate, req_s)
         va = justify_pins(gate, req_a)
         if vs is not None and va is not None:
             local_values = (vs, va)
+
+    # the global path revises register values, so it must compare the
+    # circuit's behaviour against what the committed circuit computed
+    # *before* this step (see _global_justify)
+    pre = None if local_values is not None else work.clone()
 
     # --- structural rewiring (shared by both justification paths) ------
     template = removed[0]
@@ -274,7 +286,9 @@ def _try_backward(
         return True
 
     # --- global justification over the cone ----------------------------
-    ok = _global_justify(work, new_regs, frozen, requirements, stats)
+    ok = _global_justify(
+        pre, work, next(iter(cids)), classifier, new_regs, frozen, requirements
+    )
     if not ok:
         stats.unresolvable += 1
         raise JustificationConflict(gate.name, performed.get(gate.name, 0))
@@ -285,13 +299,39 @@ def _try_backward(
 
 
 def _global_justify(
+    pre: Circuit,
     work: Circuit,
+    cid,
+    classifier: Classifier,
     new_regs: dict[str, Register],
     req_items: frozenset,
     requirements: dict[str, frozenset],
-    stats: JustificationStats,
 ) -> bool:
-    """Joint BDD justification of the requirement set (paper Fig. 5b)."""
+    """Joint BDD justification of the requirement set (paper Fig. 5b).
+
+    Two families of constraints, solved per reset channel in one BDD:
+
+    * the flattened *terminal requirements* — implied values at original
+      register positions with every committed register at its channel
+      value (the environment :func:`_verify_reset_requirements` checks);
+    * *frontier function preservation* — revising a sibling register's
+      reset value changes what its readers see during that class's
+      reset-hold window, while registers of other classes keep arbitrary
+      dynamic contents.  So at every committed register pin and primary
+      output the step can reach, the net's function — over primary
+      inputs and other-class register contents, with same-class
+      committed registers at their channel values — must equal its
+      pre-step function.  Value-level snapshots are not enough: a
+      revision can keep an X-valued implication X while silently
+      changing which function of the inputs reaches a committed D pin.
+
+    Revisable siblings are restricted to registers of the moved layer's
+    class whose whole responsibility is a subset of the requirements
+    being solved (the paper's "other registers involved in moving
+    backward the conflicting registers").  Returns False when no
+    assignment exists; the caller refuses the step and the engine clamps
+    ``r_max^mc`` (paper Sec. 5.2, last paragraph).
+    """
     # requirements per net, with per-net meets (a hard clash here means
     # two original registers at one position disagreed — unresolvable).
     # Iterate in sorted order: req_items is a set, and its hash-dependent
@@ -308,33 +348,92 @@ def _global_justify(
         required_s[net] = s
         required_a[net] = a
 
-    # the solvable cut: the new layer plus sibling registers whose whole
-    # responsibility is a subset of the requirements being solved
     cut = {reg.q for reg in new_regs.values()}
     revisable: dict[str, Register] = {reg.q: reg for reg in new_regs.values()}
     for name in sorted(requirements):
         reqs = requirements[name]
         if reqs and reqs <= req_items:
             reg = work.registers.get(name)
-            if reg is not None:
+            if reg is not None and classifier.classify(reg) == cid:
                 cut.add(reg.q)
                 revisable[reg.q] = reg
 
-    # committed values of every other register act as assumptions
-    assume_s: dict[str, int] = {}
-    assume_a: dict[str, int] = {}
-    for reg in work.registers.values():
-        if reg.q in cut:
-            continue
-        assume_s[reg.q] = reg.sval
-        assume_a[reg.q] = reg.aval
+    # nets the step can change, post-rewiring
+    affected = set(cut)
+    for gate in work.topo_gates():
+        if gate.output not in affected and any(
+            n in affected for n in gate.inputs
+        ):
+            affected.add(gate.output)
 
-    sol_s = justify_cone(work, required_s, cut, assume=assume_s)
-    if sol_s is None:
-        return False
-    sol_a = justify_cone(work, required_a, cut, assume=assume_a)
-    if sol_a is None:
-        return False
+    # outstanding requirements from other registers' histories that
+    # anchor at nets this step can change must be preserved as well
+    for name in sorted(requirements):
+        for net, sval, aval in sorted(requirements[name]):
+            if net not in affected:
+                continue
+            s = _meet_all([required_s.get(net, TX), sval])
+            a = _meet_all([required_a.get(net, TX), aval])
+            if s is None or a is None:
+                return False
+            required_s[net] = s
+            required_a[net] = a
+
+    # observation frontier: register pins and primary outputs the change
+    # can reach, paired with their pre-step nets.  Keyed by register
+    # name / output index because the rewiring renames nets in place
+    # (removed Q nets collapse onto the moved gate's output net).  Cut
+    # registers' own D pins are observed too: the new layer samples the
+    # moved gate's input nets every cycle, and a sibling revision that
+    # shifts what those nets compute right after a reset changes the
+    # data the moved region replays one cycle later.  New registers have
+    # no pre-step twin; their D nets kept their names through the
+    # rewiring, so the pre-step net is the same string.
+    targets: list[tuple[str, str]] = []
+    for name in sorted(work.registers):
+        reg = work.registers[name]
+        pre_reg = pre.registers.get(name)
+        for attr in ("d", "en", "sr", "ar"):
+            post_net = getattr(reg, attr)
+            if post_net is None or post_net not in affected:
+                continue
+            pre_net = (
+                getattr(pre_reg, attr) if pre_reg is not None else post_net
+            )
+            targets.append((pre_net, post_net))
+    for index, post_net in enumerate(work.outputs):
+        if post_net in affected:
+            targets.append((pre.outputs[index], post_net))
+
+    new_q = {reg.q for reg in new_regs.values()}
+    template = next(iter(new_regs.values()))
+    solutions = []
+    for attr, pin, required in (
+        ("sval", template.sr, required_s),
+        ("aval", template.ar, required_a),
+    ):
+        # a class without the matching reset pin never loads this
+        # channel, so there is no reset event to preserve behaviour
+        # across — only the implied-value requirements remain (other
+        # classes' bookkeeping still references this channel's state)
+        chan_targets = targets if pin is not None else []
+        sol = _solve_channel(
+            pre, work, cid, classifier, attr, required, cut, chan_targets
+        )
+        if sol is None:
+            return False
+        # a don't-care on a *sibling* keeps its committed value: the BDD
+        # treats X as "either binary value works", but to the ternary
+        # simulator X is an information loss its readers may observe
+        for q_net, reg in revisable.items():
+            if q_net not in new_q and sol.get(q_net, TX) == TX:
+                sol[q_net] = getattr(reg, attr)
+        if not _ternary_ok(
+            pre, work, cid, classifier, attr, required, sol, chan_targets
+        ):
+            return False
+        solutions.append(sol)
+    sol_s, sol_a = solutions
     for q_net, reg in revisable.items():
         reg.sval = sol_s.get(q_net, TX)
         reg.aval = sol_a.get(q_net, TX)
@@ -343,6 +442,150 @@ def _global_justify(
         }:
             requirements[reg.name] = req_items
     return True
+
+
+def _ternary_ok(
+    pre: Circuit,
+    work: Circuit,
+    cid,
+    classifier: Classifier,
+    attr: str,
+    required: dict[str, int],
+    cut_vals: dict[str, int],
+    targets: list[tuple[str, str]],
+) -> bool:
+    """Validate a BDD solution under per-gate ternary evaluation.
+
+    The BDD solve reasons over binary completions, so it may leave a
+    don't-care cut variable at X — but the sequential simulator's
+    per-gate X-propagation is structural, and an X reset value can
+    surface as X at a net the pre-step circuit kept binary (a real
+    refinement violation even though every binary completion agrees).
+    So re-check the solution with :func:`eval_nets`: the terminal
+    requirements must implicate exactly in the all-channel-values
+    state, and every frontier target must evaluate identically to the
+    pre-step circuit in the class reset state (other classes X).
+    """
+    env_all: dict[str, int] = {}
+    env_cls_post: dict[str, int] = {}
+    for reg in work.registers.values():
+        val = cut_vals.get(reg.q, getattr(reg, attr))
+        env_all[reg.q] = val
+        if classifier.classify(reg) == cid:
+            env_cls_post[reg.q] = val
+    vals_all = eval_nets(work, env_all)
+    for net, val in required.items():
+        if val != TX and vals_all.get(net, TX) != val:
+            return False
+    if not targets:
+        return True
+    # warm-up environment: every class resets at once
+    pre_all = eval_nets(
+        pre, {reg.q: getattr(reg, attr) for reg in pre.registers.values()}
+    )
+    for pre_net, post_net in targets:
+        if vals_all.get(post_net, TX) != pre_all.get(pre_net, TX):
+            return False
+    # class reset environment: other classes hold dynamic contents (X)
+    env_cls_pre = {
+        reg.q: getattr(reg, attr)
+        for reg in pre.registers.values()
+        if classifier.classify(reg) == cid
+    }
+    post_vals = eval_nets(work, env_cls_post)
+    pre_vals = eval_nets(pre, env_cls_pre)
+    for pre_net, post_net in targets:
+        if post_vals.get(post_net, TX) != pre_vals.get(pre_net, TX):
+            return False
+    return True
+
+
+def _solve_channel(
+    pre: Circuit,
+    work: Circuit,
+    cid,
+    classifier: Classifier,
+    attr: str,
+    required: dict[str, int],
+    cut: set[str],
+    targets: list[tuple[str, str]],
+) -> dict[str, int] | None:
+    """Solve one reset channel of a global justification (see above).
+
+    Register Q nets share BDD variables between the pre- and post-step
+    circuits: a committed register's dynamic content is the same
+    unknown on both sides of every equality constraint.
+    """
+    bdd = BDD()
+    # environment A: every committed register at its channel value — the
+    # terminal requirements are implications in exactly this state
+    bind_all: dict[str, int] = {}
+    # environment B: only class-`cid` registers at channel values; other
+    # classes hold arbitrary dynamic contents (free, quantified below)
+    bind_cls_post: dict[str, int] = {}
+    for reg in work.registers.values():
+        if reg.q in cut:
+            continue
+        val = getattr(reg, attr)
+        if val == TX:
+            continue
+        node = TRUE if val == T1 else FALSE
+        bind_all[reg.q] = node
+        if classifier.classify(reg) == cid:
+            bind_cls_post[reg.q] = node
+    bind_cls_pre: dict[str, int] = {}
+    for reg in pre.registers.values():
+        val = getattr(reg, attr)
+        if val == TX or classifier.classify(reg) != cid:
+            continue
+        bind_cls_pre[reg.q] = TRUE if val == T1 else FALSE
+
+    constraint = TRUE
+    hard = {net: val for net, val in required.items() if val != TX}
+    if hard:
+        fns = net_functions(work, list(hard), bdd, bindings=bind_all)
+        for net in sorted(hard):
+            f = fns[net]
+            constraint = bdd.and_(
+                constraint, f if hard[net] == T1 else bdd.not_(f)
+            )
+            if constraint == FALSE:
+                return None
+    if targets:
+        post_fns = net_functions(
+            work, [p for _, p in targets], bdd, bindings=bind_cls_post
+        )
+        pre_fns = net_functions(
+            pre, [p for p, _ in targets], bdd, bindings=bind_cls_pre
+        )
+        for pre_net, post_net in targets:
+            constraint = bdd.and_(
+                constraint, bdd.xnor(pre_fns[pre_net], post_fns[post_net])
+            )
+            if constraint == FALSE:
+                return None
+
+    # everything we do not control — primary inputs, other-class
+    # contents, removed registers' unknowns — must not be relied upon
+    foreign = [
+        level
+        for level in bdd.support(constraint)
+        if bdd.var_name(level) not in cut
+    ]
+    if foreign:
+        constraint = bdd.forall(constraint, foreign)
+        if constraint == FALSE:
+            return None
+    model = bdd.sat_one(constraint)
+    if model is None:
+        return None
+    result = {net: TX for net in cut}
+    name_of = bdd.var_names()
+    for level, value in model.items():
+        net = name_of[level]
+        if net in result:
+            result[net] = T1 if value else T0
+    return result
 
 
 def _try_forward(

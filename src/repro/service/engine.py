@@ -86,6 +86,18 @@ class RetimeService:
             "repro_span_seconds",
             "Per-trace-span wall-clock seconds (from worker trace snapshots)",
         )
+        self._verify_checks = m.counter(
+            "repro_verify_checks_total",
+            "Post-flow sequential verification checks run",
+        )
+        self._verify_failures = m.counter(
+            "repro_verify_failures_total",
+            "Jobs failed by the sequential verification gate",
+        )
+        self._verify_seconds = m.histogram(
+            "repro_verify_seconds",
+            "Wall-clock seconds spent in post-flow verification",
+        )
 
         worker_env: dict[str, str] = {}
         if trace_dir is not None:
@@ -251,11 +263,21 @@ class RetimeService:
             if snapshot:
                 for span, seconds in snapshot.get("spans", {}).items():
                     self._span_seconds.observe(seconds, span=span)
+            verify = result.metrics.get("verify")
+            if verify:
+                self._verify_checks.inc()
+                self._verify_seconds.observe(verify.get("seconds", 0.0))
             self.cache.put(job_id, result)
             self._record_final(job_id, result)
         elif kind == "failed":
             self._failed.inc()
-            self._record_final(job_id, info["result"])
+            failure: JobResult = info["result"]
+            if failure.error is not None and (
+                failure.error.type == "VerificationError"
+            ):
+                self._verify_checks.inc()
+                self._verify_failures.inc()
+            self._record_final(job_id, failure)
         elif kind == "retry":
             self._retried.inc()
         elif kind == "timeout":

@@ -39,6 +39,7 @@ from ..netlist import (
     write_verilog,
 )
 from ..timing import UNIT_DELAY, XC4000E_DELAY, analyze
+from ..verify import VerificationError, check_sequential
 
 #: Flows a job may request.  ``mcretime`` retimes the netlist as-is
 #: (the plain ``mcretime file.blif`` CLI behaviour); the other three are
@@ -82,6 +83,11 @@ class RetimeJob:
     delay_model: str | None = None
     target_period: float | None = None
     semantic_classes: bool = True
+    #: sequentially verify the output against the input after the flow
+    #: (coverage-directed bit-parallel refinement check); a mismatch
+    #: fails the job with a non-retryable ``VerificationError``
+    verify: bool = False
+    verify_cycles: int = 64
     #: format of ``JobResult.output`` (defaults to the input format)
     output_fmt: str | None = None
 
@@ -96,6 +102,16 @@ class RetimeJob:
             raise ValueError(f"unknown delay model {self.delay_model!r}")
         if self.output_fmt is not None and self.output_fmt not in _FORMATS:
             raise ValueError(f"unknown output format {self.output_fmt!r}")
+        if not isinstance(self.verify, bool):
+            raise ValueError(f"verify must be a bool, got {self.verify!r}")
+        if (
+            not isinstance(self.verify_cycles, int)
+            or isinstance(self.verify_cycles, bool)
+            or self.verify_cycles < 1
+        ):
+            raise ValueError(
+                f"verify_cycles must be a positive int, got {self.verify_cycles!r}"
+            )
 
     @classmethod
     def from_file(cls, path: str | Path, **options) -> "RetimeJob":
@@ -120,6 +136,8 @@ class RetimeJob:
             "delay_model": self.resolved_delay_model(),
             "target_period": self.target_period,
             "semantic_classes": self.semantic_classes,
+            "verify": self.verify,
+            "verify_cycles": self.verify_cycles if self.verify else None,
             "output_fmt": self.resolved_output_fmt(),
         }
 
@@ -287,7 +305,32 @@ def _run_flow(job: RetimeJob) -> dict:
         check_circuit(circuit)
         model = _DELAY_MODELS[job.resolved_delay_model()]
         metrics = _dispatch_flow(job, circuit, model)
+        if job.verify:
+            _verify_output(job, circuit, metrics)
     return metrics
+
+
+def _verify_output(job: RetimeJob, circuit: Circuit, metrics: dict) -> None:
+    """Sequentially check the job's output against its input.
+
+    The verdict rides along in ``metrics["verify"]``; a failed check
+    raises :class:`~repro.verify.VerificationError`, which the pool
+    treats as a deterministic error (no retry — the checker is
+    deterministic in its seed, so re-running cannot pass).
+    """
+    t0 = time.perf_counter()
+    with obs.span("verify.check", cycles=job.verify_cycles):
+        check = check_sequential(
+            circuit, metrics["_circuit"], cycles=job.verify_cycles
+        )
+    metrics["verify"] = {
+        "equivalent": check.equivalent,
+        "cycles": check.cycles,
+        "lanes": check.lanes,
+        "seconds": time.perf_counter() - t0,
+    }
+    if not check.equivalent:
+        raise VerificationError(check)
 
 
 def _dispatch_flow(job: RetimeJob, circuit: Circuit, model) -> dict:

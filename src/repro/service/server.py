@@ -34,6 +34,8 @@ _JOB_FIELDS = (
     "delay_model",
     "target_period",
     "semantic_classes",
+    "verify",
+    "verify_cycles",
     "output_fmt",
 )
 

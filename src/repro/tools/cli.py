@@ -25,6 +25,15 @@ renders a saved trace back into that tree::
 
     mcretime design.blif --trace out.json --log-json run.jsonl -v
     mcretime report run.jsonl
+
+Verification (see ``docs/VERIFICATION.md``): ``--verify`` sequentially
+checks every transformed netlist against its original with the
+bit-parallel coverage-directed checker and fails the run on a
+mismatch; ``mcretime fuzz`` differential-fuzzes the whole pipeline::
+
+    mcretime design.blif --map --verify -o out.blif
+    mcretime fuzz --rounds 50
+    mcretime fuzz --mutate --time-budget 60
 """
 
 from __future__ import annotations
@@ -51,6 +60,7 @@ from ..netlist import (
     write_verilog,
 )
 from ..timing import UNIT_DELAY, XC4000E_DELAY, analyze
+from ..verify import VerificationError, check_sequential
 
 #: netlist suffixes ``mcretime batch`` picks up when given a directory
 BATCH_SUFFIXES = (".blif", ".mcblif", ".v", ".sv")
@@ -105,6 +115,8 @@ def main(argv: list[str] | None = None) -> int:
         return _batch_main(argv[1:])
     if argv and argv[0] == "report":
         return _report_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return _fuzz_main(argv[1:])
     return _retime_main(argv)
 
 
@@ -147,6 +159,16 @@ def _retime_main(argv: list[str]) -> int:
         "--report", action="store_true", help="print the retiming report"
     )
     parser.add_argument(
+        "--verify", action="store_true",
+        help="sequentially check the result against the input "
+        "(coverage-directed bit-parallel refinement check); "
+        "a mismatch fails the run with a shrunk counterexample",
+    )
+    parser.add_argument(
+        "--verify-cycles", type=int, default=64, metavar="N",
+        help="cycles per verification lane (default 64)",
+    )
+    parser.add_argument(
         "--trace", type=Path, default=None, metavar="OUT.json",
         help="write a Chrome trace_event JSON (open in Perfetto)",
     )
@@ -181,43 +203,65 @@ def _retime_main(argv: list[str]) -> int:
     verbose = args.verbose or bool(os.environ.get("REPRO_TRACE_SUMMARY"))
 
     accepted = True
-    with obs.session(
-        trace=trace,
-        jsonl=log_json,
-        summary=verbose,
-        meta={"input": str(args.input), "objective": args.objective},
-    ) if (trace or log_json or verbose) else _no_tracing():
-        if args.map:
-            # the paper's Table-2 script: optimise + map, retime on the
-            # mapped netlist, remap, and keep the better netlist under STA
-            flow = baseline_flow(circuit, model)
-            print(f"mapped: {flow.n_lut} LUTs, delay {flow.delay:.2f}")
-            final = retime_flow(
-                circuit,
-                model,
-                objective=args.objective,
-                mapped=flow,
-                target_period=args.target_period,
-                semantic_classes=not args.syntactic_classes,
-            )
-            result = final.retime
-            retimed = final.circuit
-            accepted = final.accepted
-        else:
-            result = mc_retime(
-                circuit,
-                delay_model=model,
-                target_period=args.target_period,
-                objective=args.objective,
-                semantic_classes=not args.syntactic_classes,
-            )
-            retimed = result.circuit
-        check_circuit(retimed)
+    verify_check = None
+    try:
+        with obs.session(
+            trace=trace,
+            jsonl=log_json,
+            summary=verbose,
+            meta={"input": str(args.input), "objective": args.objective},
+        ) if (trace or log_json or verbose) else _no_tracing():
+            if args.map:
+                # the paper's Table-2 script: optimise + map, retime on
+                # the mapped netlist, remap, and keep the better netlist
+                # under STA; --verify gates both transform legs
+                flow = baseline_flow(
+                    circuit, model,
+                    verify=args.verify, verify_cycles=args.verify_cycles,
+                )
+                print(f"mapped: {flow.n_lut} LUTs, delay {flow.delay:.2f}")
+                final = retime_flow(
+                    circuit,
+                    model,
+                    objective=args.objective,
+                    mapped=flow,
+                    target_period=args.target_period,
+                    semantic_classes=not args.syntactic_classes,
+                    verify=args.verify,
+                    verify_cycles=args.verify_cycles,
+                )
+                result = final.retime
+                retimed = final.circuit
+                accepted = final.accepted
+                verify_check = final.verify or flow.verify
+            else:
+                result = mc_retime(
+                    circuit,
+                    delay_model=model,
+                    target_period=args.target_period,
+                    objective=args.objective,
+                    semantic_classes=not args.syntactic_classes,
+                )
+                retimed = result.circuit
+                if args.verify:
+                    verify_check = check_sequential(
+                        circuit, retimed, cycles=args.verify_cycles
+                    )
+                    if not verify_check.equivalent:
+                        raise VerificationError(verify_check)
+            check_circuit(retimed)
+    except VerificationError as exc:
+        return _fail(str(exc))
     if trace:
         print(f"wrote trace to {trace}", file=sys.stderr)
     if log_json:
         print(f"wrote run log to {log_json}", file=sys.stderr)
     print(f"retimed: {_stats_line(retimed, model)}")
+    if verify_check is not None:
+        print(
+            f"verified: {verify_check.cycles} cycles x "
+            f"{verify_check.lanes} lanes, refinement holds"
+        )
     if not accepted:
         print(
             "  (retiming rejected: STA delay regressed on the retimed "
@@ -307,6 +351,12 @@ def _batch_main(argv: list[str]) -> int:
     parser.add_argument("--target-period", type=float, default=None)
     parser.add_argument("--syntactic-classes", action="store_true")
     parser.add_argument(
+        "--verify", action="store_true",
+        help="sequentially verify each result against its input; "
+        "a mismatch fails that job (no retry)",
+    )
+    parser.add_argument("--verify-cycles", type=int, default=64, metavar="N")
+    parser.add_argument(
         "--cache-dir", type=Path, default=None,
         help="persistent result cache (reruns of unchanged designs are free)",
     )
@@ -345,6 +395,8 @@ def _batch_main(argv: list[str]) -> int:
                 delay_model=args.delay_model,
                 target_period=args.target_period,
                 semantic_classes=not args.syntactic_classes,
+                verify=args.verify,
+                verify_cycles=args.verify_cycles,
             )
             job.canonical_key  # parse early: reject bad inputs up front
         except OSError as exc:
@@ -395,6 +447,76 @@ def _batch_main(argv: list[str]) -> int:
     finally:
         service.close()
     return 1 if failures else 0
+
+
+# ---------------------------------------------------------------------------
+# fuzz mode: differential fuzzing of the whole pipeline
+# ---------------------------------------------------------------------------
+
+
+def _fuzz_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mcretime fuzz",
+        description=(
+            "Differential-fuzz the retiming pipeline: random multi-class "
+            "designs through prepare+map+mc_retime, every result "
+            "refinement-checked with the sequential checker.  --mutate "
+            "instead corrupts correct results with known-bad register "
+            "moves and demands the checker kill every oracle-confirmed "
+            "bad mutant."
+        ),
+    )
+    parser.add_argument("--rounds", type=int, default=20)
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed (round i uses seed+i)"
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=48, help="cycles per checker lane"
+    )
+    parser.add_argument(
+        "--mutate", action="store_true",
+        help="mutation mode: fault-inject retimed results, check kill rate",
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop starting new rounds after this much wall-clock time",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only print the final summary",
+    )
+    args = parser.parse_args(argv)
+
+    from ..verify import fuzz_run
+
+    def on_case(case):
+        if args.quiet:
+            return
+        if case.ok:
+            tag = f" [{case.mutation}]" if case.mutation else ""
+            print(f"  seed {case.seed}: ok{tag}")
+        else:
+            detail = case.error or (case.check and case.check.reason)
+            tag = f" [{case.mutation}]" if case.mutation else ""
+            print(f"  seed {case.seed}: FAIL{tag} — {detail}")
+
+    report = fuzz_run(
+        rounds=args.rounds,
+        seed=args.seed,
+        cycles=args.cycles,
+        mutate=args.mutate,
+        time_budget=args.time_budget,
+        on_case=on_case,
+    )
+    print(f"fuzz: {report.summary()}")
+    if args.mutate and report.confirmed:
+        print(f"kill rate: {100 * report.kill_rate:.0f}%")
+    if not report.ok:
+        for case in report.failures:
+            detail = case.error or (case.check and case.check.reason)
+            print(f"  FAILED seed {case.seed}: {detail}", file=sys.stderr)
+        return 1
+    return 0
 
 
 # ---------------------------------------------------------------------------

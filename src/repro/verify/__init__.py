@@ -1,5 +1,59 @@
-"""Equivalence checking for transformed circuits."""
+"""Equivalence checking for transformed circuits.
 
-from .equivalence import CheckResult, check_combinational, check_refinement
+Three layers, cheapest first:
 
-__all__ = ["CheckResult", "check_combinational", "check_refinement"]
+* :func:`check_combinational` / :func:`check_refinement` — scalar
+  BDD/simulation checks used by unit tests and the paper experiments.
+* :func:`check_sequential` — the production gate: coverage-directed
+  stimulus on the bit-parallel kernel, with counterexample shrinking.
+* :func:`fuzz_run` — differential pipeline fuzzing and mutation
+  (fault-injection) fuzzing of the checker itself.
+"""
+
+from .equivalence import (
+    CheckResult,
+    check_combinational,
+    check_refinement,
+    clock_exempt_nets,
+)
+from .fuzz import (
+    MUTATION_KINDS,
+    FuzzCase,
+    FuzzReport,
+    fuzz_one,
+    fuzz_run,
+    inject_mutation,
+    mutate_one,
+    random_spec,
+)
+from .sequential import (
+    RESET_PREFIXES,
+    SequentialCheckResult,
+    StimulusPlan,
+    VerificationError,
+    check_sequential,
+    replay,
+    shrink_counterexample,
+)
+
+__all__ = [
+    "CheckResult",
+    "FuzzCase",
+    "FuzzReport",
+    "MUTATION_KINDS",
+    "RESET_PREFIXES",
+    "SequentialCheckResult",
+    "StimulusPlan",
+    "VerificationError",
+    "check_combinational",
+    "check_refinement",
+    "check_sequential",
+    "clock_exempt_nets",
+    "fuzz_one",
+    "fuzz_run",
+    "inject_mutation",
+    "mutate_one",
+    "random_spec",
+    "replay",
+    "shrink_counterexample",
+]

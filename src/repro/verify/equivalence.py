@@ -85,10 +85,26 @@ def check_combinational(
     return CheckResult(True)
 
 
-def _reset_vector(circuit: Circuit, reset_prefixes: Sequence[str]) -> dict:
+def clock_exempt_nets(*circuits: Circuit) -> set[str]:
+    """Input nets stimulus must never toggle: the declared register
+    clock nets of every given circuit (any name, including per-class
+    clocks), with the conventional ``"clk"`` kept as a fallback for
+    circuits whose clock reaches no register (e.g. fully combinational
+    intermediates)."""
+    exempt = {"clk"}
+    for circuit in circuits:
+        exempt.update(circuit.clock_nets())
+    return exempt
+
+
+def _reset_vector(
+    circuit: Circuit,
+    reset_prefixes: Sequence[str],
+    exempt: set[str],
+) -> dict:
     vec = {}
     for net in circuit.inputs:
-        if net == "clk":
+        if net in exempt:
             continue
         vec[net] = T1 if net.startswith(tuple(reset_prefixes)) else T0
     return vec
@@ -115,24 +131,42 @@ def check_refinement(
     don't-cares in the transformed circuit; outputs that depend on such
     registers are X in the original and rightly exempt until real data
     flushes them.
+
+    The transformed circuit's inputs must be a subset of the original's:
+    a transformed-only input would silently be driven to X, turning a
+    mere interface drift into spurious refinement failures, so it is
+    reported as an explicit mismatch instead.  Each simulator receives a
+    vector built over its *own* inputs (original-only inputs are simply
+    unused on the transformed side).
     """
     if len(original.outputs) != len(transformed.outputs):
         return CheckResult(False, "output counts differ")
+    known = set(original.inputs)
+    extra = [net for net in transformed.inputs if net not in known]
+    if extra:
+        return CheckResult(
+            False,
+            "input interface mismatch: transformed-only inputs "
+            f"{extra} would be driven to X",
+        )
+    exempt = clock_exempt_nets(original, transformed)
+    t_inputs = set(transformed.inputs)
     rng = random.Random(seed)
     sims = [SequentialSimulator(c) for c in (original, transformed)]
-    warmup = _reset_vector(original, reset_prefixes)
-    for sim in sims:
-        sim.step(warmup)
+    warmup = _reset_vector(original, reset_prefixes, exempt)
+    sims[0].step(warmup)
+    sims[1].step({n: v for n, v in warmup.items() if n in t_inputs})
     for cycle in range(cycles):
         vec = {}
         for net in original.inputs:
-            if net == "clk":
+            if net in exempt:
                 continue
             if net.startswith(tuple(reset_prefixes)):
                 vec[net] = T0
             else:
                 vec[net] = T1 if rng.random() < 0.5 else T0
-        outs = [sim.step(vec) for sim in sims]
+        tvec = {n: v for n, v in vec.items() if n in t_inputs}
+        outs = [sims[0].step(vec), sims[1].step(tvec)]
         left = [outs[0][n] for n in original.outputs]
         right = [outs[1][n] for n in transformed.outputs]
         for index, (a, b) in enumerate(zip(left, right)):

@@ -1,0 +1,485 @@
+"""Bit-parallel sequential refinement checking with directed stimulus.
+
+:func:`check_sequential` is the production version of
+:func:`~repro.verify.equivalence.check_refinement`: same refinement
+criterion (wherever the original circuit's output is binary, the
+transformed circuit must reproduce it exactly), but
+
+* it runs on the bit-parallel kernel (:mod:`repro.kernels.sim`), so a
+  64-lane check costs roughly one scalar simulation instead of 64;
+* the stimulus is **coverage-directed** instead of uniform-random: the
+  registers' EN / sync-reset / async-reset control pins get dedicated
+  pulse lanes (uniform stimulus rarely exercises the multi-class
+  semantics the paper is about), resets are re-asserted mid-run, and
+  data inputs get quiet / all-ones / walking-ones lanes, with the
+  remaining lanes randomised from the seed;
+* failures are **shrunk** into a small scalar counterexample — first
+  minimising the cycle count, then freeing asserted inputs toward 0 —
+  and re-confirmed on the scalar oracle before being reported.
+
+Lane 0 of the plan is the quiet lane, so a deterministic circuit pair
+is always exercised on the all-zero sequence; the warm-up vector
+(cycle 0, outputs unchecked, reset-style inputs asserted) mirrors the
+scalar checker.
+
+``engine="scalar"`` runs the identical lane plan through the scalar
+:class:`~repro.logic.simulate.SequentialSimulator` — the oracle mode the
+differential tests and the mutation fuzzer use to pin the kernel's
+verdicts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from .. import obs
+from ..kernels.sim import BitSimulator, compile_circuit, unpack_lane
+from ..logic.simulate import SequentialSimulator
+from ..logic.ternary import T0, T1, TX
+from ..netlist import Circuit
+from .equivalence import CheckResult, clock_exempt_nets
+
+#: default reset-style input prefixes (same as check_refinement)
+RESET_PREFIXES = ("rst", "rs", "srst")
+
+#: replay budget for counterexample shrinking
+MAX_SHRINK_CHECKS = 600
+
+
+class VerificationError(RuntimeError):
+    """A sequential equivalence gate failed (the transform is unsound).
+
+    Raised by callers that *gate* on verification — flows, the CLI, the
+    batch service — rather than inspect the verdict.  Carries the full
+    :class:`SequentialCheckResult` (counterexample included) as
+    ``check``.  Deliberately not retryable: the checker is
+    deterministic in its seed, so a second run cannot pass.
+    """
+
+    def __init__(self, check: "SequentialCheckResult") -> None:
+        super().__init__(f"sequential verification failed: {check.reason}")
+        self.check = check
+
+
+@dataclass
+class SequentialCheckResult(CheckResult):
+    """A :class:`CheckResult` plus the sequential-run evidence."""
+
+    #: scalar counterexample stimulus (cycle 0 is the unchecked warm-up
+    #: vector); replaying it with :func:`replay` reproduces the failure
+    stimulus: list[dict[str, int]] | None = None
+    #: lane of the bit-parallel run that first failed
+    lane: int | None = None
+    #: cycles compared (excluding the warm-up vector)
+    cycles: int = 0
+    #: stimulus lanes simulated
+    lanes: int = 0
+
+
+class StimulusPlan:
+    """Deterministic coverage-directed lane plan for a circuit pair.
+
+    The plan is a pure function of ``(original, transformed, cycles,
+    seed, lanes, reset_prefixes)``; the lane budget grows automatically
+    when the dedicated lanes alone exceed the request.
+    """
+
+    def __init__(
+        self,
+        original: Circuit,
+        transformed: Circuit,
+        cycles: int,
+        seed: int,
+        lanes: int,
+        reset_prefixes: Sequence[str] = RESET_PREFIXES,
+    ) -> None:
+        self.cycles = cycles
+        exempt = clock_exempt_nets(original, transformed)
+        inputs = [n for n in original.inputs if n not in exempt]
+        prefixes = tuple(reset_prefixes)
+
+        en_pins: set[str] = set()
+        reset_pins: set[str] = set()
+        for circuit in (original, transformed):
+            for reg in circuit.registers.values():
+                if reg.en is not None:
+                    en_pins.add(reg.en)
+                for net in (reg.sr, reg.ar):
+                    if net is not None:
+                        reset_pins.add(net)
+
+        in_set = set(inputs)
+        self.inputs = inputs
+        #: reset-style nets: prefix-matched inputs plus SR/AR pin inputs
+        self.reset_nets = [
+            n for n in inputs
+            if n.startswith(prefixes) or n in reset_pins
+        ]
+        reset_set = set(self.reset_nets)
+        #: enable-style nets: EN pin inputs that are not also resets
+        self.enable_nets = [
+            n for n in inputs if n in en_pins and n not in reset_set
+        ]
+        enable_set = set(self.enable_nets)
+        #: plain data inputs
+        self.data_nets = [
+            n for n in inputs if n not in reset_set and n not in enable_set
+        ]
+        #: control nets that get dedicated pulse lanes
+        self.control_nets = [
+            n for n in inputs if n in en_pins or n in reset_pins
+        ]
+
+        self._lane_desc: list[str] = ["quiet", "all-ones data"]
+        self._ctrl_base = 2
+        for net in self.control_nets:
+            self._lane_desc.append(f"pulse {net} (fast)")
+            self._lane_desc.append(f"pulse {net} (slow)")
+        self._reassert_base = len(self._lane_desc)
+        self._lane_desc.append("reset reassert (1 cycle)")
+        self._lane_desc.append("reset reassert (held)")
+        self._walk_base = len(self._lane_desc)
+        self._walk_nets = self.data_nets[:16]
+        for net in self._walk_nets:
+            self._lane_desc.append(f"walking-one {net}")
+        dedicated = len(self._lane_desc)
+        self.lanes = max(lanes, dedicated + 8)
+        self._n_random = self.lanes - dedicated
+        self._rand_base = dedicated
+
+        # materialise the whole run up front: per cycle, net -> v word
+        # (all stimulus is binary, so the x word is always 0); cycle 0
+        # is the warm-up vector
+        rng = random.Random(seed)
+        mid = max(cycles // 2, 1)
+        self.words: list[dict[str, int]] = []
+        warm = {}
+        for net in inputs:
+            warm[net] = self._all() if net in reset_set else 0
+        self.words.append(warm)
+        for cycle in range(cycles):
+            vec: dict[str, int] = {}
+            for i, net in enumerate(self.data_nets):
+                vec[net] = self._data_word(i, net, cycle, rng)
+            for net in self.enable_nets:
+                vec[net] = self._enable_word(net, cycle, rng)
+            for net in self.reset_nets:
+                vec[net] = self._reset_word(net, cycle, mid, rng)
+            self.words.append(vec)
+
+    def _all(self) -> int:
+        return (1 << self.lanes) - 1
+
+    def _ctrl_lanes(self, net: str) -> tuple[int, int] | None:
+        try:
+            j = self.control_nets.index(net)
+        except ValueError:
+            return None
+        return self._ctrl_base + 2 * j, self._ctrl_base + 2 * j + 1
+
+    def _pulse_bits(self, net: str, cycle: int) -> int:
+        """This control net's own fast/slow pulse lanes."""
+        pair = self._ctrl_lanes(net)
+        if pair is None:
+            return 0
+        fast, slow = pair
+        word = 0
+        if cycle % 2 == 1:
+            word |= 1 << fast
+        if (cycle // 4) % 2 == 1:
+            word |= 1 << slow
+        return word
+
+    def _rand_bits(self, rng: random.Random, p_shift: int = 0) -> int:
+        """Random-lane block; each extra *p_shift* halves the 1-density."""
+        word = rng.getrandbits(self._n_random)
+        for _ in range(p_shift):
+            word &= rng.getrandbits(self._n_random)
+        return word << self._rand_base
+
+    def _data_word(
+        self, index: int, net: str, cycle: int, rng: random.Random
+    ) -> int:
+        word = 1 << 1  # all-ones lane
+        # alternating fill keeps data moving through the control,
+        # reassert and walking lanes without drowning the pulses
+        fill = (cycle + index) & 1
+        if fill:
+            for j in range(len(self.control_nets)):
+                word |= 0b11 << (self._ctrl_base + 2 * j)
+            word |= 0b11 << self._reassert_base
+        if net in self._walk_nets:
+            word |= 1 << (self._walk_base + self._walk_nets.index(net))
+        return word | self._rand_bits(rng)
+
+    def _enable_word(self, net: str, cycle: int, rng: random.Random) -> int:
+        # enables are held high outside their own pulse lanes so data
+        # actually flows; the quiet lane keeps them low
+        word = 1 << 1
+        for j, other in enumerate(self.control_nets):
+            if other != net:
+                word |= 0b11 << (self._ctrl_base + 2 * j)
+        word |= 0b11 << self._reassert_base
+        for k in range(len(self._walk_nets)):
+            word |= 1 << (self._walk_base + k)
+        return word | self._pulse_bits(net, cycle) | self._rand_bits(rng)
+
+    def _reset_word(
+        self, net: str, cycle: int, mid: int, rng: random.Random
+    ) -> int:
+        word = self._pulse_bits(net, cycle)
+        if cycle == mid:
+            word |= 0b11 << self._reassert_base
+        elif mid < cycle <= mid + 2:
+            word |= 0b10 << self._reassert_base
+        # sparse random reset assertions (p = 1/16) in the random block
+        return word | self._rand_bits(rng, p_shift=3)
+
+    # -- extraction -----------------------------------------------------
+
+    def word_stimulus(self, cycle: int) -> dict[str, tuple[int, int]]:
+        """Cycle *cycle*'s stimulus as ``net -> (v, x)`` words."""
+        return {net: (word, 0) for net, word in self.words[cycle].items()}
+
+    def lane_vector(self, cycle: int, lane: int) -> dict[str, int]:
+        """One lane of one cycle as a scalar stimulus dict."""
+        return {
+            net: T1 if (word >> lane) & 1 else T0
+            for net, word in self.words[cycle].items()
+        }
+
+    def describe_lane(self, lane: int) -> str:
+        if lane < len(self._lane_desc):
+            return self._lane_desc[lane]
+        return f"random lane {lane - self._rand_base}"
+
+
+# --------------------------------------------------------------------- #
+# scalar replay + shrinking
+
+
+def replay(
+    original: Circuit,
+    transformed: Circuit,
+    stimulus: Sequence[dict[str, int]],
+) -> tuple[int, int, int, int] | None:
+    """Scalar-replay *stimulus* on both circuits from their default
+    reset states; returns the first refinement violation as ``(cycle,
+    output index, expected, got)`` or None.
+
+    Cycle 0 is treated as the warm-up vector: it is applied but its
+    outputs are not compared, matching :func:`check_sequential`.
+    """
+    o_in = set(original.inputs)
+    t_in = set(transformed.inputs)
+    sim_o = SequentialSimulator(original)
+    sim_t = SequentialSimulator(transformed)
+    for cycle, vec in enumerate(stimulus):
+        a = sim_o.step({n: v for n, v in vec.items() if n in o_in})
+        b = sim_t.step({n: v for n, v in vec.items() if n in t_in})
+        if cycle == 0:
+            continue
+        for k, (na, nb) in enumerate(
+            zip(original.outputs, transformed.outputs)
+        ):
+            va = a[na]
+            vb = b[nb]
+            if va != TX and va != vb:
+                return (cycle, k, va, vb)
+    return None
+
+
+def shrink_counterexample(
+    original: Circuit,
+    transformed: Circuit,
+    stimulus: list[dict[str, int]],
+    max_checks: int = MAX_SHRINK_CHECKS,
+) -> tuple[list[dict[str, int]], tuple[int, int, int, int]] | None:
+    """Minimise a failing stimulus: fewer cycles first, then freeing
+    asserted inputs toward 0.  Returns ``(stimulus, failure)`` with the
+    replay-confirmed failure tuple, or None if the stimulus does not
+    actually fail under scalar replay."""
+    budget = max_checks
+    fail = replay(original, transformed, stimulus)
+    if fail is None:
+        return None
+    stimulus = [dict(v) for v in stimulus[: fail[0] + 1]]
+
+    # pass 1: delete whole cycles (never the warm-up vector)
+    changed = True
+    while changed and budget > 0:
+        changed = False
+        for i in range(len(stimulus) - 1, 0, -1):
+            if budget <= 0:
+                break
+            candidate = stimulus[:i] + stimulus[i + 1 :]
+            if len(candidate) < 2:
+                continue
+            budget -= 1
+            f = replay(original, transformed, candidate)
+            if f is not None:
+                stimulus = [dict(v) for v in candidate[: f[0] + 1]]
+                fail = f
+                changed = True
+
+    # pass 2: free asserted inputs toward 0
+    for vec in stimulus:
+        for net in sorted(vec):
+            if vec[net] != T1 or budget <= 0:
+                continue
+            vec[net] = T0
+            budget -= 1
+            f = replay(original, transformed, stimulus)
+            if f is None:
+                vec[net] = T1
+            else:
+                fail = f
+    final = replay(original, transformed, stimulus)
+    if final is None:  # pragma: no cover - shrinker invariant
+        return None
+    # zeroing can move the failure earlier; drop now-dangling cycles
+    # (a failure at cycle c depends only on the stimulus prefix 0..c)
+    return stimulus[: final[0] + 1], final
+
+
+# --------------------------------------------------------------------- #
+# the checker
+
+
+def check_sequential(
+    original: Circuit,
+    transformed: Circuit,
+    cycles: int = 64,
+    seed: int = 0,
+    lanes: int = 64,
+    reset_prefixes: Sequence[str] = RESET_PREFIXES,
+    shrink: bool = True,
+    engine: str = "bits",
+) -> SequentialCheckResult:
+    """Coverage-directed bit-parallel refinement check.
+
+    Pass criterion and interface rules match
+    :func:`~repro.verify.equivalence.check_refinement`; see the module
+    docstring for the stimulus model.  With ``shrink=True`` a failure
+    comes back with a minimised scalar ``stimulus`` that
+    :func:`replay` reproduces.
+    """
+    if engine not in ("bits", "scalar"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if len(original.outputs) != len(transformed.outputs):
+        return SequentialCheckResult(False, "output counts differ")
+    known = set(original.inputs)
+    extra = [net for net in transformed.inputs if net not in known]
+    if extra:
+        return SequentialCheckResult(
+            False,
+            "input interface mismatch: transformed-only inputs "
+            f"{extra} would be driven to X",
+        )
+
+    plan = StimulusPlan(
+        original, transformed, cycles, seed, lanes, reset_prefixes
+    )
+    with obs.span(
+        "verify.sequential",
+        cycles=cycles,
+        lanes=plan.lanes,
+        engine=engine,
+    ):
+        if engine == "bits":
+            failure = _run_bits(original, transformed, plan)
+        else:
+            failure = _run_scalar(original, transformed, plan)
+        obs.count("verify.checks")
+        obs.count("verify.lane_cycles", plan.lanes * cycles)
+        if failure is None:
+            return SequentialCheckResult(
+                True,
+                f"refines over {cycles} cycles x {plan.lanes} "
+                "coverage-directed lanes",
+                cycles=cycles,
+                lanes=plan.lanes,
+            )
+
+        obs.count("verify.failures")
+        cycle, index, lane, expected, got = failure
+        stimulus = [plan.lane_vector(t, lane) for t in range(cycle + 1)]
+        counterexample = (cycle, index, expected, got)
+        if shrink:
+            shrunk = shrink_counterexample(original, transformed, stimulus)
+            if shrunk is not None:
+                stimulus, counterexample = shrunk
+                cycle, index, expected, got = counterexample
+        net = original.outputs[index]
+        return SequentialCheckResult(
+            False,
+            f"cycle {cycle}, output #{index} ({net!r}): "
+            f"original={expected}, transformed={got} "
+            f"(lane {lane}: {plan.describe_lane(lane)}; "
+            f"counterexample shrunk to {len(stimulus)} cycles)"
+            if shrink
+            else f"cycle {cycle}, output #{index} ({net!r}): "
+            f"original={expected}, transformed={got} "
+            f"(lane {lane}: {plan.describe_lane(lane)})",
+            counterexample=counterexample,
+            stimulus=stimulus,
+            lane=lane,
+            cycles=cycles,
+            lanes=plan.lanes,
+        )
+
+
+def _run_bits(
+    original: Circuit, transformed: Circuit, plan: StimulusPlan
+) -> tuple[int, int, int, int, int] | None:
+    """Run the plan on the bit kernel; first failure as
+    ``(cycle, output index, lane, expected, got)``."""
+    full = (1 << plan.lanes) - 1
+    sim_o = BitSimulator(compile_circuit(original), lanes=plan.lanes)
+    sim_t = BitSimulator(compile_circuit(transformed), lanes=plan.lanes)
+    for cycle in range(plan.cycles + 1):
+        words = plan.word_stimulus(cycle)
+        outs_o = sim_o.step(words)
+        outs_t = sim_t.step(words)
+        if cycle == 0:
+            continue
+        for k, ((av, ax), (bv, bx)) in enumerate(zip(outs_o, outs_t)):
+            bad = ~ax & full & (bx | (av ^ bv))
+            if bad:
+                lane = (bad & -bad).bit_length() - 1
+                expected = unpack_lane((av, ax), lane)
+                got = unpack_lane((bv, bx), lane)
+                return (cycle, k, lane, expected, got)
+    return None
+
+
+def _run_scalar(
+    original: Circuit, transformed: Circuit, plan: StimulusPlan
+) -> tuple[int, int, int, int, int] | None:
+    """Oracle mode: the identical plan, one scalar simulator per lane."""
+    o_in = set(original.inputs)
+    t_in = set(transformed.inputs)
+    sims = [
+        (SequentialSimulator(original), SequentialSimulator(transformed))
+        for _ in range(plan.lanes)
+    ]
+    for cycle in range(plan.cycles + 1):
+        results = []
+        for lane, (sim_o, sim_t) in enumerate(sims):
+            vec = plan.lane_vector(cycle, lane)
+            a = sim_o.step({n: v for n, v in vec.items() if n in o_in})
+            b = sim_t.step({n: v for n, v in vec.items() if n in t_in})
+            results.append((a, b))
+        if cycle == 0:
+            continue
+        for k, (na, nb) in enumerate(
+            zip(original.outputs, transformed.outputs)
+        ):
+            for lane, (a, b) in enumerate(results):
+                va = a[na]
+                vb = b[nb]
+                if va != TX and va != vb:
+                    return (cycle, k, lane, va, vb)
+    return None

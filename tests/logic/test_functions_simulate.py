@@ -101,13 +101,32 @@ class TestSequentialSimulator:
         sim.step({"en": T1, "rst": T1})
         assert sim.state["r"] == T0
 
-    def test_default_reset_state_prefers_async(self):
+    def test_default_reset_state_prefers_sync(self):
+        # both reset pins with differing values: the *synchronous* value
+        # wins, matching the equivalent-reset-state convention of
+        # mcretime.reset (regression for the aval-first bug)
         c = Circuit()
         c.add_input("clk")
         c.add_input("d")
         c.add_input("rs")
         c.add_register(d="d", clk="clk", ar="rs", aval=T1, sr="rs", sval=T0, name="r")
-        assert SequentialSimulator.default_reset_state(c) == {"r": T1}
+        assert SequentialSimulator.default_reset_state(c) == {"r": T0}
+
+    def test_default_reset_state_async_fallback(self):
+        # sval is X: fall back to the async value, else X
+        c = Circuit()
+        c.add_input("clk")
+        c.add_input("d")
+        c.add_input("rs")
+        c.add_register(
+            d="d", clk="clk", ar="rs", aval=T1, sr="rs", sval=TX, name="ra"
+        )
+        c.add_register(d="d2", clk="clk", name="rx")
+        c.add_input("d2")
+        assert SequentialSimulator.default_reset_state(c) == {
+            "ra": T1,
+            "rx": TX,
+        }
 
     def test_sync_reset_applies_on_edge(self):
         c = Circuit()

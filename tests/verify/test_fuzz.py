@@ -1,0 +1,62 @@
+"""The differential fuzzer: pipeline mode, mutation mode, determinism."""
+
+from __future__ import annotations
+
+from repro.netlist import check_circuit
+from repro.verify import (
+    MUTATION_KINDS,
+    fuzz_run,
+    inject_mutation,
+    mutate_one,
+    random_spec,
+)
+
+
+def test_pipeline_fuzz_clean_on_fixed_seeds():
+    report = fuzz_run(rounds=4, seed=0, cycles=32)
+    assert report.rounds == 4
+    assert report.ok, [
+        (c.seed, c.error or c.check.reason) for c in report.failures
+    ]
+
+
+def test_mutation_fuzz_kills_every_confirmed_mutant():
+    report = fuzz_run(rounds=6, seed=0, cycles=32, mutate=True)
+    assert report.ok, [
+        (c.seed, c.mutation, c.error) for c in report.failures
+    ]
+    assert report.confirmed >= 1  # the seeds must actually exercise kills
+    assert report.kill_rate == 1.0
+
+
+def test_inject_mutation_is_deterministic_and_valid():
+    from repro.synth import generate
+
+    circuit = generate(random_spec(2)).circuit
+    first = inject_mutation(circuit, seed=5)
+    second = inject_mutation(circuit, seed=5)
+    assert first is not None and second is not None
+    mutant, description = first
+    assert description == second[1]
+    check_circuit(mutant)  # mutants are structurally valid by contract
+    kind = description.split(":")[0]
+    assert kind in MUTATION_KINDS + ("force_reset",)
+    # the input circuit is never modified
+    check_circuit(circuit)
+
+
+def test_mutate_one_reports_oracle_confirmation():
+    case = mutate_one(seed=1, cycles=32)
+    assert case.error is None
+    assert case.mutation is not None
+    if case.confirmed:
+        assert case.killed and case.ok
+
+
+def test_time_budget_stops_early():
+    report = fuzz_run(rounds=1000, seed=0, cycles=8, time_budget=0.01)
+    assert 1 <= report.rounds < 1000
+
+
+def test_random_spec_is_stable():
+    assert random_spec(3).__dict__ == random_spec(3).__dict__
