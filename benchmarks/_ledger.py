@@ -1,0 +1,50 @@
+"""Shared helper: every BENCH harness appends one run-ledger record.
+
+The BENCH_*.json files are one-shot snapshots; the ledger
+(``benchmarks/LEDGER.jsonl`` by default, ``REPRO_LEDGER`` to override)
+accumulates a *trajectory* of ``bench.*`` records that ``mcretime obs
+diff/check`` — and the CI ``perf-sentinel`` job — compare with
+noise-robust median-of-k statistics.  Each harness maps its headline
+medians into the record's ``spans`` field (what the sentinel gates on)
+and its derived ratios into ``metrics`` (carried for humans, not
+gated).
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+from typing import Any
+
+#: the shared bench ledger; every harness appends here unless
+#: ``REPRO_LEDGER`` points elsewhere
+DEFAULT_LEDGER = Path(__file__).resolve().parent / "LEDGER.jsonl"
+
+
+def ledger_path() -> Path:
+    return Path(os.environ.get("REPRO_LEDGER") or DEFAULT_LEDGER)
+
+
+def append_run(
+    kind: str,
+    spans: dict[str, float],
+    *,
+    config: dict[str, Any] | None = None,
+    metrics: dict[str, Any] | None = None,
+    counters: dict[str, float] | None = None,
+    path: str | Path | None = None,
+) -> dict[str, Any]:
+    """Append one ``bench.*`` record to the shared ledger; returns it."""
+    from repro import obs
+
+    return obs.RunLedger(path or ledger_path()).append(
+        obs.build_record(
+            kind=kind,
+            run_id=uuid.uuid4().hex[:16],
+            config=config,
+            spans=spans,
+            counters=counters,
+            metrics=metrics,
+        )
+    )

@@ -31,6 +31,11 @@ import sys
 import time
 from pathlib import Path
 
+try:
+    from benchmarks._ledger import append_run
+except ImportError:  # standalone: python benchmarks/bench_kernels.py
+    from _ledger import append_run
+
 OUT_PATH = Path(
     os.environ.get(
         "REPRO_BENCH_KERNELS_OUT",
@@ -290,6 +295,25 @@ def run_bench(
         report["kernels_quick"] = bench_kernels(3, True)
     OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    spans: dict[str, float] = {}
+    for name, entry in report["kernels"].items():
+        for side in ("oracle", "kernel"):
+            stats = entry.get(side)
+            if stats and "median" in stats:
+                spans[f"{name}.{side}"] = stats["median"]
+    for name, row in report["end_to_end"].items():
+        if name != "totals":
+            spans[f"e2e.{name}"] = row["kernel_seconds"]
+    append_run(
+        "bench.kernels",
+        spans,
+        config=dict(report["meta"]),
+        metrics={
+            f"{name}.speedup": entry["speedup"]
+            for name, entry in report["kernels"].items()
+            if "speedup" in entry
+        },
+    )
     if with_service:
         import tempfile
 

@@ -29,8 +29,14 @@ import argparse
 import contextlib
 import json
 import sys
+import threading
 import time
 from pathlib import Path
+
+try:
+    from benchmarks._ledger import append_run
+except ImportError:  # standalone: python benchmarks/bench_obs.py
+    from _ledger import append_run
 
 _perf_counter = time.perf_counter
 
@@ -168,10 +174,19 @@ def check_overhead(
     threshold: float = OVERHEAD_BUDGET_PCT,
     quick: bool = False,
 ) -> dict[str, dict[str, float]]:
-    """Measure disabled-obs overhead per kernel loop; raises on breach."""
+    """Measure disabled-obs overhead per kernel loop; raises on breach.
+
+    The "real" side runs with the full obs *and* profiler machinery
+    importable but inactive — no tracer installed, no sampler thread
+    alive — so the gate covers the cost of having the profiler in the
+    process without running it (the default production state).
+    """
     from repro import obs
 
     assert not obs.enabled(), "tracing must be disabled for the overhead gate"
+    assert not any(
+        t.name == "repro-obs-sampler" for t in threading.enumerate()
+    ), "the sampling profiler must not be running during the overhead gate"
     report: dict[str, dict[str, float]] = {}
     failures = []
     for name, fn in _workloads(quick).items():
@@ -197,6 +212,18 @@ def check_overhead(
         )
         if overhead > threshold:
             failures.append(f"{name}: {overhead:.2f}% > {threshold}%")
+    spans: dict[str, float] = {}
+    overheads: dict[str, float] = {}
+    for name, row in report.items():
+        spans[f"{name}.real"] = row["real_s"]
+        spans[f"{name}.stub"] = row["stub_s"]
+        overheads[f"{name}.overhead_pct"] = row["overhead_pct"]
+    append_run(
+        "bench.obs",
+        spans,
+        config={"repeats": repeats, "threshold": threshold, "quick": quick},
+        metrics=overheads,
+    )
     if failures:
         raise AssertionError(
             "disabled-tracing overhead budget exceeded: " + "; ".join(failures)

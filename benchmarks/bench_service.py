@@ -18,6 +18,11 @@ import os
 import time
 from pathlib import Path
 
+try:
+    from benchmarks._ledger import append_run
+except ImportError:  # standalone: python benchmarks/bench_service.py
+    from _ledger import append_run
+
 OUT_PATH = Path(
     os.environ.get(
         "REPRO_BENCH_SERVICE_OUT",
@@ -86,6 +91,21 @@ def run_bench(designs: list[str], scale: float, out_dir: Path) -> dict:
         "warm_speedup": cold_serial["seconds"] / max(warm["seconds"], 1e-9),
     }
     OUT_PATH.write_text(json.dumps(report, indent=2))
+    append_run(
+        "bench.service",
+        {
+            "cold_1_worker": cold_serial["seconds"],
+            "cold_pool": cold_pool["seconds"],
+            "warm_cache": warm["seconds"],
+        },
+        config={"designs": designs, "scale": scale, "workers": n_workers},
+        metrics={
+            "pool_speedup": report["pool_speedup"],
+            "warm_speedup": report["warm_speedup"],
+            "jobs_per_sec_pool": cold_pool["jobs_per_sec"],
+            "cache_hit_rate_warm": warm["cache_hit_rate"],
+        },
+    )
     return report
 
 

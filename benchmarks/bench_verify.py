@@ -31,6 +31,11 @@ import sys
 import time
 from pathlib import Path
 
+try:
+    from benchmarks._ledger import append_run
+except ImportError:  # standalone: python benchmarks/bench_verify.py
+    from _ledger import append_run
+
 OUT_PATH = Path(
     os.environ.get(
         "REPRO_BENCH_VERIFY_OUT",
@@ -207,6 +212,18 @@ def run_bench(
     }
     OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    spans = {}
+    for name, row in rows.items():
+        spans[f"{name}.sim.bits"] = row["sim"]["bits_seconds"]
+        spans[f"{name}.sim.scalar"] = row["sim"]["scalar_seconds"]
+        spans[f"{name}.check.bits"] = row["check"]["bits_seconds"]
+    spans["fuzz.pipeline"] = report["fuzz"]["pipeline"]["seconds"]
+    append_run(
+        "bench.verify",
+        spans,
+        config=dict(report["meta"]),
+        metrics=dict(aggregate),
+    )
     return report
 
 

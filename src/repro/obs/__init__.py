@@ -37,8 +37,12 @@ Environment variables
 ``REPRO_TRACE_DIR``      (workers) write one JSONL per job under this dir.
 ``REPRO_TRACE_SPANS``    (workers) trace in-memory only, so span totals
                          and counters ride back in ``metrics["obs"]``.
+``REPRO_PROFILE``        run the sampling profiler; write flame data here.
+``REPRO_LEDGER``         append one run-ledger record to this JSONL file.
+``REPRO_LEDGER_KIND``    the ``kind`` tag of that record (default ``run``).
 
-See ``docs/OBSERVABILITY.md`` for the span/counter taxonomy.
+See ``docs/OBSERVABILITY.md`` for the span/counter taxonomy, the
+run-ledger schema, and the ``mcretime obs`` sentinel commands.
 """
 
 from __future__ import annotations
@@ -49,8 +53,20 @@ import sys
 from pathlib import Path
 from typing import Any
 
+from .ledger import (
+    RunLedger,
+    build_record,
+    design_fingerprint,
+    environment,
+    record_errors,
+    record_from_tracer,
+    validate_record,
+)
+from .profile import Profile, SamplingProfiler, profile_block
 from .report import (
+    chrome_trace_errors,
     cpu_split,
+    jsonl_errors,
     load_events,
     render_summary,
     validate_chrome_trace,
@@ -63,6 +79,7 @@ from .tracer import (
     StageClock,
     Stopwatch,
     Tracer,
+    annotate,
     count,
     current,
     enabled,
@@ -79,19 +96,31 @@ __all__ = [
     "ChromeTraceSink",
     "JsonlSink",
     "MemorySink",
+    "Profile",
+    "RunLedger",
+    "SamplingProfiler",
     "Span",
     "StageClock",
     "Stopwatch",
     "Tracer",
+    "annotate",
+    "build_record",
+    "chrome_trace_errors",
     "configure_from_env",
     "count",
     "cpu_split",
     "current",
+    "design_fingerprint",
     "enabled",
+    "environment",
     "finalize_total",
     "gauge",
     "job_trace",
+    "jsonl_errors",
     "load_events",
+    "profile_block",
+    "record_errors",
+    "record_from_tracer",
     "render_summary",
     "session",
     "span",
@@ -100,6 +129,7 @@ __all__ = [
     "timed",
     "validate_chrome_trace",
     "validate_jsonl",
+    "validate_record",
 ]
 
 
@@ -110,6 +140,11 @@ def session(
     summary: bool = False,
     trace_id: str | None = None,
     meta: dict[str, Any] | None = None,
+    profile: str | Path | None = None,
+    profile_interval: float = 0.005,
+    ledger: str | Path | None = None,
+    ledger_kind: str = "run",
+    fingerprint: str | None = None,
 ):
     """Trace a block of work, wiring up the requested sinks.
 
@@ -117,6 +152,14 @@ def session(
     is already active — nested sessions join the enclosing trace rather
     than shadowing it).  On exit the tracer is finalised, sinks are
     closed, and the summary tree is printed to stderr if requested.
+
+    ``profile=`` additionally runs the sampling profiler over the block
+    and writes the flame data to the given path on exit (speedscope
+    JSON, or collapsed stacks for ``.txt``/``.collapsed``).  ``ledger=``
+    appends one schema-validated run record to the given JSONL ledger
+    (fingerprint/config/span self-times/counters/result metrics — see
+    :mod:`repro.obs.ledger`); attach result metrics from inside the
+    block with :func:`annotate`.
     """
     if current() is not None:
         yield None
@@ -127,10 +170,25 @@ def session(
     if jsonl:
         sinks.append(JsonlSink(jsonl))
     tracer = start(trace_id=trace_id, sinks=tuple(sinks), meta=meta)
+    profiler = (
+        SamplingProfiler(interval=profile_interval).start() if profile else None
+    )
     try:
         yield tracer
     finally:
+        if profiler is not None:
+            profiler.stop().write(profile)
         stop()
+        if ledger:
+            RunLedger(ledger).append(
+                record_from_tracer(
+                    tracer,
+                    ledger_kind,
+                    fingerprint=fingerprint,
+                    config=dict(tracer.meta),
+                    metrics=dict(tracer.results),
+                )
+            )
         if summary:
             print(tracer.summary(), file=sys.stderr)
 
@@ -146,10 +204,19 @@ def configure_from_env(environ: dict[str, str] | None = None):
     trace = env.get("REPRO_TRACE") or None
     jsonl = env.get("REPRO_TRACE_LOG") or None
     summary = bool(env.get("REPRO_TRACE_SUMMARY"))
-    if not (trace or jsonl or summary):
+    profile = env.get("REPRO_PROFILE") or None
+    ledger = env.get("REPRO_LEDGER") or None
+    if not (trace or jsonl or summary or profile or ledger):
         yield None
         return
-    with session(trace=trace, jsonl=jsonl, summary=summary) as tracer:
+    with session(
+        trace=trace,
+        jsonl=jsonl,
+        summary=summary,
+        profile=profile,
+        ledger=ledger,
+        ledger_kind=env.get("REPRO_LEDGER_KIND", "run"),
+    ) as tracer:
         yield tracer
 
 

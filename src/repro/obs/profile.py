@@ -1,0 +1,313 @@
+"""Zero-dependency sampling profiler for the retiming pipeline.
+
+A background thread wakes on a deterministic interval, snapshots
+``sys._current_frames()``, and records the Python call stack of the
+profiled thread(s).  Samples are **span-aware**: when a tracer is
+active, each sample is bucketed under the innermost open
+:func:`repro.obs.span` on the sampled thread (via
+:meth:`Tracer.active_span_name`), so a flame view answers "where inside
+``minperiod.feas`` does the time actually go?" — the question span
+totals alone cannot.
+
+Exports:
+
+* **collapsed stacks** (``frame;frame;frame count`` per line) — feed
+  to any FlameGraph-style tool or diff textually;
+* **speedscope JSON** — drop the file on https://www.speedscope.app
+  for an interactive flame/sandwich view.
+
+The profiler costs nothing when not started (there is no
+instrumentation — it reads interpreter state from outside), so the
+``bench_obs`` disabled-overhead gate is unaffected.  Sampling is
+cooperative with the GIL: the sampler sees frames only between
+bytecodes, which is exactly the resolution a Python-level profile
+needs.
+
+Usage::
+
+    from repro.obs import SamplingProfiler
+
+    with SamplingProfiler(interval=0.005) as prof:
+        run_workload()
+    prof.profile().write_speedscope("run.speedscope.json")
+
+or through :func:`repro.obs.session`\\ ``(profile="run.speedscope.json")``,
+``mcretime --profile``, or ``GET /debug/profile?seconds=N`` on the
+service server.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from . import tracer as _tracer
+
+__all__ = ["Profile", "SamplingProfiler", "profile_block"]
+
+#: default sampling interval in seconds (200 Hz)
+DEFAULT_INTERVAL = 0.005
+
+#: frames from these files are the profiler/tracing machinery itself and
+#: are pruned from recorded stacks
+_SELF_FILES = (__file__,)
+
+
+def _frame_stack(frame) -> tuple[tuple[str, str, int], ...]:
+    """The root-first stack of *frame* as (function, file, firstlineno)."""
+    frames: list[tuple[str, str, int]] = []
+    while frame is not None:
+        code = frame.f_code
+        if code.co_filename not in _SELF_FILES:
+            frames.append((code.co_name, code.co_filename, code.co_firstlineno))
+        frame = frame.f_back
+    frames.reverse()
+    return tuple(frames)
+
+
+def _frame_label(entry: tuple[str, str, int]) -> str:
+    name, filename, lineno = entry
+    stem = Path(filename).stem
+    return f"{stem}.{name}"
+
+
+class Profile:
+    """An immutable set of aggregated samples with export methods."""
+
+    def __init__(
+        self,
+        samples: dict[tuple[str | None, tuple], int],
+        interval: float,
+        duration: float,
+        ticks: int,
+    ) -> None:
+        #: (span name or None, root-first frame tuple) -> sample count
+        self.samples = dict(samples)
+        self.interval = interval
+        self.duration = duration
+        #: sampler wake-ups (>= sum of sample counts when threads idle)
+        self.ticks = ticks
+
+    @property
+    def n_samples(self) -> int:
+        return sum(self.samples.values())
+
+    def by_span(self) -> dict[str, int]:
+        """Sample counts bucketed by innermost active span."""
+        out: dict[str, int] = {}
+        for (span, _stack), n in self.samples.items():
+            key = span or "(no span)"
+            out[key] = out.get(key, 0) + n
+        return out
+
+    def by_function(self) -> dict[str, int]:
+        """Leaf-frame sample counts (the classic "top" view)."""
+        out: dict[str, int] = {}
+        for (_span, stack), n in self.samples.items():
+            if stack:
+                leaf = _frame_label(stack[-1])
+                out[leaf] = out.get(leaf, 0) + n
+        return out
+
+    def functions_seen(self) -> set[str]:
+        """Every ``module.function`` label appearing in any sample."""
+        seen: set[str] = set()
+        for (_span, stack), _n in self.samples.items():
+            seen.update(_frame_label(f) for f in stack)
+        return seen
+
+    # -- exports --------------------------------------------------------
+
+    def collapsed(self, spans: bool = True) -> str:
+        """Collapsed-stack text: ``frame;frame;frame count`` per line.
+
+        With ``spans=True`` the innermost span name is prepended as a
+        synthetic root frame (``span:minperiod.feas``), so span
+        attribution survives into flamegraph tooling.
+        """
+        lines: list[str] = []
+        for (span, stack), n in sorted(
+            self.samples.items(), key=lambda kv: (-kv[1], str(kv[0]))
+        ):
+            frames = [_frame_label(f) for f in stack] or ["(idle)"]
+            if spans and span:
+                frames.insert(0, f"span:{span}")
+            lines.append(";".join(frames) + f" {n}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def speedscope(self, name: str = "mcretime profile") -> dict[str, Any]:
+        """The speedscope file-format document (``"sampled"`` profile)."""
+        frame_index: dict[tuple[str, str, int], int] = {}
+        frames: list[dict[str, Any]] = []
+        span_index: dict[str, int] = {}
+
+        def index_of(entry: tuple[str, str, int]) -> int:
+            idx = frame_index.get(entry)
+            if idx is None:
+                idx = frame_index[entry] = len(frames)
+                frames.append(
+                    {
+                        "name": _frame_label(entry),
+                        "file": entry[1],
+                        "line": entry[2],
+                    }
+                )
+            return idx
+
+        def span_frame(span: str) -> int:
+            idx = span_index.get(span)
+            if idx is None:
+                idx = span_index[span] = len(frames)
+                frames.append({"name": f"span:{span}"})
+            return idx
+
+        samples: list[list[int]] = []
+        weights: list[float] = []
+        for (span, stack), n in sorted(
+            self.samples.items(), key=lambda kv: str(kv[0])
+        ):
+            indices = [index_of(f) for f in stack]
+            if span:
+                indices.insert(0, span_frame(span))
+            samples.append(indices)
+            weights.append(n * self.interval)
+        end_value = sum(weights)
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "shared": {"frames": frames},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": "seconds",
+                    "startValue": 0,
+                    "endValue": end_value,
+                    "samples": samples,
+                    "weights": weights,
+                }
+            ],
+            "exporter": "repro.obs.profile",
+            "name": name,
+        }
+
+    def write_collapsed(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.collapsed())
+        return path
+
+    def write_speedscope(
+        self, path: str | Path, name: str = "mcretime profile"
+    ) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.speedscope(name)) + "\n")
+        return path
+
+    def write(self, path: str | Path) -> Path:
+        """Write by extension: ``.txt``/``.collapsed`` → collapsed stacks,
+        anything else → speedscope JSON."""
+        path = Path(path)
+        if path.suffix in (".txt", ".collapsed", ".folded"):
+            return self.write_collapsed(path)
+        return self.write_speedscope(path)
+
+
+class SamplingProfiler:
+    """Background-thread stack sampler over ``sys._current_frames``.
+
+    By default profiles the thread that constructed it; pass
+    ``all_threads=True`` (the ``/debug/profile`` endpoint does) to
+    sample every live thread except the sampler itself.
+    """
+
+    def __init__(
+        self,
+        interval: float = DEFAULT_INTERVAL,
+        all_threads: bool = False,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self.interval = interval
+        self.all_threads = all_threads
+        self._target_tid = threading.get_ident()
+        self._samples: dict[tuple[str | None, tuple], int] = {}
+        self._ticks = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._t0 = 0.0
+        self._duration = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._t0 = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> Profile:
+        thread = self._thread
+        if thread is not None:
+            self._stop.set()
+            thread.join()
+            self._thread = None
+            self._duration = time.perf_counter() - self._t0
+        return self.profile()
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.stop()
+        return False
+
+    def profile(self) -> Profile:
+        return Profile(
+            self._samples, self.interval, self._duration, self._ticks
+        )
+
+    # -- the sampler loop ----------------------------------------------
+
+    def _run(self) -> None:
+        sampler_tid = threading.get_ident()
+        wait = self._stop.wait
+        interval = self.interval
+        while not wait(interval):
+            self._ticks += 1
+            frames = sys._current_frames()
+            tracer = _tracer.current()
+            for tid, frame in frames.items():
+                if tid == sampler_tid:
+                    continue
+                if not self.all_threads and tid != self._target_tid:
+                    continue
+                stack = _frame_stack(frame)
+                if not stack:
+                    continue
+                span = (
+                    tracer.active_span_name(tid) if tracer is not None else None
+                )
+                key = (span, stack)
+                self._samples[key] = self._samples.get(key, 0) + 1
+
+
+def profile_block(seconds: float, interval: float = DEFAULT_INTERVAL) -> Profile:
+    """Profile every thread in this process for *seconds* (blocking).
+
+    The ``GET /debug/profile?seconds=N`` endpoint: the caller's thread
+    sleeps while the sampler records everyone else.
+    """
+    prof = SamplingProfiler(interval=interval, all_threads=True)
+    prof.start()
+    time.sleep(max(0.0, seconds))
+    return prof.stop()

@@ -21,7 +21,9 @@ from pathlib import Path
 from typing import Any
 
 __all__ = [
+    "chrome_trace_errors",
     "cpu_split",
+    "jsonl_errors",
     "load_events",
     "render_summary",
     "span_totals",
@@ -265,14 +267,29 @@ def render_summary(
             collect(child)
 
     collect(root)
-    if flat:
+    if flat and top > 0:
+        # aggregate count/total alongside self-time for the table
+        agg: dict[str, tuple[int, float]] = {}
+
+        def tally(node: _Node) -> None:
+            for child in node.children.values():
+                count, total = agg.get(child.name, (0, 0.0))
+                agg[child.name] = (count + child.count, total + child.total)
+                tally(child)
+
+        tally(root)
         lines.append("")
         lines.append(f"top {top} spans by self-time:")
+        lines.append(
+            f"  {'span':<30} {'count':>6} {'total':>9} "
+            f"{'self':>9} {'self %':>7}"
+        )
         ranked = sorted(flat.items(), key=lambda kv: kv[1], reverse=True)
         for name, self_time in ranked[:top]:
+            count, total = agg.get(name, (0, 0.0))
             lines.append(
-                f"  {name:<30} {_fmt_seconds(self_time)} "
-                f"{100.0 * self_time / run_total:5.1f}%"
+                f"  {name:<30} {count:>6d} {_fmt_seconds(total)} "
+                f"{_fmt_seconds(self_time)} {100.0 * self_time / run_total:6.1f}%"
             )
 
     counts = counters(events)
@@ -305,50 +322,69 @@ def render_summary(
 _EVENT_TYPES = {"meta", "span", "counter", "gauge", "end"}
 
 
-def validate_jsonl(path: str | Path) -> list[dict[str, Any]]:
-    """Validate a JSONL run log; returns its events.
+def jsonl_errors(path: str | Path) -> list[str]:
+    """Every schema violation in a JSONL run log (empty list = valid).
 
-    Checks the line-per-event framing and the per-type required fields;
-    raises ``ValueError`` with the offending line number on a violation.
+    Checks the line-per-event framing and the per-type required fields.
+    Unlike :func:`validate_jsonl` (which raises on the *first*
+    violation), this collects all of them so ``mcretime report
+    --validate`` can list everything wrong with a file at once.
     """
     path = Path(path)
+    errors: list[str] = []
     events: list[dict[str, Any]] = []
     for lineno, line in enumerate(path.read_text().splitlines(), 1):
         if not line.strip():
-            raise ValueError(f"{path}:{lineno}: blank line inside JSONL log")
+            errors.append(f"{path}:{lineno}: blank line inside JSONL log")
+            continue
         try:
             event = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            errors.append(f"{path}:{lineno}: invalid JSON: {exc}")
+            continue
         if not isinstance(event, dict):
-            raise ValueError(f"{path}:{lineno}: event is not an object")
+            errors.append(f"{path}:{lineno}: event is not an object")
+            continue
         kind = event.get("type")
         if kind not in _EVENT_TYPES:
-            raise ValueError(f"{path}:{lineno}: unknown event type {kind!r}")
+            errors.append(f"{path}:{lineno}: unknown event type {kind!r}")
+            continue
         if kind == "span":
             for field in ("name", "id", "parent", "ts", "dur", "pid", "tid"):
                 if field not in event:
-                    raise ValueError(
+                    errors.append(
                         f"{path}:{lineno}: span event missing {field!r}"
                     )
-            if event["dur"] < 0:
-                raise ValueError(f"{path}:{lineno}: negative span duration")
+            if event.get("dur", 0) < 0:
+                errors.append(f"{path}:{lineno}: negative span duration")
         elif kind in ("counter", "gauge"):
             for field in ("name", "value", "ts"):
                 if field not in event:
-                    raise ValueError(
+                    errors.append(
                         f"{path}:{lineno}: {kind} event missing {field!r}"
                     )
         events.append(event)
     if not events or events[0].get("type") != "meta":
-        raise ValueError(f"{path}: first event must be the meta record")
-    if events[-1].get("type") != "end":
-        raise ValueError(f"{path}: last event must be the end record")
-    return events
+        errors.append(f"{path}: first event must be the meta record")
+    if not events or events[-1].get("type") != "end":
+        errors.append(f"{path}: last event must be the end record")
+    return errors
 
 
-def validate_chrome_trace(path: str | Path) -> dict[str, Any]:
-    """Validate a Chrome ``trace_event`` JSON file; returns the document.
+def validate_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Validate a JSONL run log; returns its events.
+
+    Raises ``ValueError`` with the first violation (line-numbered);
+    use :func:`jsonl_errors` to collect every violation instead.
+    """
+    errors = jsonl_errors(path)
+    if errors:
+        raise ValueError(errors[0])
+    return load_events(path)
+
+
+def chrome_trace_errors(path: str | Path) -> list[str]:
+    """Every schema violation in a Chrome trace JSON (empty = valid).
 
     Checks what Perfetto / ``chrome://tracing`` require of the JSON
     object format: a ``traceEvents`` array whose entries carry ``ph``,
@@ -356,26 +392,43 @@ def validate_chrome_trace(path: str | Path) -> dict[str, Any]:
     carrying a non-negative numeric ``dur``.
     """
     path = Path(path)
-    doc = json.loads(path.read_text())
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON: {exc}"]
+    errors: list[str] = []
     if not isinstance(doc, dict) or "traceEvents" not in doc:
-        raise ValueError(f"{path}: not a trace_event JSON object")
+        return [f"{path}: not a trace_event JSON object"]
     events = doc["traceEvents"]
     if not isinstance(events, list) or not events:
-        raise ValueError(f"{path}: traceEvents must be a non-empty array")
+        return [f"{path}: traceEvents must be a non-empty array"]
     for i, event in enumerate(events):
         if not isinstance(event, dict):
-            raise ValueError(f"{path}: traceEvents[{i}] is not an object")
+            errors.append(f"{path}: traceEvents[{i}] is not an object")
+            continue
         for field in ("ph", "name", "pid"):
             if field not in event:
-                raise ValueError(f"{path}: traceEvents[{i}] missing {field!r}")
-        if event["ph"] in ("X", "C", "B", "E") and not isinstance(
+                errors.append(f"{path}: traceEvents[{i}] missing {field!r}")
+        if event.get("ph") in ("X", "C", "B", "E") and not isinstance(
             event.get("ts"), (int, float)
         ):
-            raise ValueError(f"{path}: traceEvents[{i}] missing numeric 'ts'")
-        if event["ph"] == "X":
+            errors.append(f"{path}: traceEvents[{i}] missing numeric 'ts'")
+        if event.get("ph") == "X":
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
-                raise ValueError(
+                errors.append(
                     f"{path}: traceEvents[{i}] X event needs non-negative 'dur'"
                 )
-    return doc
+    return errors
+
+
+def validate_chrome_trace(path: str | Path) -> dict[str, Any]:
+    """Validate a Chrome ``trace_event`` JSON file; returns the document.
+
+    Raises ``ValueError`` with the first violation; use
+    :func:`chrome_trace_errors` to collect every violation instead.
+    """
+    errors = chrome_trace_errors(path)
+    if errors:
+        raise ValueError(errors[0])
+    return json.loads(Path(path).read_text())

@@ -41,6 +41,7 @@ __all__ = [
     "StageClock",
     "Stopwatch",
     "Tracer",
+    "annotate",
     "count",
     "current",
     "enabled",
@@ -176,9 +177,18 @@ class Tracer:
         self.events: list[dict[str, Any]] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, dict[str, float]] = {}
+        #: result annotations (period, register count, …) attached via
+        #: :func:`annotate`; the run-ledger record carries them as
+        #: ``metrics``
+        self.results: dict[str, Any] = {}
         self.meta = dict(meta or {})
         self._lock = threading.Lock()
         self._tls = threading.local()
+        #: tid -> that thread's live span stack (the same list object the
+        #: thread itself mutates).  Read lock-free by the sampling
+        #: profiler to attribute a sample to the innermost open span;
+        #: a torn read costs one mis-bucketed sample, never a crash.
+        self._thread_stacks: dict[int, list[Span]] = {}
         self._next_id = 0
         self._closed = False
         head = {
@@ -197,7 +207,18 @@ class Tracer:
         stack = getattr(self._tls, "stack", None)
         if stack is None:
             stack = self._tls.stack = []
+            self._thread_stacks[threading.get_ident()] = stack
         return stack
+
+    def active_span_name(self, tid: int) -> str | None:
+        """Innermost open span name on thread *tid* (profiler hook)."""
+        stack = self._thread_stacks.get(tid)
+        if stack:
+            try:
+                return stack[-1].name
+            except IndexError:  # raced with the pop — sample as unattributed
+                return None
+        return None
 
     def span(self, name: str, **args: Any) -> Span:
         """Open a hierarchical span (use as a context manager)."""
@@ -270,6 +291,11 @@ class Tracer:
             self.events.append(event)
         self._emit(event)
 
+    def annotate(self, **results: Any) -> None:
+        """Attach result metrics to the run (ledger ``metrics`` block)."""
+        with self._lock:
+            self.results.update(results)
+
     def gauge(self, name: str, value: float) -> None:
         """Record an instantaneous measurement (dirty-region size, φ…)."""
         with self._lock:
@@ -340,11 +366,23 @@ class Tracer:
                 totals[name] = totals.get(name, 0.0) + event["dur"]
         return totals
 
+    def span_self_totals(self) -> dict[str, float]:
+        """Total *self* time (duration minus child spans) per span name."""
+        totals: dict[str, float] = {}
+        for event in self.events:
+            if event.get("type") == "span":
+                name = event["name"]
+                totals[name] = totals.get(name, 0.0) + event.get(
+                    "self", event["dur"]
+                )
+        return totals
+
     def snapshot(self) -> dict[str, Any]:
         """JSON-safe aggregate used to ship results across processes."""
         return {
             "trace_id": self.trace_id,
             "spans": self.span_totals(),
+            "self_times": self.span_self_totals(),
             "counters": dict(self.counters),
             "gauges": {k: dict(v) for k, v in self.gauges.items()},
         }
@@ -425,6 +463,13 @@ def gauge(name: str, value: float) -> None:
     tracer = _ACTIVE
     if tracer is not None:
         tracer.gauge(name, value)
+
+
+def annotate(**results: Any) -> None:
+    """Attach result metrics to the active run (no-op when disabled)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.annotate(**results)
 
 
 # ---------------------------------------------------------------------------

@@ -17,7 +17,11 @@ values here.  Responsibilities:
 Tracing: pass ``trace_dir`` to have every worker write a per-job JSONL
 trace there (the trace id is the job's canonical key); span totals are
 additionally bridged into ``repro_span_seconds{span=...}`` whenever
-workers trace (``trace_dir`` set, or ``REPRO_TRACE_SPANS`` inherited).
+workers trace (``trace_dir`` set, or ``REPRO_TRACE_SPANS`` inherited),
+each observation carrying a ``{run="<job id>"}`` exemplar so a slow
+bucket points back at a concrete job.  Pass ``ledger=`` to append one
+``service.job`` run-ledger record per executed job
+(:mod:`repro.obs.ledger`), served back by ``GET /runs``.
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ import threading
 import time
 from pathlib import Path
 
-from .. import obs
+from .. import __version__, obs
 from .cache import ResultCache
 from .jobs import JobResult, RetimeJob
 from .metrics import MetricsRegistry
@@ -46,6 +50,7 @@ class RetimeService:
         retry_backoff: float = 0.5,
         metrics: MetricsRegistry | None = None,
         trace_dir: str | Path | None = None,
+        ledger: str | Path | None = None,
     ) -> None:
         self.metrics = metrics or MetricsRegistry()
         m = self.metrics
@@ -98,11 +103,31 @@ class RetimeService:
             "repro_verify_seconds",
             "Wall-clock seconds spent in post-flow verification",
         )
+        env = obs.environment()
+        self._build_info = m.gauge(
+            "repro_build_info", "Build and runtime identity (value is always 1)"
+        )
+        self._build_info.set(
+            1,
+            version=__version__,
+            python=str(env["python"]),
+            git_sha=str(env["git_sha"]),
+        )
+        self._started_at = time.time()
+        self._uptime = m.gauge(
+            "repro_process_uptime_seconds",
+            "Seconds since the service process started",
+        )
+        self._uptime.set_function(lambda: time.time() - self._started_at)
+
+        self.ledger = obs.RunLedger(ledger) if ledger else None
 
         worker_env: dict[str, str] = {}
         if trace_dir is not None:
             worker_env["REPRO_TRACE_DIR"] = str(trace_dir)
-            # memory tracing rides along so span totals reach the metrics
+        if trace_dir is not None or self.ledger is not None:
+            # memory tracing rides along so span totals reach the
+            # metrics bridge and the run ledger
             worker_env["REPRO_TRACE_SPANS"] = "1"
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
 
@@ -158,6 +183,7 @@ class RetimeService:
                     "cached": True,
                     "submitted_at": time.time(),
                     "result": cached,
+                    "options": job.options(),
                 }
             return job_id
         self._cache_misses.inc()
@@ -168,6 +194,7 @@ class RetimeService:
                 "cached": False,
                 "submitted_at": time.time(),
                 "result": None,
+                "options": job.options(),
             }
         self.pool.submit(job_id, job)
         return job_id
@@ -261,14 +288,16 @@ class RetimeService:
                     self._stage_seconds.observe(seconds, stage=stage)
             snapshot = result.metrics.get("obs")
             if snapshot:
+                run = {"run": job_id[:16]}
                 for span, seconds in snapshot.get("spans", {}).items():
-                    self._span_seconds.observe(seconds, span=span)
+                    self._span_seconds.observe(seconds, exemplar=run, span=span)
             verify = result.metrics.get("verify")
             if verify:
                 self._verify_checks.inc()
                 self._verify_seconds.observe(verify.get("seconds", 0.0))
             self.cache.put(job_id, result)
             self._record_final(job_id, result)
+            self._ledger_append(job_id, result)
         elif kind == "failed":
             self._failed.inc()
             failure: JobResult = info["result"]
@@ -291,3 +320,34 @@ class RetimeService:
             if record is not None:
                 record["result"] = result
                 record["state"] = result.status
+
+    def _ledger_append(self, job_id: str, result: JobResult) -> None:
+        """Append one ``service.job`` record to the service run ledger."""
+        if self.ledger is None:
+            return
+        snapshot = result.metrics.get("obs") or {}
+        metrics = {
+            key: value
+            for key, value in result.metrics.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        metrics["elapsed"] = result.elapsed
+        with self._lock:
+            record = self._jobs.get(job_id) or {}
+            config = dict(record.get("options") or {})
+        try:
+            self.ledger.append(
+                obs.build_record(
+                    kind="service.job",
+                    run_id=job_id[:16],
+                    fingerprint=job_id,
+                    config=config,
+                    spans=snapshot.get("spans") or {},
+                    self_times=snapshot.get("self_times") or {},
+                    counters=snapshot.get("counters") or {},
+                    metrics=metrics,
+                )
+            )
+        except (OSError, ValueError):
+            # a broken ledger must never fail a completed job
+            pass

@@ -1,24 +1,34 @@
-"""Service metrics: counters and histograms with Prometheus export.
+"""Service metrics: counters, gauges, histograms with Prometheus export.
 
-A deliberately small, stdlib-only metrics core: :class:`Counter` and
-:class:`Histogram` registered in a :class:`MetricsRegistry`, rendered
-with :meth:`MetricsRegistry.render` in the Prometheus text exposition
-format (served at ``GET /metrics``).  Histograms additionally keep a
-bounded sample reservoir so reports can ask for latency percentiles
-directly (``histogram.percentile(95)``) without a scrape pipeline.
+A deliberately small, stdlib-only metrics core: :class:`Counter`,
+:class:`Gauge`, and :class:`Histogram` registered in a
+:class:`MetricsRegistry`, rendered with :meth:`MetricsRegistry.render`
+in the Prometheus text exposition format (served at ``GET /metrics``).
+Histograms additionally keep a bounded sample reservoir so reports can
+ask for latency percentiles directly (``histogram.percentile(95)``)
+without a scrape pipeline.
 
-Both metric types support labels::
+All metric types support labels::
 
     completed = registry.counter("repro_jobs_completed_total", "...")
     completed.inc()
     stage = registry.histogram("repro_stage_seconds", "...", buckets=...)
     stage.observe(0.12, stage="map")
+
+Gauges can be callback-backed (evaluated at render time — uptime,
+queue depths) or info-style (a constant ``1`` with identifying labels,
+the ``repro_build_info`` idiom).  Histogram observations may carry an
+**exemplar** — a tiny label set (typically the run/trace id) attached
+to the bucket the observation landed in and rendered in OpenMetrics
+``# {run="…"} value`` syntax, so a slow ``repro_span_seconds`` bucket
+can be traced back to the offending job's trace file.
 """
 
 from __future__ import annotations
 
 import threading
 from bisect import bisect_left, insort
+from typing import Callable
 
 #: default latency buckets (seconds) — tuned for retiming jobs that run
 #: milliseconds on toy designs up to minutes at paper scale
@@ -81,6 +91,63 @@ class Counter:
         return lines
 
 
+class Gauge:
+    """A value that can go up and down, optionally callback-backed."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._values: dict[tuple, float] = {}
+        self._callbacks: dict[tuple, Callable[[], float]] = {}
+        self._lock = threading.Lock()
+
+    def set(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def set_function(self, fn: Callable[[], float], **labels: str) -> None:
+        """Back this series with *fn*, evaluated at render/read time."""
+        key = _label_key(labels)
+        with self._lock:
+            self._callbacks[key] = fn
+
+    def value(self, **labels: str) -> float:
+        key = _label_key(labels)
+        with self._lock:
+            fn = self._callbacks.get(key)
+        if fn is not None:
+            return float(fn())
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            values = dict(self._values)
+            callbacks = dict(self._callbacks)
+        for key, fn in callbacks.items():
+            values[key] = float(fn())
+        if not values:
+            values = {(): 0.0}
+        for key in sorted(values):
+            lines.append(f"{self.name}{_label_text(key)} {_format(values[key])}")
+        return lines
+
+
 class Histogram:
     """Cumulative-bucket histogram with a percentile reservoir."""
 
@@ -100,6 +167,9 @@ class Histogram:
         self._sums: dict[tuple, float] = {}
         self._totals: dict[tuple, int] = {}
         self._samples: dict[tuple, list[float]] = {}
+        #: (label key, bucket index) -> (exemplar label key, value);
+        #: bucket index len(buckets) is the +Inf bucket
+        self._exemplars: dict[tuple[tuple, int], tuple[tuple, float]] = {}
 
     def labels(self, **labels: str) -> "Histogram":
         """Pre-register a label set so it renders before any observation.
@@ -122,7 +192,18 @@ class Histogram:
             self._totals[key] = 0
             self._samples[key] = []
 
-    def observe(self, value: float, **labels: str) -> None:
+    def observe(
+        self,
+        value: float,
+        exemplar: dict[str, str] | None = None,
+        **labels: str,
+    ) -> None:
+        """Record one observation.
+
+        *exemplar* (e.g. ``{"run": trace_id}``) is remembered as the
+        most recent exemplar of the bucket the value lands in, so a
+        scrape can point from a slow bucket to a concrete traced run.
+        """
         key = _label_key(labels)
         with self._lock:
             self._register(key)
@@ -131,11 +212,29 @@ class Histogram:
                 self._counts[key][idx] += 1
             self._sums[key] += value
             self._totals[key] += 1
+            if exemplar:
+                self._exemplars[(key, idx)] = (_label_key(exemplar), value)
             samples = self._samples[key]
             insort(samples, value)
             if len(samples) > _MAX_SAMPLES:
                 # drop the median neighbour to keep the tails intact
                 del samples[len(samples) // 2]
+
+    def exemplar(self, bucket_le: float | str, **labels: str):
+        """The stored (labels, value) exemplar for one bucket, or None.
+
+        ``bucket_le`` is the bucket's upper bound (or ``"+Inf"``).
+        """
+        key = _label_key(labels)
+        if bucket_le == "+Inf":
+            idx = len(self.buckets)
+        else:
+            idx = self.buckets.index(float(bucket_le))
+        with self._lock:
+            found = self._exemplars.get((key, idx))
+        if found is None:
+            return None
+        return dict(found[0]), found[1]
 
     def count(self, **labels: str) -> int:
         with self._lock:
@@ -183,14 +282,19 @@ class Histogram:
                 counts = {k: list(v) for k, v in self._counts.items()}
                 sums = dict(self._sums)
                 totals = dict(self._totals)
+            exemplars = dict(self._exemplars)
         for key in sorted(totals):
             cumulative = 0
-            for bound, n in zip(self.buckets, counts[key]):
+            for idx, (bound, n) in enumerate(zip(self.buckets, counts[key])):
                 cumulative += n
                 label = _label_text(key + (("le", _format(bound)),))
-                lines.append(f"{self.name}_bucket{label} {cumulative}")
+                line = f"{self.name}_bucket{label} {cumulative}"
+                lines.append(line + _exemplar_text(exemplars.get((key, idx))))
             label = _label_text(key + (("le", "+Inf"),))
-            lines.append(f"{self.name}_bucket{label} {totals[key]}")
+            line = f"{self.name}_bucket{label} {totals[key]}"
+            lines.append(
+                line + _exemplar_text(exemplars.get((key, len(self.buckets))))
+            )
             lines.append(
                 f"{self.name}_sum{_label_text(key)} {_format(sums[key])}"
             )
@@ -206,15 +310,26 @@ def _format(value: float) -> str:
     return repr(float(value))
 
 
+def _exemplar_text(found: tuple[tuple, float] | None) -> str:
+    """OpenMetrics exemplar suffix (`` # {run="…"} value``), or ""."""
+    if found is None:
+        return ""
+    key, value = found
+    return f" # {_label_text(key)} {_format(value)}"
+
+
 class MetricsRegistry:
     """Create-or-get registry for all service metrics."""
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str, help_text: str = "") -> Counter:
         return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
 
     def histogram(
         self,

@@ -11,7 +11,11 @@ Endpoints (see ``docs/SERVICE.md`` for the full reference):
   with the job id for polling.
 * ``GET /jobs/<id>`` — job status/result by content-addressed id.
 * ``GET /healthz`` — liveness plus worker/job counts.
-* ``GET /metrics`` — Prometheus text exposition.
+* ``GET /metrics`` — Prometheus text exposition (with exemplars).
+* ``GET /runs?n=N`` — the newest N records of the service run ledger
+  (404 when the service was started without one).
+* ``GET /debug/profile?seconds=S`` — sample the server process for S
+  seconds (all threads) and return speedscope JSON flame data.
 
 The server is a ``ThreadingHTTPServer``: handler threads block on the
 service (pool-backed), so slow jobs never wedge health checks.
@@ -21,10 +25,16 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
+from .. import obs
 from ..netlist import NetlistError
 from .engine import RetimeService
 from .jobs import RetimeJob
+
+#: hard ceilings for the on-demand profiler endpoint
+_PROFILE_MAX_SECONDS = 60.0
+_RUNS_MAX = 500
 
 _JOB_FIELDS = (
     "fmt",
@@ -85,6 +95,47 @@ def make_handler(service: RetimeService, quiet: bool = True):
 
         # -- routes ----------------------------------------------------
 
+        def _query(self) -> dict[str, str]:
+            """Last value of each query-string parameter."""
+            parsed = parse_qs(urlsplit(self.path).query)
+            return {key: values[-1] for key, values in parsed.items()}
+
+        def _get_runs(self):
+            if service.ledger is None:
+                self._error(404, "service started without a run ledger")
+                return
+            try:
+                n = int(self._query().get("n", "20"))
+            except ValueError:
+                self._error(400, "query parameter 'n' must be an integer")
+                return
+            n = max(1, min(n, _RUNS_MAX))
+            self._send(
+                200,
+                {
+                    "ledger": str(service.ledger.path),
+                    "runs": service.ledger.tail(n),
+                    "skipped": service.ledger.skipped,
+                },
+            )
+
+        def _get_profile(self):
+            query = self._query()
+            try:
+                seconds = float(query.get("seconds", "5"))
+                interval = float(query.get("interval", "0.005"))
+            except ValueError:
+                self._error(400, "'seconds'/'interval' must be numbers")
+                return
+            if not 0 < seconds <= _PROFILE_MAX_SECONDS:
+                self._error(
+                    400,
+                    f"'seconds' must be in (0, {_PROFILE_MAX_SECONDS:g}]",
+                )
+                return
+            profile = obs.profile_block(seconds, interval=interval)
+            self._send(200, profile.speedscope(name="mcretime-service"))
+
         def do_GET(self):  # noqa: N802
             path = self.path.split("?", 1)[0].rstrip("/") or "/"
             if path == "/healthz":
@@ -103,6 +154,10 @@ def make_handler(service: RetimeService, quiet: bool = True):
                     service.metrics.render(),
                     content_type="text/plain; version=0.0.4",
                 )
+            elif path == "/runs":
+                self._get_runs()
+            elif path == "/debug/profile":
+                self._get_profile()
             elif path.startswith("/jobs/"):
                 job_id = path[len("/jobs/"):]
                 record = service.status(job_id)

@@ -26,6 +26,15 @@ renders a saved trace back into that tree::
     mcretime design.blif --trace out.json --log-json run.jsonl -v
     mcretime report run.jsonl
 
+Profiling & the run ledger (same doc): ``--profile out.json`` samples
+the run into speedscope flame data, ``--ledger runs.jsonl`` appends a
+schema-validated run record; ``mcretime obs diff/check`` compare
+ledgers and gate on perf regressions::
+
+    mcretime design.blif --profile flame.json --ledger runs.jsonl
+    mcretime obs diff old_runs.jsonl new_runs.jsonl
+    mcretime obs check --baseline baseline.jsonl runs.jsonl
+
 Verification (see ``docs/VERIFICATION.md``): ``--verify`` sequentially
 checks every transformed netlist against its original with the
 bit-parallel coverage-directed checker and fails the run on a
@@ -115,6 +124,8 @@ def main(argv: list[str] | None = None) -> int:
         return _batch_main(argv[1:])
     if argv and argv[0] == "report":
         return _report_main(argv[1:])
+    if argv and argv[0] == "obs":
+        return _obs_main(argv[1:])
     if argv and argv[0] == "fuzz":
         return _fuzz_main(argv[1:])
     return _retime_main(argv)
@@ -180,6 +191,20 @@ def _retime_main(argv: list[str]) -> int:
         "-v", "--verbose", action="store_true",
         help="print the trace summary tree to stderr after the run",
     )
+    parser.add_argument(
+        "--profile", type=Path, default=None, metavar="OUT.json",
+        help="sample the run with the built-in profiler and write flame "
+        "data (speedscope JSON; .txt/.collapsed for collapsed stacks)",
+    )
+    parser.add_argument(
+        "--profile-interval", type=float, default=0.005, metavar="SECONDS",
+        help="sampling interval for --profile (default 5ms)",
+    )
+    parser.add_argument(
+        "--ledger", type=Path, default=None, metavar="RUNS.jsonl",
+        help="append one run-ledger record (fingerprint, config, span "
+        "self-times, counters, result metrics) to this JSONL file",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -201,6 +226,9 @@ def _retime_main(argv: list[str]) -> int:
     trace = args.trace or os.environ.get("REPRO_TRACE") or None
     log_json = args.log_json or os.environ.get("REPRO_TRACE_LOG") or None
     verbose = args.verbose or bool(os.environ.get("REPRO_TRACE_SUMMARY"))
+    profile = args.profile or os.environ.get("REPRO_PROFILE") or None
+    ledger = args.ledger or os.environ.get("REPRO_LEDGER") or None
+    observing = trace or log_json or verbose or profile or ledger
 
     accepted = True
     verify_check = None
@@ -209,8 +237,19 @@ def _retime_main(argv: list[str]) -> int:
             trace=trace,
             jsonl=log_json,
             summary=verbose,
-            meta={"input": str(args.input), "objective": args.objective},
-        ) if (trace or log_json or verbose) else _no_tracing():
+            meta={
+                "input": str(args.input),
+                "objective": args.objective,
+                "flow": "retime" if args.map else "mcretime",
+                "delay_model": model_name,
+                "target_period": args.target_period,
+            },
+            profile=profile,
+            profile_interval=args.profile_interval,
+            ledger=ledger,
+            ledger_kind="cli.retime",
+            fingerprint=obs.design_fingerprint(circuit) if ledger else None,
+        ) if observing else _no_tracing():
             if args.map:
                 # the paper's Table-2 script: optimise + map, retime on
                 # the mapped netlist, remap, and keep the better netlist
@@ -250,12 +289,29 @@ def _retime_main(argv: list[str]) -> int:
                     if not verify_check.equivalent:
                         raise VerificationError(verify_check)
             check_circuit(retimed)
+            if obs.enabled():
+                stats = circuit_stats(retimed)
+                obs.annotate(
+                    period_before=result.period_before,
+                    period_after=result.period_after,
+                    ff_before=result.ff_before,
+                    ff_after=result.ff_after,
+                    n_classes=result.n_classes,
+                    n_lut=stats.n_lut,
+                    n_gates=len(retimed.gates),
+                    delay=analyze(retimed, model).max_delay,
+                    accepted=accepted,
+                )
     except VerificationError as exc:
         return _fail(str(exc))
     if trace:
         print(f"wrote trace to {trace}", file=sys.stderr)
     if log_json:
         print(f"wrote run log to {log_json}", file=sys.stderr)
+    if profile:
+        print(f"wrote profile to {profile}", file=sys.stderr)
+    if ledger:
+        print(f"appended run record to {ledger}", file=sys.stderr)
     print(f"retimed: {_stats_line(retimed, model)}")
     if verify_check is not None:
         print(
@@ -555,9 +611,20 @@ def _report_main(argv: list[str]) -> int:
         if args.validate:
             head = args.trace.read_text()[:200].strip()
             if '"traceEvents"' in head:
-                obs.validate_chrome_trace(args.trace)
+                errors = obs.chrome_trace_errors(args.trace)
             else:
-                obs.validate_jsonl(args.trace)
+                errors = obs.jsonl_errors(args.trace)
+            if errors:
+                # every violation, not just the first — and a non-zero
+                # exit so CI steps actually gate on the schema
+                for error in errors:
+                    print(f"mcretime: error: {error}", file=sys.stderr)
+                print(
+                    f"{args.trace}: INVALID ({len(errors)} "
+                    f"error{'s' if len(errors) != 1 else ''})",
+                    file=sys.stderr,
+                )
+                return 1
             print(f"{args.trace}: OK")
             return 0
         events = obs.load_events(args.trace)
@@ -570,6 +637,118 @@ def _report_main(argv: list[str]) -> int:
 
 
 # ---------------------------------------------------------------------------
+# obs mode: the run-ledger perf sentinel
+# ---------------------------------------------------------------------------
+
+
+def _obs_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mcretime obs",
+        description=(
+            "Compare run-ledger files (see docs/OBSERVABILITY.md): "
+            "`diff` prints per-span deltas between two ledgers; `check` "
+            "gates a ledger against a baseline and exits non-zero on a "
+            "perf regression (the CI perf-sentinel contract)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _common(p):
+        p.add_argument(
+            "--threshold", type=float, default=None,
+            help="regression ratio (default 1.5 absolute, 1.8 relative)",
+        )
+        p.add_argument(
+            "--min-seconds", type=float, default=0.005,
+            help="absolute noise floor in seconds (default 5ms)",
+        )
+        p.add_argument(
+            "--window", type=int, default=5,
+            help="median-of-k window over the newest runs per group",
+        )
+        p.add_argument(
+            "--mode", choices=["absolute", "relative"], default="absolute",
+            help="absolute seconds (same machine) or share-of-run "
+            "(portable across machine speeds)",
+        )
+        p.add_argument(
+            "--top", type=int, default=0,
+            help="only print the N largest deltas (default: all)",
+        )
+
+    p_diff = sub.add_parser(
+        "diff", help="per-span deltas between two ledger files"
+    )
+    p_diff.add_argument("baseline", type=Path)
+    p_diff.add_argument("current", type=Path)
+    _common(p_diff)
+
+    p_check = sub.add_parser(
+        "check", help="gate a ledger against a baseline (exit 1 on regression)"
+    )
+    p_check.add_argument(
+        "current", type=Path, nargs="?", default=None,
+        help="ledger under test (default: the baseline itself — a "
+        "self-check that always passes unless --inject-slowdown is set)",
+    )
+    p_check.add_argument(
+        "--baseline", type=Path, required=True,
+        help="the committed baseline ledger to compare against",
+    )
+    p_check.add_argument(
+        "--inject-slowdown", type=float, default=None, metavar="FACTOR",
+        help="multiply every current span time by FACTOR before comparing "
+        "(CI smoke hook: proves the gate fires on a synthetic slowdown)",
+    )
+    _common(p_check)
+
+    args = parser.parse_args(argv)
+    from ..obs import sentinel
+
+    threshold = args.threshold
+    if threshold is None:
+        threshold = 1.5 if args.mode == "absolute" else 1.8
+
+    try:
+        if args.command == "diff":
+            report = sentinel.diff(
+                sentinel.load_records(args.baseline),
+                sentinel.load_records(args.current),
+                threshold=threshold,
+                min_seconds=args.min_seconds,
+                window=args.window,
+                mode=args.mode,
+            )
+        else:
+            current = args.current or args.baseline
+            report = sentinel.check(
+                args.baseline,
+                current,
+                threshold=threshold,
+                min_seconds=args.min_seconds,
+                window=args.window,
+                mode=args.mode,
+                inject_slowdown=args.inject_slowdown,
+            )
+    except OSError as exc:
+        return _fail(f"cannot read ledger: {exc.strerror or exc}")
+    except ValueError as exc:
+        return _fail(str(exc))
+
+    print(report.render(top=args.top))
+    if not report.deltas and not report.unmatched:
+        return _fail("no comparable records (empty or disjoint ledgers)")
+    if not report.ok:
+        print(
+            f"mcretime obs: {len(report.regressions)} span(s) regressed "
+            f"beyond {threshold:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # serve mode: the HTTP JSON API
 # ---------------------------------------------------------------------------
 
@@ -578,7 +757,7 @@ def _serve_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="mcretime serve",
         description="Serve retiming over HTTP (POST /retime, GET /jobs/<id>, "
-        "GET /healthz, GET /metrics).",
+        "GET /healthz, GET /metrics, GET /runs, GET /debug/profile).",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8117)
@@ -587,6 +766,11 @@ def _serve_main(argv: list[str]) -> int:
     parser.add_argument("--cache-memory", type=int, default=128)
     parser.add_argument("--timeout", type=float, default=600.0)
     parser.add_argument("--retries", type=int, default=2)
+    parser.add_argument(
+        "--ledger", type=Path, default=None,
+        help="append one run-ledger record per executed job here "
+        "(served back by GET /runs)",
+    )
     args = parser.parse_args(argv)
 
     from ..service import RetimeService, serve_forever
@@ -597,11 +781,13 @@ def _serve_main(argv: list[str]) -> int:
         cache_memory=args.cache_memory,
         job_timeout=args.timeout,
         max_retries=args.retries,
+        ledger=args.ledger,
     )
     print(
         f"mcretime service on http://{args.host}:{args.port} "
         f"({service.pool.workers} workers"
         + (f", cache {args.cache_dir}" if args.cache_dir else "")
+        + (f", ledger {args.ledger}" if args.ledger else "")
         + ")"
     )
     serve_forever(service, host=args.host, port=args.port)

@@ -1,0 +1,61 @@
+"""``mcretime --profile`` / ``--ledger`` on the retime entry point."""
+
+import json
+from pathlib import Path
+
+from repro import obs
+from repro.tools.cli import main as cli_main
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+
+def _retime(tmp_path, *extra):
+    src = DATA / "c2_small.blif"
+    out = tmp_path / "out.blif"
+    code = cli_main([str(src), "-o", str(out), *extra])
+    assert code == 0
+    return out
+
+
+class TestProfileFlag:
+    def test_writes_speedscope(self, tmp_path):
+        profile = tmp_path / "flame.json"
+        _retime(tmp_path, "--profile", str(profile))
+        scope = json.loads(profile.read_text())
+        assert scope["profiles"][0]["type"] == "sampled"
+
+    def test_collapsed_extension(self, tmp_path):
+        profile = tmp_path / "flame.collapsed"
+        _retime(tmp_path, "--profile", str(profile), "--profile-interval",
+                "0.001")
+        assert profile.exists()
+
+
+class TestLedgerFlag:
+    def test_appends_cli_record(self, tmp_path):
+        ledger = tmp_path / "runs.jsonl"
+        out = _retime(tmp_path, "--ledger", str(ledger))
+        assert out.exists()
+        (record,) = obs.RunLedger(ledger).load()
+        assert record["kind"] == "cli.retime"
+        assert record["fingerprint"] and len(record["fingerprint"]) == 64
+        assert record["spans"], "engine spans missing"
+        assert record["config"]["objective"] in ("minarea", "minperiod")
+        metrics = record["metrics"]
+        assert metrics["period_after"] <= metrics["period_before"]
+        assert "ff_after" in metrics and "n_classes" in metrics
+
+    def test_env_var_equivalent(self, tmp_path, monkeypatch):
+        ledger = tmp_path / "env_runs.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(ledger))
+        _retime(tmp_path)
+        (record,) = obs.RunLedger(ledger).load()
+        assert record["kind"] == "cli.retime"
+
+    def test_two_runs_same_fingerprint(self, tmp_path):
+        ledger = tmp_path / "runs.jsonl"
+        _retime(tmp_path, "--ledger", str(ledger))
+        _retime(tmp_path, "--ledger", str(ledger))
+        a, b = obs.RunLedger(ledger).load()
+        assert a["fingerprint"] == b["fingerprint"]
+        assert a["run_id"] != b["run_id"]

@@ -1,0 +1,98 @@
+"""``mcretime report --validate`` gating and the --top self-time table."""
+
+import json
+
+from repro import obs
+from repro.obs.report import chrome_trace_errors, jsonl_errors
+from repro.tools.cli import main as cli_main
+
+
+def _traced_run(tmp_path):
+    trace = tmp_path / "trace.json"
+    jsonl = tmp_path / "run.jsonl"
+    with obs.session(trace=trace, jsonl=jsonl):
+        with obs.span("phase.outer"):
+            with obs.span("phase.inner"):
+                pass
+        obs.count("things", 2)
+    return trace, jsonl
+
+
+class TestErrorCollectors:
+    def test_valid_files_have_no_errors(self, tmp_path):
+        trace, jsonl = _traced_run(tmp_path)
+        assert chrome_trace_errors(trace) == []
+        assert jsonl_errors(jsonl) == []
+
+    def test_jsonl_collects_every_violation(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            "{not json\n"
+            + json.dumps({"type": "span", "name": "x"})  # missing fields
+            + "\n"
+            + json.dumps({"type": "mystery"})
+            + "\n"
+        )
+        errors = jsonl_errors(path)
+        assert len(errors) >= 3
+
+    def test_chrome_collects_every_violation(self, tmp_path):
+        path = tmp_path / "bad_trace.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "traceEvents": [
+                        {"ph": "X", "name": "a", "pid": 1},  # no ts
+                        {"name": "b"},  # no ph
+                        {"ph": "X", "name": "c", "pid": 1, "ts": 0, "dur": -5},
+                    ]
+                }
+            )
+        )
+        errors = chrome_trace_errors(path)
+        assert len(errors) >= 3
+
+    def test_validators_still_raise_first_error(self, tmp_path):
+        import pytest
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{torn\n")
+        with pytest.raises(ValueError):
+            obs.validate_jsonl(path)
+
+
+class TestValidateCli:
+    def test_valid_exits_zero(self, tmp_path, capsys):
+        trace, jsonl = _traced_run(tmp_path)
+        assert cli_main(["report", str(jsonl), "--validate"]) == 0
+        assert cli_main(["report", str(trace), "--validate"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_jsonl_exits_nonzero_listing_all(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n{also not json\n")
+        assert cli_main(["report", str(path), "--validate"]) == 1
+        err = capsys.readouterr().err
+        assert err.count("mcretime: error:") >= 2
+        assert "INVALID" in err
+
+    def test_invalid_chrome_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text('{"traceEvents": [{"name": "x"}]}')
+        assert cli_main(["report", str(path), "--validate"]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+
+class TestTopTable:
+    def test_top_table_rendered(self, tmp_path, capsys):
+        _, jsonl = _traced_run(tmp_path)
+        assert cli_main(["report", str(jsonl), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top 3 spans by self-time:" in out
+        assert "self %" in out
+        assert "phase.inner" in out
+
+    def test_top_zero_hides_table(self, tmp_path, capsys):
+        _, jsonl = _traced_run(tmp_path)
+        assert cli_main(["report", str(jsonl), "--top", "0"]) == 0
+        assert "spans by self-time" not in capsys.readouterr().out

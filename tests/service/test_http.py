@@ -95,3 +95,79 @@ class TestRoutes:
             urllib.request.urlopen(req, timeout=30)
         assert info.value.code == 400
         assert "error" in json.loads(info.value.read())
+
+
+class TestObservabilityRoutes:
+    def test_build_info_and_uptime_on_metrics(self, server):
+        text = server.metrics_text()
+        assert "# TYPE repro_build_info gauge" in text
+        assert 'repro_build_info{' in text and 'git_sha="' in text
+        assert "# TYPE repro_process_uptime_seconds gauge" in text
+        uptime = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_process_uptime_seconds ")
+        ]
+        assert uptime and float(uptime[0].split()[-1]) > 0
+
+    def test_runs_404_without_ledger(self, server):
+        with pytest.raises(ServiceError) as info:
+            server._request("GET", "/runs")
+        assert info.value.status == 404
+
+    def test_profile_bad_params_400(self, server):
+        for query in ("seconds=0", "seconds=bogus", "seconds=9999"):
+            with pytest.raises(ServiceError) as info:
+                server._request("GET", f"/debug/profile?{query}")
+            assert info.value.status == 400
+
+
+@pytest.fixture()
+def ledger_server(tmp_path):
+    service = RetimeService(
+        workers=2, job_timeout=120.0, ledger=tmp_path / "runs.jsonl"
+    )
+    httpd = make_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    client = RetimeClient(f"http://127.0.0.1:{httpd.server_address[1]}")
+    yield client, service
+    httpd.shutdown()
+    httpd.server_close()
+    service.close()
+
+
+class TestRunsAndProfile:
+    def test_runs_tail_after_job(self, ledger_server):
+        client, service = ledger_server
+        text = (DATA / "c2_small_mapped.blif").read_text()
+        record = client.retime(text, name="c2_small_mapped")
+        assert record["state"] == "done"
+        body = client._request("GET", "/runs?n=10")
+        assert len(body["runs"]) == 1
+        run = body["runs"][0]
+        assert run["kind"] == "service.job"
+        assert run["run_id"] == record["job_id"][:16]
+        assert run["fingerprint"] == record["job_id"]
+        assert run["spans"], "worker span totals missing from ledger record"
+        assert run["config"]["flow"] == "mcretime"
+        assert run["metrics"]["elapsed"] > 0
+
+    def test_span_exemplars_name_the_job(self, ledger_server):
+        client, _service = ledger_server
+        text = (DATA / "c2_small_mapped.blif").read_text()
+        record = client.retime(text, name="c2_small_mapped")
+        run_id = record["job_id"][:16]
+        exemplars = [
+            line
+            for line in client.metrics_text().splitlines()
+            if line.startswith("repro_span_seconds_bucket") and " # {" in line
+        ]
+        assert exemplars
+        assert all(f'run="{run_id}"' in line for line in exemplars)
+
+    def test_debug_profile_speedscope(self, ledger_server):
+        client, _service = ledger_server
+        scope = client._request("GET", "/debug/profile?seconds=0.2&interval=0.01")
+        assert scope["$schema"].startswith("https://www.speedscope.app")
+        assert scope["profiles"][0]["type"] == "sampled"

@@ -140,3 +140,82 @@ class TestRegistry:
         # sorted by name, ends with newline
         assert text.index("repro_a_seconds") < text.index("repro_b_total")
         assert text.endswith("\n")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("repro_depth", "queue depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6
+
+    def test_labels(self):
+        g = MetricsRegistry().gauge("repro_depth")
+        g.set(1, pool="a")
+        g.set(2, pool="b")
+        assert g.value(pool="a") == 1
+        assert g.value(pool="b") == 2
+
+    def test_callback_backed(self):
+        g = MetricsRegistry().gauge("repro_uptime_seconds")
+        ticks = [0.0]
+        g.set_function(lambda: ticks[0])
+        assert g.value() == 0.0
+        ticks[0] = 12.5
+        assert g.value() == 12.5
+        assert "repro_uptime_seconds 12.5" in "\n".join(g.render())
+
+    def test_info_style_render(self):
+        g = MetricsRegistry().gauge("repro_build_info", "identity")
+        g.set(1, version="1.0.0", git_sha="abc")
+        text = "\n".join(g.render())
+        assert "# TYPE repro_build_info gauge" in text
+        assert 'repro_build_info{git_sha="abc",version="1.0.0"} 1' in text
+
+    def test_empty_renders_zero_series(self):
+        text = "\n".join(MetricsRegistry().gauge("repro_g").render())
+        assert "repro_g 0" in text
+
+    def test_registry_kind_conflict(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_g")
+        with pytest.raises(TypeError):
+            reg.counter("repro_g")
+
+
+class TestExemplars:
+    def test_exemplar_attached_to_landing_bucket(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=(0.1, 1.0))
+        h.observe(0.05, exemplar={"run": "aaa"})
+        h.observe(0.5, exemplar={"run": "bbb"})
+        h.observe(50.0, exemplar={"run": "inf"})
+        assert h.exemplar(0.1) == ({"run": "aaa"}, 0.05)
+        assert h.exemplar(1.0) == ({"run": "bbb"}, 0.5)
+        assert h.exemplar("+Inf") == ({"run": "inf"}, 50.0)
+
+    def test_latest_exemplar_wins(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=(1.0,))
+        h.observe(0.2, exemplar={"run": "old"})
+        h.observe(0.3, exemplar={"run": "new"})
+        assert h.exemplar(1.0) == ({"run": "new"}, 0.3)
+
+    def test_render_openmetrics_suffix(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=(1.0,))
+        h.observe(0.5, exemplar={"run": "deadbeef"})
+        text = "\n".join(h.render())
+        assert 'repro_h_bucket{le="1"} 1 # {run="deadbeef"} 0.5' in text
+
+    def test_no_exemplar_no_suffix(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=(1.0,))
+        h.observe(0.5)
+        assert h.exemplar(1.0) is None
+        for line in h.render():
+            assert " # {" not in line
+
+    def test_labelled_series_keep_separate_exemplars(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=(1.0,))
+        h.observe(0.5, exemplar={"run": "a"}, span="x")
+        h.observe(0.5, exemplar={"run": "b"}, span="y")
+        assert h.exemplar(1.0, span="x") == ({"run": "a"}, 0.5)
+        assert h.exemplar(1.0, span="y") == ({"run": "b"}, 0.5)
