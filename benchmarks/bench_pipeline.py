@@ -1,0 +1,250 @@
+"""Benchmark: pipelining and C-slow retiming on the datapath family.
+
+Runs the two :mod:`repro.pipeline` transforms over the datapath
+designs (:mod:`repro.synth.datapath` — NTT butterfly, modular
+multiply, MAC pipelines) under the unit delay model, measuring:
+
+* **C-slow** for C in {2, 3}: aggregate throughput gain, i.e. the
+  ``period_before / period_after`` ratio (C threads each advance once
+  per C global cycles, so aggregate work per second improves by this
+  factor), plus the thread-interleaving refinement check;
+* **pipelining** for K stages: achieved period vs the K-stage lower
+  bound, plus the latency-shifted equivalence check.
+
+Writes ``benchmarks/BENCH_pipeline.json`` (override with
+``REPRO_BENCH_PIPELINE_OUT``) and appends one ``bench.pipeline``
+run-ledger record for the perf sentinel.
+
+Runs under pytest (``pytest benchmarks/bench_pipeline.py``) or
+standalone::
+
+    PYTHONPATH=src:. python benchmarks/bench_pipeline.py [--quick]
+        [--designs NTT4,MAC6] [--cycles 24] [--no-verify]
+
+The committed JSON doubles as the CI contract: C-slowing with C >= 2
+must reach >= 2x aggregate throughput gain on at least two designs
+(MIN_GAIN / MIN_DESIGNS_AT_GAIN), with every run verified.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+try:
+    from benchmarks._ledger import append_run
+except ImportError:  # standalone: python benchmarks/bench_pipeline.py
+    from _ledger import append_run
+
+OUT_PATH = Path(
+    os.environ.get(
+        "REPRO_BENCH_PIPELINE_OUT",
+        Path(__file__).resolve().parent / "BENCH_pipeline.json",
+    )
+)
+
+FULL_DESIGNS = ["NTT4", "BFLY8", "MODMUL6", "MAC6"]
+QUICK_DESIGNS = ["NTT4", "MODMUL6"]
+
+#: acceptance floor: aggregate throughput gain for some C >= 2 ...
+MIN_GAIN = 2.0
+#: ... reached on at least this many designs
+MIN_DESIGNS_AT_GAIN = 2
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def bench_design(
+    name: str, factors: list[int], stages: int, cycles: int, verify: bool
+) -> dict[str, object]:
+    from repro.netlist import circuit_stats, format_class_histogram
+    from repro.pipeline import cslow_retime, pipeline_retime
+    from repro.synth import build_datapath
+    from repro.verify import check_cslow, check_pipeline
+
+    circuit = build_datapath(name).circuit
+    stats = circuit_stats(circuit)
+    row: dict[str, object] = {
+        "ff": stats.n_ff,
+        "gates": stats.n_gates,
+        "classes": format_class_histogram(stats.class_histogram),
+        "cslow": {},
+    }
+
+    for factor in factors:
+        result, seconds = _timed(lambda: cslow_retime(circuit, factor))
+        gain = result.period_before / max(result.period_after, 1e-12)
+        entry: dict[str, object] = {
+            "period_before": result.period_before,
+            "period_after": result.period_after,
+            "throughput_gain": gain,
+            "registers_replicated": result.registers_replicated,
+            "seconds": seconds,
+        }
+        if verify:
+            check = check_cslow(
+                circuit, result.circuit, factor, cycles=cycles
+            )
+            if not check.equivalent:
+                raise AssertionError(
+                    f"{name} C={factor}: refinement check failed: "
+                    f"{check.reason}"
+                )
+            entry["verified"] = True
+        row["cslow"][str(factor)] = entry
+
+    result, seconds = _timed(lambda: pipeline_retime(circuit, stages))
+    entry = {
+        "stages": stages,
+        "period_before": result.period_before,
+        "period_after": result.period_after,
+        "lower_bound": result.lower_bound,
+        "balance_slack": result.period_after - result.lower_bound,
+        "registers_inserted": result.registers_inserted,
+        "seconds": seconds,
+    }
+    if verify:
+        check = check_pipeline(
+            circuit, result.circuit, shift=stages, cycles=cycles + stages
+        )
+        if not check.equivalent:
+            raise AssertionError(
+                f"{name} K={stages}: pipeline check failed: {check.reason}"
+            )
+        entry["verified"] = True
+    row["pipeline"] = entry
+    return row
+
+
+def run_bench(
+    quick: bool = False,
+    designs: list[str] | None = None,
+    cycles: int | None = None,
+    verify: bool = True,
+) -> dict[str, object]:
+    if designs is None:
+        designs = QUICK_DESIGNS if quick else FULL_DESIGNS
+    if cycles is None:
+        cycles = 24 if quick else 48
+    factors = [2, 3]
+    stages = 3
+    rows = {
+        name: bench_design(name, factors, stages, cycles, verify)
+        for name in designs
+    }
+    best_gains = {
+        name: max(
+            entry["throughput_gain"] for entry in row["cslow"].values()
+        )
+        for name, row in rows.items()
+    }
+    aggregate = {
+        "designs_at_floor": sum(
+            1 for gain in best_gains.values() if gain >= MIN_GAIN
+        ),
+        "gain_min": min(best_gains.values()),
+        "gain_max": max(best_gains.values()),
+        "best_gains": best_gains,
+        "pipeline_slack_max": max(
+            row["pipeline"]["balance_slack"] for row in rows.values()
+        ),
+    }
+    report = {
+        "meta": {
+            "quick": quick,
+            "cycles": cycles,
+            "designs": designs,
+            "factors": factors,
+            "stages": stages,
+            "verify": verify,
+            "python": platform.python_version(),
+            "min_gain": MIN_GAIN,
+            "min_designs_at_gain": MIN_DESIGNS_AT_GAIN,
+        },
+        "designs": rows,
+        "aggregate": aggregate,
+    }
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    spans = {}
+    for name, row in rows.items():
+        for factor, entry in row["cslow"].items():
+            spans[f"{name}.cslow{factor}"] = entry["seconds"]
+        spans[f"{name}.pipeline"] = row["pipeline"]["seconds"]
+    append_run(
+        "bench.pipeline",
+        spans,
+        config=dict(report["meta"]),
+        metrics={
+            "designs_at_floor": aggregate["designs_at_floor"],
+            "gain_min": aggregate["gain_min"],
+            "gain_max": aggregate["gain_max"],
+        },
+    )
+    return report
+
+
+# --------------------------------------------------------------------- #
+# pytest entry
+
+
+def test_pipeline_bench_quick(tmp_path, monkeypatch):
+    """Quick harness sanity: runs, emits JSON, >=2x aggregate gain on at
+    least two designs, every transform verified."""
+    out = tmp_path / "BENCH_pipeline.json"
+    monkeypatch.setattr(sys.modules[__name__], "OUT_PATH", out)
+    monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "ledger.jsonl"))
+    report = run_bench(quick=True)
+    assert out.exists()
+    for name, row in report["designs"].items():
+        for entry in row["cslow"].values():
+            assert entry["verified"], name
+        assert row["pipeline"]["verified"], name
+        assert row["pipeline"]["period_after"] >= row["pipeline"]["lower_bound"]
+    assert report["aggregate"]["designs_at_floor"] >= MIN_DESIGNS_AT_GAIN
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--designs", help="comma-separated design names")
+    parser.add_argument("--cycles", type=int)
+    parser.add_argument(
+        "--no-verify", action="store_true", help="skip the refinement checks"
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(
+        quick=args.quick,
+        designs=args.designs.split(",") if args.designs else None,
+        cycles=args.cycles,
+        verify=not args.no_verify,
+    )
+    print(json.dumps(report, indent=2))
+    print(f"wrote {OUT_PATH}")
+    at_floor = report["aggregate"]["designs_at_floor"]
+    if at_floor < MIN_DESIGNS_AT_GAIN:
+        print(
+            f"only {at_floor} design(s) reached the {MIN_GAIN:.1f}x "
+            f"aggregate throughput floor (need {MIN_DESIGNS_AT_GAIN})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{at_floor}/{len(report['designs'])} designs at >= "
+        f"{MIN_GAIN:.1f}x aggregate throughput (floor "
+        f"{MIN_DESIGNS_AT_GAIN} designs)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

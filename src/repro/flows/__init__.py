@@ -3,13 +3,17 @@
 from .script import (
     FlowResult,
     baseline_flow,
+    cslow_flow,
     decomposed_enable_flow,
+    pipeline_flow,
     retime_flow,
 )
 
 __all__ = [
     "FlowResult",
     "baseline_flow",
+    "cslow_flow",
     "decomposed_enable_flow",
+    "pipeline_flow",
     "retime_flow",
 ]

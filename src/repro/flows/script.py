@@ -13,6 +13,17 @@ Three flows mirror the three experimental setups:
   retime flow runs (mc-retiming still handles the remaining AS/AC
   classes).
 
+Two throughput flows extend the set beyond the paper's tables with the
+:mod:`repro.pipeline` workload family:
+
+* :func:`pipeline_flow` — map, insert K output register layers, retime
+  to balance them, remap; verified by the latency-shifted refinement
+  check (:func:`repro.verify.check_pipeline`).
+* :func:`cslow_flow` — map, C-slow (replicate every register C times,
+  folding EN/SR/AR per class into the D path), remap the new fold
+  gates, retime, remap; verified by the thread-interleaving refinement
+  check (:func:`repro.verify.check_cslow`).
+
 Stage timings come from :mod:`repro.obs` spans (``flow.*``), so a
 traced run shows the flow stages as the top level of the span tree;
 ``timings["total"]`` remains the sum of the stage entries.
@@ -24,14 +35,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..mcretime import MCRetimeResult, mc_retime
-from ..netlist import Circuit, circuit_stats
+from ..netlist import Circuit, circuit_stats, class_histogram
 from ..obs import StageClock, finalize_total
 from ..opt import optimize
+from ..pipeline import cslow_transform, insert_pipeline_layers
 from ..techmap import XC4000E_ARCH, decompose_enables, map_luts, remap
 from ..timing import XC4000E_DELAY, analyze
 from ..timing.delay_models import DelayModel
-from ..verify import SequentialCheckResult, VerificationError, check_sequential
+from ..verify import (
+    CheckResult,
+    SequentialCheckResult,
+    VerificationError,
+    check_cslow,
+    check_pipeline,
+    check_sequential,
+)
 
 
 @dataclass
@@ -54,9 +74,14 @@ class FlowResult:
     #: graph-model optimum regressed under full STA, so the flow kept
     #: the pre-retiming netlist)
     accepted: bool = True
-    #: sequential refinement check of the flow's transform, when the
-    #: flow ran with ``verify=True``
-    verify: SequentialCheckResult | None = None
+    #: refinement check of the flow's transform, when the flow ran with
+    #: ``verify=True`` (sequential, latency-shifted or thread-
+    #: interleaving depending on the flow)
+    verify: CheckResult | None = None
+    #: throughput-transform report (kind, configuration, period
+    #: economics, register-class histograms) for the pipeline / C-slow
+    #: flows; ``None`` for the paper's table flows
+    transform: dict | None = None
 
 
 def _verify_stage(
@@ -214,3 +239,159 @@ def decomposed_enable_flow(
     result.timings["decompose_en"] = clock.timings["decompose_en"]
     finalize_total(result.timings)
     return result
+
+
+def pipeline_flow(
+    circuit: Circuit,
+    stages: int,
+    delay_model: DelayModel = XC4000E_DELAY,
+    objective: str = "minperiod",
+    mapped: FlowResult | None = None,
+    target_period: float | None = None,
+    semantic_classes: bool = True,
+    verify: bool = False,
+    verify_cycles: int = 48,
+) -> FlowResult:
+    """Baseline flow + K output register layers + retime + remap.
+
+    Pipelining trades latency (the outputs shift by *stages* cycles)
+    for clock speed: min-period retiming pulls the inserted plain
+    registers back through the output cones.  The ``transform`` report
+    compares the achieved period against the ``P0 / (K+1)`` perfect-
+    balance lower bound.  ``verify=True`` appends a timed stage running
+    the latency-shifted refinement check against the mapped base and
+    raises :class:`VerificationError` on a mismatch.
+    """
+    base = mapped or baseline_flow(circuit, delay_model)
+    clock = StageClock(seed=base.timings)
+    with clock.stage("pipeline", "flow.pipeline", stages=stages):
+        work, inserted = insert_pipeline_layers(base.circuit, stages)
+    with clock.stage("retime", "flow.retime", objective=objective):
+        result = mc_retime(
+            work,
+            delay_model=delay_model,
+            objective=objective,
+            target_period=target_period,
+            semantic_classes=semantic_classes,
+        )
+    with clock.stage("remap", "flow.remap"):
+        final = remap(result.circuit, delay_model=delay_model).circuit
+        XC4000E_ARCH.check_mapped(final)
+    check = None
+    if verify:
+        with clock.stage("verify", "flow.verify", cycles=verify_cycles):
+            check = check_pipeline(
+                base.circuit, final, shift=stages, cycles=verify_cycles
+            )
+        if not check.equivalent:
+            raise VerificationError(check)
+    stats = circuit_stats(final)
+    n_ff, n_lut, delay = _measure(final, delay_model)
+    lower_bound = base.delay / (stages + 1)
+    balance_slack = delay - lower_bound
+    obs.gauge("pipeline.balance_slack", balance_slack)
+    return FlowResult(
+        circuit=final,
+        n_ff=n_ff,
+        n_lut=n_lut,
+        delay=delay,
+        has_async=stats.has_async,
+        has_enable=stats.has_enable,
+        retime=result,
+        timings=clock.done(),
+        verify=check,
+        transform={
+            "kind": "pipeline",
+            "stages": stages,
+            "registers_inserted": inserted,
+            "period_before": base.delay,
+            "period_after": delay,
+            "lower_bound": lower_bound,
+            "balance_slack": balance_slack,
+            "speedup": base.delay / max(delay, 1e-12),
+            "classes_before": class_histogram(base.circuit),
+            "classes_after": class_histogram(final),
+        },
+    )
+
+
+def cslow_flow(
+    circuit: Circuit,
+    factor: int,
+    delay_model: DelayModel = XC4000E_DELAY,
+    objective: str = "minperiod",
+    mapped: FlowResult | None = None,
+    target_period: float | None = None,
+    semantic_classes: bool = True,
+    verify: bool = False,
+    verify_cycles: int = 32,
+) -> FlowResult:
+    """Baseline flow + C-slow + remap + retime + remap.
+
+    C-slow turns the design into a C-thread interleaved machine: every
+    register becomes a chain of C plain replicas (EN/SR/AR folded into
+    the D path per class), and retiming spreads the chains through the
+    logic.  The fold gates are primitives, so a ``premap`` stage remaps
+    them to LUTs before retiming.  The ``transform`` report gives the
+    aggregate throughput gain ``P0 / P1`` and the per-thread period
+    ``C * P1``.  ``verify=True`` appends a timed stage running the
+    thread-interleaving refinement check against the mapped base and
+    raises :class:`VerificationError` on a mismatch.
+    """
+    base = mapped or baseline_flow(circuit, delay_model)
+    clock = StageClock(seed=base.timings)
+    with clock.stage("cslow", "flow.cslow", factor=factor):
+        work, counts = cslow_transform(base.circuit, factor)
+    with clock.stage("premap", "flow.premap"):
+        # fold gates (MUX/OR/AND/NOT) are primitives: remap before
+        # retiming so the delay model sees LUTs only
+        work = remap(
+            work, delay_model=delay_model, keep_better=False
+        ).circuit
+        XC4000E_ARCH.check_mapped(work)
+    with clock.stage("retime", "flow.retime", objective=objective):
+        result = mc_retime(
+            work,
+            delay_model=delay_model,
+            objective=objective,
+            target_period=target_period,
+            semantic_classes=semantic_classes,
+        )
+    with clock.stage("remap", "flow.remap"):
+        final = remap(result.circuit, delay_model=delay_model).circuit
+        XC4000E_ARCH.check_mapped(final)
+    check = None
+    if verify:
+        with clock.stage("verify", "flow.verify", cycles=verify_cycles):
+            check = check_cslow(
+                base.circuit, final, factor, cycles=verify_cycles
+            )
+        if not check.equivalent:
+            raise VerificationError(check)
+    stats = circuit_stats(final)
+    n_ff, n_lut, delay = _measure(final, delay_model)
+    return FlowResult(
+        circuit=final,
+        n_ff=n_ff,
+        n_lut=n_lut,
+        delay=delay,
+        has_async=stats.has_async,
+        has_enable=stats.has_enable,
+        retime=result,
+        timings=clock.done(),
+        verify=check,
+        transform={
+            "kind": "cslow",
+            "factor": factor,
+            "registers_replicated": counts["registers_replicated"],
+            "enables_folded": counts["enables_folded"],
+            "sync_resets_folded": counts["sync_resets_folded"],
+            "async_resets_folded": counts["async_resets_folded"],
+            "period_before": base.delay,
+            "period_after": delay,
+            "thread_period": factor * delay,
+            "throughput_gain": base.delay / max(delay, 1e-12),
+            "classes_before": class_histogram(base.circuit),
+            "classes_after": class_histogram(final),
+        },
+    )

@@ -31,6 +31,7 @@ from .bounds import compute_bounds
 from .classes import Classifier
 from .relocate import (
     JustificationConflict,
+    RelocationDeadlock,
     RelocationError,
     relocate,
 )
@@ -194,6 +195,23 @@ def mc_retime(
                 ) from conflict
             lo, hi = work_bounds.get(conflict.gate, (0, 0))
             work_bounds[conflict.gate] = (lo, min(hi, conflict.moves_done))
+        except RelocationDeadlock as deadlock:
+            # the unit-move scheduler wedged (mixed-direction lags on a
+            # multi-fanout net); clamp every stuck gate to the moves it
+            # actually completed and re-solve — r=0 stays feasible, so
+            # the tightened LP always has a solution
+            timings["relocate"] += sp.duration
+            obs.count("relocate.deadlocks")
+            attempts += 1
+            if attempts > max_conflict_resolves:
+                raise
+            for gate_name, remaining in deadlock.pending.items():
+                lo, hi = work_bounds.get(gate_name, (0, 0))
+                done = deadlock.done[gate_name]
+                if remaining > 0:
+                    work_bounds[gate_name] = (lo, min(hi, done))
+                else:
+                    work_bounds[gate_name] = (max(lo, done), hi)
 
     if verify_resets:
         _verify_reset_requirements(reloc.circuit, reloc.requirements)

@@ -51,6 +51,29 @@ class RelocationError(Exception):
     """Raised when a supposedly legal retiming cannot be replayed."""
 
 
+class RelocationDeadlock(RelocationError):
+    """The move scheduler reached a fixed point with moves pending.
+
+    Per-gate unit moves can wedge even for an LP-feasible solution:
+    a backward move needs registers on *every* fanout edge right now,
+    and with mixed-direction lags on a multi-fanout net no single gate
+    may be movable first.  The engine treats this like a justification
+    conflict — clamp each stuck gate to the moves it actually
+    completed (``done``) and re-solve.
+
+    Attributes:
+        pending: gate name -> remaining (signed) moves at the wedge.
+        done: gate name -> signed moves successfully applied there.
+    """
+
+    def __init__(self, pending: dict[str, int], done: dict[str, int]):
+        super().__init__(
+            f"relocation deadlocked with pending moves: {pending}"
+        )
+        self.pending = pending
+        self.done = done
+
+
 class JustificationConflict(Exception):
     """An unresolvable reset conflict at a backward step.
 
@@ -94,6 +117,7 @@ def relocate(
         for name, value in r.items()
         if value and name in work.gates
     }
+    requested = dict(pending)
     requirements: dict[str, frozenset] = {}
     performed: dict[str, int] = {}
     steps_moved = 0
@@ -117,8 +141,9 @@ def relocate(
                 if pending[name] == 0:
                     del pending[name]
         if not progress:
-            raise RelocationError(
-                f"relocation deadlocked with pending moves: {pending}"
+            raise RelocationDeadlock(
+                dict(pending),
+                {name: requested[name] - pending[name] for name in pending},
             )
 
     merge_shareable_registers(work, classifier, requirements)

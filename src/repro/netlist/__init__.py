@@ -14,7 +14,13 @@ from .blif import BlifError, read_blif, write_blif
 from .cells import Gate, GateFn, Port, Register, make_lut
 from .circuit import Circuit, NetlistError
 from .signals import CONST0, CONST1, const_net, const_value, is_const
-from .stats import CircuitStats, circuit_stats
+from .stats import (
+    CircuitStats,
+    circuit_stats,
+    class_histogram,
+    format_class_histogram,
+    register_class_label,
+)
 from .validate import check_circuit, is_valid
 from .verilog import VerilogError, read_verilog, write_verilog
 
@@ -32,13 +38,16 @@ __all__ = [
     "VerilogError",
     "check_circuit",
     "circuit_stats",
+    "class_histogram",
     "const_net",
     "const_value",
+    "format_class_histogram",
     "is_const",
     "is_valid",
     "make_lut",
     "read_blif",
     "read_verilog",
+    "register_class_label",
     "write_blif",
     "write_verilog",
 ]

@@ -7,13 +7,21 @@ register-class profile used in Table 2's ``#Class`` column (delegating
 classification to :mod:`repro.mcretime.classes` when requested there;
 here we only count *syntactically* distinct control tuples, which is an
 upper bound on the semantic class count).
+
+:func:`class_histogram` aggregates registers by *shape* — which control
+capabilities they use (EN / SR / AR and the reset polarities), ignoring
+which net drives them — so transform reports (pipelining, C-slow) can
+show the class composition before and after: e.g. C-slow folds ``EN``
+and ``SR`` shapes into ``plain``/``AR`` ones while pipelining adds
+``plain`` registers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from .cells import GateFn
+from ..logic.ternary import T0, T1
+from .cells import GateFn, Register
 from .circuit import Circuit
 
 
@@ -28,6 +36,8 @@ class CircuitStats:
     n_lut: int
     n_gates: int
     n_syntactic_classes: int
+    #: register-shape histogram (see :func:`class_histogram`)
+    class_histogram: dict[str, int] = field(default_factory=dict)
 
     def row(self) -> dict[str, object]:
         """Render as a plain dict for table printers."""
@@ -45,6 +55,47 @@ def syntactic_class_key(reg) -> tuple:
     return (reg.clk, reg.en, reg.sr, reg.ar)
 
 
+def _value_char(value: int) -> str:
+    if value == T0:
+        return "0"
+    if value == T1:
+        return "1"
+    return "x"
+
+
+def register_class_label(reg: Register) -> str:
+    """Shape label of one register: which capabilities it uses.
+
+    ``"plain"`` for a bare flip-flop, else ``+``-joined capability tags
+    — ``EN``, ``SR<v>`` (sync reset to value *v*), ``AR<v>`` (async).
+    Registers whose EN/SR/AR pins are tied to the neutral constant
+    count as not having that capability, matching the ``has_*``
+    properties.
+    """
+    parts = []
+    if reg.has_enable:
+        parts.append("EN")
+    if reg.has_sync_reset:
+        parts.append("SR" + _value_char(reg.sval))
+    if reg.has_async_reset:
+        parts.append("AR" + _value_char(reg.aval))
+    return "+".join(parts) or "plain"
+
+
+def class_histogram(circuit: Circuit) -> dict[str, int]:
+    """Registers per shape label, sorted by label."""
+    hist: dict[str, int] = {}
+    for reg in circuit.registers.values():
+        label = register_class_label(reg)
+        hist[label] = hist.get(label, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def format_class_histogram(hist: dict[str, int]) -> str:
+    """One-line rendering (``plain=12 EN=4 EN+AR0=3``) for reports."""
+    return " ".join(f"{label}={n}" for label, n in hist.items()) or "-"
+
+
 def circuit_stats(circuit: Circuit) -> CircuitStats:
     """Compute the Table-1 style summary of a circuit."""
     has_async = any(r.has_async_reset for r in circuit.registers.values())
@@ -59,4 +110,5 @@ def circuit_stats(circuit: Circuit) -> CircuitStats:
         n_lut=n_lut,
         n_gates=len(circuit.gates),
         n_syntactic_classes=len(classes),
+        class_histogram=class_histogram(circuit),
     )

@@ -9,9 +9,10 @@ instead of one-shot ``BENCH_*.json`` snapshots.  A record carries:
   re-emit canonical BLIF, SHA-256), so runs of the same design
   correlate across whitespace/format variants;
 * ``config`` — the execution options that shaped the run;
-* ``spans`` / ``self_times`` — per-span wall-clock totals and
-  self-times (from :meth:`Tracer.span_totals` /
-  :meth:`Tracer.span_self_totals`);
+* ``spans`` / ``self_times`` / ``span_counts`` — per-span wall-clock
+  totals, self-times, and invocation counts (from
+  :meth:`Tracer.span_totals` / :meth:`Tracer.span_self_totals` /
+  :meth:`Tracer.span_counts`);
 * ``counters`` — the algorithm counters (FEAS passes, BF rounds, …);
 * ``metrics`` — result numbers (period, register count, LUT area, …);
 * ``env`` — python version, platform, git sha, kernels on/off.
@@ -62,7 +63,7 @@ _REQUIRED: dict[str, type | tuple[type, ...]] = {
 }
 
 #: optional dict-valued fields whose values must be numbers
-_NUMERIC_MAPS = ("spans", "self_times", "counters")
+_NUMERIC_MAPS = ("spans", "self_times", "span_counts", "counters")
 
 _git_sha_cache: str | None = None
 
@@ -127,6 +128,7 @@ def build_record(
     config: dict[str, Any] | None = None,
     spans: dict[str, float] | None = None,
     self_times: dict[str, float] | None = None,
+    span_counts: dict[str, int] | None = None,
     counters: dict[str, float] | None = None,
     metrics: dict[str, Any] | None = None,
     ts: float | None = None,
@@ -141,6 +143,7 @@ def build_record(
         "config": dict(config or {}),
         "spans": dict(spans or {}),
         "self_times": dict(self_times or {}),
+        "span_counts": dict(span_counts or {}),
         "counters": dict(counters or {}),
         "metrics": dict(metrics or {}),
         "env": environment(),
@@ -165,6 +168,7 @@ def record_from_tracer(
         config=config,
         spans=tracer.span_totals(),
         self_times=tracer.span_self_totals(),
+        span_counts=tracer.span_counts(),
         counters=dict(tracer.counters),
         metrics=metrics,
     )

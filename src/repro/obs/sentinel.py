@@ -26,7 +26,7 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from .ledger import RunLedger
 
@@ -64,14 +64,24 @@ class Delta:
     ratio: float
     regressed: bool
     mode: str = "absolute"
+    #: median invocation counts (``span_counts``); None on old records
+    baseline_count: float | None = None
+    current_count: float | None = None
 
     def describe(self) -> str:
         unit = "s" if self.mode == "absolute" else " share"
         flag = "  REGRESSED" if self.regressed else ""
+        counts = ""
+        if self.baseline_count is not None or self.current_count is not None:
+            fmt = lambda c: "?" if c is None else f"{c:.0f}"  # noqa: E731
+            counts = (
+                f"  [x{fmt(self.baseline_count)}"
+                f"->x{fmt(self.current_count)}]"
+            )
         return (
             f"{self.group:<28} {self.span:<28} "
             f"{self.baseline:10.4f}{unit} -> {self.current:10.4f}{unit} "
-            f"({self.ratio:5.2f}x){flag}"
+            f"({self.ratio:5.2f}x){counts}{flag}"
         )
 
 
@@ -129,15 +139,26 @@ def _span_values(record: dict[str, Any]) -> dict[str, float]:
     return record.get("self_times") or record.get("spans") or {}
 
 
+def _span_counts(record: dict[str, Any]) -> dict[str, float]:
+    """The per-span invocation counts (empty on pre-``span_counts`` records)."""
+    return record.get("span_counts") or {}
+
+
 def group_medians(
-    records: Iterable[dict[str, Any]], window: int = DEFAULT_WINDOW
+    records: Iterable[dict[str, Any]],
+    window: int = DEFAULT_WINDOW,
+    *,
+    values: Callable[[dict[str, Any]], dict[str, float]] | None = None,
 ) -> dict[str, dict[str, float]]:
     """Per-group, per-span **median-of-k** seconds over the newest runs.
 
     Groups are ``kind:fingerprint`` strings; within each group only the
     newest ``window`` records contribute, and each span's value is the
-    median over the records that carry that span.
+    median over the records that carry that span.  ``values`` selects
+    the per-record map to aggregate (timings by default; pass a
+    ``span_counts`` extractor to get invocation-count medians instead).
     """
+    extract = values or _span_values
     grouped: dict[str, list[dict[str, Any]]] = {}
     for record in records:
         grouped.setdefault(_group_key(record), []).append(record)
@@ -146,7 +167,7 @@ def group_medians(
         runs = sorted(runs, key=lambda r: r.get("ts", 0.0))[-window:]
         samples: dict[str, list[float]] = {}
         for run in runs:
-            for span, seconds in _span_values(run).items():
+            for span, seconds in extract(run).items():
                 samples.setdefault(span, []).append(float(seconds))
         out[group] = {
             span: statistics.median(values)
@@ -178,14 +199,20 @@ def diff(
     """Compare two record sets span by span; see the module docstring."""
     if mode not in ("absolute", "relative"):
         raise ValueError(f"unknown mode {mode!r}")
+    baseline = list(baseline)
+    current = list(current)
     base = group_medians(baseline, window)
     cur = group_medians(current, window)
+    base_counts = group_medians(baseline, window, values=_span_counts)
+    cur_counts = group_medians(current, window, values=_span_counts)
     report = SentinelReport(mode=mode, threshold=threshold)
     for group in sorted(set(base) | set(cur)):
         if group not in base or group not in cur:
             report.unmatched.append(group)
             continue
         b_spans, c_spans = base[group], cur[group]
+        b_counts = base_counts.get(group, {})
+        c_counts = cur_counts.get(group, {})
         if mode == "relative":
             b_cmp, c_cmp = _shares(b_spans), _shares(c_spans)
         else:
@@ -213,6 +240,8 @@ def diff(
                     ratio=ratio,
                     regressed=regressed,
                     mode=mode,
+                    baseline_count=b_counts.get(span),
+                    current_count=c_counts.get(span),
                 )
             )
     return report

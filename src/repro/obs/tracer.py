@@ -377,12 +377,27 @@ class Tracer:
                 )
         return totals
 
+    def span_counts(self) -> dict[str, int]:
+        """Number of completed spans per span name.
+
+        Alongside :meth:`span_totals` this turns a total into a rate:
+        1000 calls of 1ms and one 1s call total the same but mean very
+        different things for an optimiser.
+        """
+        counts: dict[str, int] = {}
+        for event in self.events:
+            if event.get("type") == "span":
+                name = event["name"]
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
     def snapshot(self) -> dict[str, Any]:
         """JSON-safe aggregate used to ship results across processes."""
         return {
             "trace_id": self.trace_id,
             "spans": self.span_totals(),
             "self_times": self.span_self_totals(),
+            "span_counts": self.span_counts(),
             "counters": dict(self.counters),
             "gauges": {k: dict(v) for k, v in self.gauges.items()},
         }

@@ -1,0 +1,20 @@
+"""Throughput transforms built on multiple-class retiming.
+
+Pipelining (insert K output register layers, retime to balance) and
+C-slow (replicate every register C times for C-way thread interleaving,
+retime to spread the chains).  See ``docs/PIPELINE.md`` for the
+per-register-class legality argument and the verification strategy.
+"""
+
+from .engine import CSlowResult, PipelineResult, cslow_retime, pipeline_retime
+from .transform import PipelineError, cslow_transform, insert_pipeline_layers
+
+__all__ = [
+    "CSlowResult",
+    "PipelineError",
+    "PipelineResult",
+    "cslow_retime",
+    "cslow_transform",
+    "insert_pipeline_layers",
+    "pipeline_retime",
+]

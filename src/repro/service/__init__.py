@@ -24,6 +24,7 @@ from .client import RetimeClient, ServiceError
 from .engine import RetimeService
 from .jobs import (
     JOB_FLOWS,
+    JOB_TRANSFORMS,
     JobFailure,
     JobResult,
     RetimeJob,
@@ -35,6 +36,7 @@ from .server import make_server, serve_forever
 
 __all__ = [
     "JOB_FLOWS",
+    "JOB_TRANSFORMS",
     "Counter",
     "Histogram",
     "JobFailure",

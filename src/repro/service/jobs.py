@@ -27,8 +27,16 @@ from functools import cached_property
 from pathlib import Path
 
 from .. import obs
-from ..flows import FlowResult, baseline_flow, decomposed_enable_flow, retime_flow
+from ..flows import (
+    FlowResult,
+    baseline_flow,
+    cslow_flow,
+    decomposed_enable_flow,
+    pipeline_flow,
+    retime_flow,
+)
 from ..mcretime import MCRetimeResult, mc_retime
+from ..pipeline import cslow_retime, pipeline_retime
 from ..netlist import (
     Circuit,
     check_circuit,
@@ -39,7 +47,12 @@ from ..netlist import (
     write_verilog,
 )
 from ..timing import UNIT_DELAY, XC4000E_DELAY, analyze
-from ..verify import VerificationError, check_sequential
+from ..verify import (
+    VerificationError,
+    check_cslow,
+    check_pipeline,
+    check_sequential,
+)
 
 #: Flows a job may request.  ``mcretime`` retimes the netlist as-is
 #: (the plain ``mcretime file.blif`` CLI behaviour); the other three are
@@ -54,6 +67,13 @@ FAULT_FLOWS = ("__crash__", "__hang__")
 
 _DELAY_MODELS = {"unit": UNIT_DELAY, "xc4000e": XC4000E_DELAY}
 _FORMATS = ("blif", "verilog")
+
+#: Throughput transforms a job may request (``docs/PIPELINE.md``).
+#: ``pipeline`` inserts ``stages`` output register layers before
+#: retiming; ``cslow`` replicates every register ``factor`` times.
+#: Transforms compose with the ``mcretime`` (engine-level) and
+#: ``retime`` (mapped XC4000E) flows only.
+JOB_TRANSFORMS = ("pipeline", "cslow")
 
 
 def _parse(netlist: str, fmt: str, name: str) -> Circuit:
@@ -90,6 +110,15 @@ class RetimeJob:
     verify_cycles: int = 64
     #: format of ``JobResult.output`` (defaults to the input format)
     output_fmt: str | None = None
+    #: optional throughput transform (``"pipeline"`` / ``"cslow"``);
+    #: with ``verify=True`` the output is checked with the matching
+    #: refinement checker (latency-shifted / thread-interleaving)
+    #: instead of the plain sequential check
+    transform: str | None = None
+    #: pipeline stages (used when ``transform == "pipeline"``)
+    stages: int = 1
+    #: C-slow factor (used when ``transform == "cslow"``)
+    factor: int = 2
 
     def __post_init__(self) -> None:
         if self.fmt not in _FORMATS:
@@ -111,6 +140,33 @@ class RetimeJob:
         ):
             raise ValueError(
                 f"verify_cycles must be a positive int, got {self.verify_cycles!r}"
+            )
+        if self.transform is not None:
+            if self.transform not in JOB_TRANSFORMS:
+                raise ValueError(
+                    f"unknown transform {self.transform!r}; "
+                    f"choose from {JOB_TRANSFORMS}"
+                )
+            if self.flow not in ("mcretime", "retime"):
+                raise ValueError(
+                    f"transform {self.transform!r} requires flow "
+                    f"'mcretime' or 'retime', not {self.flow!r}"
+                )
+        if (
+            not isinstance(self.stages, int)
+            or isinstance(self.stages, bool)
+            or self.stages < 0
+        ):
+            raise ValueError(
+                f"stages must be a non-negative int, got {self.stages!r}"
+            )
+        if (
+            not isinstance(self.factor, int)
+            or isinstance(self.factor, bool)
+            or self.factor < 1
+        ):
+            raise ValueError(
+                f"factor must be a positive int, got {self.factor!r}"
             )
 
     @classmethod
@@ -139,6 +195,12 @@ class RetimeJob:
             "verify": self.verify,
             "verify_cycles": self.verify_cycles if self.verify else None,
             "output_fmt": self.resolved_output_fmt(),
+            # transform-irrelevant knobs are nulled so e.g. a plain
+            # retime job never collides with (or misses) a cache entry
+            # over an unused stages/factor value
+            "transform": self.transform,
+            "stages": self.stages if self.transform == "pipeline" else None,
+            "factor": self.factor if self.transform == "cslow" else None,
         }
 
     @cached_property
@@ -311,18 +373,34 @@ def _run_flow(job: RetimeJob) -> dict:
 
 
 def _verify_output(job: RetimeJob, circuit: Circuit, metrics: dict) -> None:
-    """Sequentially check the job's output against its input.
+    """Check the job's output against its input.
 
-    The verdict rides along in ``metrics["verify"]``; a failed check
-    raises :class:`~repro.verify.VerificationError`, which the pool
-    treats as a deterministic error (no retry — the checker is
-    deterministic in its seed, so re-running cannot pass).
+    Plain jobs run the sequential refinement check; transform jobs run
+    the matching transform checker (latency-shifted for ``pipeline``,
+    thread-interleaving for ``cslow``).  The verdict rides along in
+    ``metrics["verify"]``; a failed check raises
+    :class:`~repro.verify.VerificationError`, which the pool treats as
+    a deterministic error (no retry — the checkers are deterministic in
+    their seed, so re-running cannot pass).
     """
     t0 = time.perf_counter()
-    with obs.span("verify.check", cycles=job.verify_cycles):
-        check = check_sequential(
-            circuit, metrics["_circuit"], cycles=job.verify_cycles
-        )
+    with obs.span(
+        "verify.check", cycles=job.verify_cycles, transform=job.transform
+    ):
+        if job.transform == "pipeline":
+            check = check_pipeline(
+                circuit, metrics["_circuit"], shift=job.stages,
+                cycles=job.verify_cycles,
+            )
+        elif job.transform == "cslow":
+            check = check_cslow(
+                circuit, metrics["_circuit"], job.factor,
+                cycles=job.verify_cycles,
+            )
+        else:
+            check = check_sequential(
+                circuit, metrics["_circuit"], cycles=job.verify_cycles
+            )
     metrics["verify"] = {
         "equivalent": check.equivalent,
         "cycles": check.cycles,
@@ -333,7 +411,89 @@ def _verify_output(job: RetimeJob, circuit: Circuit, metrics: dict) -> None:
         raise VerificationError(check)
 
 
+def _transform_report(result) -> dict[str, object]:
+    """Transform economics of a Pipeline/CSlowResult (engine level)."""
+    if hasattr(result, "stages"):
+        return {
+            "kind": "pipeline",
+            "stages": result.stages,
+            "registers_inserted": result.registers_inserted,
+            "period_before": result.period_before,
+            "period_after": result.period_after,
+            "lower_bound": result.lower_bound,
+            "balance_slack": result.balance_slack,
+            "speedup": result.speedup,
+            "classes_before": result.classes_before,
+            "classes_after": result.classes_after,
+        }
+    return {
+        "kind": "cslow",
+        "factor": result.factor,
+        "registers_replicated": result.registers_replicated,
+        "enables_folded": result.enables_folded,
+        "sync_resets_folded": result.sync_resets_folded,
+        "async_resets_folded": result.async_resets_folded,
+        "period_before": result.period_before,
+        "period_after": result.period_after,
+        "thread_period": result.thread_period,
+        "throughput_gain": result.throughput_gain,
+        "classes_before": result.classes_before,
+        "classes_after": result.classes_after,
+    }
+
+
+def _dispatch_transform(job: RetimeJob, circuit: Circuit, model) -> dict:
+    """Run a pipeline/cslow job (engine-level or mapped flow)."""
+    if job.flow == "mcretime":
+        if job.transform == "pipeline":
+            result = pipeline_retime(
+                circuit,
+                job.stages,
+                model,
+                objective=job.objective,
+                target_period=job.target_period,
+                semantic_classes=job.semantic_classes,
+            )
+        else:
+            result = cslow_retime(
+                circuit,
+                job.factor,
+                model,
+                objective=job.objective,
+                target_period=job.target_period,
+                semantic_classes=job.semantic_classes,
+            )
+        out_circuit = result.circuit
+        check_circuit(out_circuit)
+        metrics = {
+            "baseline": _measure(circuit, model),
+            "final": {**_measure(out_circuit, model), "accepted": True},
+            "retime": _retime_metrics(result.retime),
+            "transform": _transform_report(result),
+            "timings": dict(result.timings),
+        }
+    else:  # flow == "retime": the mapped XC4000E flow
+        flow_fn = pipeline_flow if job.transform == "pipeline" else cslow_flow
+        amount = job.stages if job.transform == "pipeline" else job.factor
+        flow = flow_fn(
+            circuit,
+            amount,
+            model,
+            objective=job.objective,
+            target_period=job.target_period,
+            semantic_classes=job.semantic_classes,
+        )
+        out_circuit = flow.circuit
+        metrics = _flow_metrics(flow)
+        metrics["baseline"] = _measure(circuit, model)
+        metrics["transform"] = flow.transform
+    metrics["_circuit"] = out_circuit
+    return metrics
+
+
 def _dispatch_flow(job: RetimeJob, circuit: Circuit, model) -> dict:
+    if job.transform is not None:
+        return _dispatch_transform(job, circuit, model)
     if job.flow == "mcretime":
         result = mc_retime(
             circuit,

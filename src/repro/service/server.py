@@ -47,6 +47,9 @@ _JOB_FIELDS = (
     "verify",
     "verify_cycles",
     "output_fmt",
+    "transform",
+    "stages",
+    "factor",
 )
 
 

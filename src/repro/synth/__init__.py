@@ -1,15 +1,19 @@
 """Synthetic industrial-style design generation (C1..C10 stand-ins)."""
 
+from .datapath import DATAPATH_NAMES, build_datapath, datapath_spec
 from .designs import DESIGN_NAMES, all_designs, build_design, design_spec
 from .generator import ControlSet, DesignSpec, GeneratedDesign, generate
 
 __all__ = [
     "ControlSet",
+    "DATAPATH_NAMES",
     "DESIGN_NAMES",
     "DesignSpec",
     "GeneratedDesign",
     "all_designs",
+    "build_datapath",
     "build_design",
+    "datapath_spec",
     "design_spec",
     "generate",
 ]

@@ -1,0 +1,145 @@
+"""Realistic datapath netlists for the pipelining / C-slow family.
+
+The C1..C10 stand-ins (:mod:`repro.synth.designs`) mimic *control*
+dominated industrial designs; pipelining and C-slow retiming shine on
+*datapath* dominated ones — deep arithmetic between thin register
+layers.  This module builds four such designs from the generator's
+exact arithmetic primitives (:meth:`_Builder.add_mac`,
+:meth:`_Builder.add_butterfly` and the ripple/multiplier helpers):
+
+* ``MAC6`` — two chained 6-bit multiply-accumulate stages; the
+  accumulator feedback loop bounds the period, C-slowing splits it;
+* ``BFLY8`` — two cascaded 8-bit radix-2 butterfly stages, the
+  feed-forward NTT/FFT workhorse;
+* ``NTT4`` — a 4-bit butterfly followed by a modular (twiddle)
+  multiply of the difference lane, the inner loop of a
+  number-theoretic transform;
+* ``MODMUL6`` — two chained 6-bit modular multiplies (low product
+  plus conditional subtract), Montgomery-ladder style.
+
+Every register class follows the multiple-class model: operand input
+registers on the enable-only class, recirculating/output registers on
+the resettable class (an accumulator without a reset would recirculate
+a power-up X forever).  Controls are pins (``derived_controls=0``) so
+the designs exercise the per-thread control threading of C-slow
+verification directly.
+"""
+
+from __future__ import annotations
+
+from ..netlist import GateFn
+from ..netlist.signals import const_net
+from .generator import DesignSpec, GeneratedDesign, _Builder
+
+__all__ = [
+    "DATAPATH_NAMES",
+    "build_datapath",
+    "datapath_spec",
+]
+
+#: name -> (kind, width, modulus) — modulus only for modular kinds
+_PROFILES: dict[str, tuple[str, int, int | None]] = {
+    "NTT4": ("ntt", 4, 13),
+    "BFLY8": ("butterfly", 8, None),
+    "MODMUL6": ("modmul", 6, 53),
+    "MAC6": ("mac", 6, None),
+}
+
+#: deterministic per-design seeds (fixed forever, like C1..C10's)
+_SEEDS = {name: 2000 + i for i, name in enumerate(_PROFILES)}
+
+DATAPATH_NAMES: list[str] = list(_PROFILES)
+
+
+class _DatapathBuilder(_Builder):
+    """The generator builder plus modular-arithmetic composition."""
+
+    def add_modmul(
+        self,
+        width: int,
+        modulus: int,
+        a: list[str] | None = None,
+        b: list[str] | None = None,
+    ) -> list[str]:
+        """Registered modular multiply: low product, conditional subtract.
+
+        Computes ``p = (a*b) mod 2^width`` on registered operands, then
+        ``p - modulus`` through a ripple add of the two's-complement
+        constant; the carry out selects the reduced value (the classic
+        single conditional-subtract reduction).  Returns the registered
+        result Q nets, LSB first.
+        """
+        if not 0 < modulus < (1 << width):
+            raise ValueError(f"modulus {modulus} out of range for width {width}")
+        c = self.circuit
+        ctrl_in = self.controls[1 % len(self.controls)]
+        ctrl_out = self.controls[0]
+        aq = [self._reg(n, ctrl_in).q for n in a or self._pick_nets(width)]
+        bq = [self._reg(n, ctrl_in).q for n in b or self._pick_nets(width)]
+        p = self._mult_low(aq, bq)
+        comp = (1 << width) - modulus
+        comp_bits = [const_net(bool((comp >> i) & 1)) for i in range(width)]
+        t, cout = self._ripple_add(p, comp_bits)
+        outs = []
+        for pi, ti in zip(p, t):
+            # cout=1 means p >= modulus: take the subtracted value
+            r = c.add_gate(GateFn.MUX, [cout, pi, ti]).output
+            self.gate_budget -= 1
+            outs.append(self._reg(r, ctrl_out).q)
+        self.taps.append(outs[-1])
+        return outs
+
+    # ------------------------------------------------------------------
+    # whole designs
+
+    def build_datapath(self, kind: str, width: int, modulus: int | None):
+        a = [f"in{i}" for i in range(width)]
+        b = [f"in{width + i}" for i in range(width)]
+        if kind == "mac":
+            acc = self.add_mac(width, a, b)
+            outs = self.add_mac(width, acc, b)
+        elif kind == "butterfly":
+            s1 = self.add_butterfly(width, a, b)
+            outs = self.add_butterfly(width, s1[:width], s1[width:])
+        elif kind == "ntt":
+            s1 = self.add_butterfly(width, a, b)
+            outs = s1[:width] + self.add_modmul(width, modulus, s1[width:], b)
+        elif kind == "modmul":
+            t = self.add_modmul(width, modulus, a, b)
+            outs = self.add_modmul(width, modulus, t, b)
+        else:  # pragma: no cover - profile table is the only caller
+            raise ValueError(f"unknown datapath kind {kind!r}")
+        for q in outs:
+            self.circuit.add_output(q)
+        return GeneratedDesign(self.circuit, self.spec, self.controls)
+
+
+def datapath_spec(name: str) -> DesignSpec:
+    """Spec for one datapath design (budgets are informational)."""
+    if name not in _PROFILES:
+        raise KeyError(
+            f"unknown datapath design {name!r}; choose from {DATAPATH_NAMES}"
+        )
+    kind, width, _ = _PROFILES[name]
+    return DesignSpec(
+        name=name,
+        seed=_SEEDS[name],
+        target_ff=6 * width,
+        target_gates=4 * width * width,
+        n_classes=2,
+        has_enable=True,
+        has_async=True,
+        has_sync=False,
+        # pin-driven controls: C-slow verification threads them per lane
+        derived_controls=0.0,
+        logic_depth=2 * width,
+        n_inputs=2 * width,
+    )
+
+
+def build_datapath(name: str) -> GeneratedDesign:
+    """Generate one datapath design (deterministic)."""
+    kind, width, modulus = _PROFILES[name]
+    return _DatapathBuilder(datapath_spec(name)).build_datapath(
+        kind, width, modulus
+    )

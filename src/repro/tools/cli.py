@@ -12,6 +12,13 @@ Examples::
     mcretime design.blif --target-period 12.5 --report
     mcretime design.blif --check          # validate + stats only
 
+Two subcommands run the throughput transforms of :mod:`repro.pipeline`
+(see ``docs/PIPELINE.md``) — pipelining (insert K output register
+layers, retime to balance) and C-slow (C-way thread interleaving)::
+
+    mcretime pipeline design.blif --stages 3 --report -o out.blif
+    mcretime cslow design.blif --factor 3 --verify -o out.blif
+
 Two subcommands expose the batch service layer
 (:mod:`repro.service`, see ``docs/SERVICE.md``)::
 
@@ -56,20 +63,28 @@ import time
 from pathlib import Path
 
 from .. import obs
-from ..flows import baseline_flow, retime_flow
+from ..flows import baseline_flow, cslow_flow, pipeline_flow, retime_flow
 from ..mcretime import mc_retime
 from ..netlist import (
     Circuit,
     NetlistError,
     check_circuit,
     circuit_stats,
+    class_histogram,
+    format_class_histogram,
     read_blif,
     read_verilog,
     write_blif,
     write_verilog,
 )
+from ..pipeline import PipelineError, cslow_retime, pipeline_retime
 from ..timing import UNIT_DELAY, XC4000E_DELAY, analyze
-from ..verify import VerificationError, check_sequential
+from ..verify import (
+    VerificationError,
+    check_cslow,
+    check_pipeline,
+    check_sequential,
+)
 
 #: netlist suffixes ``mcretime batch`` picks up when given a directory
 BATCH_SUFFIXES = (".blif", ".mcblif", ".v", ".sv")
@@ -128,6 +143,8 @@ def main(argv: list[str] | None = None) -> int:
         return _obs_main(argv[1:])
     if argv and argv[0] == "fuzz":
         return _fuzz_main(argv[1:])
+    if argv and argv[0] in ("pipeline", "cslow"):
+        return _transform_main(argv[0], argv[1:])
     return _retime_main(argv)
 
 
@@ -354,6 +371,297 @@ def _retime_main(argv: list[str]) -> int:
 
     if args.output is not None:
         save_circuit(retimed, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# throughput transforms: pipelining and C-slow (docs/PIPELINE.md)
+# ---------------------------------------------------------------------------
+
+
+def _transform_main(kind: str, argv: list[str]) -> int:
+    is_pipe = kind == "pipeline"
+    parser = argparse.ArgumentParser(
+        prog=f"mcretime {kind}",
+        description=(
+            "Insert K output register layers and retime to balance them "
+            "(latency for clock speed)."
+            if is_pipe
+            else "C-slow: replicate every register C times (folding "
+            "EN/SR/AR per class into the D path) and retime, producing "
+            "a C-way thread-interleaved machine."
+        ),
+    )
+    parser.add_argument("input", type=Path, help="input netlist (.blif/.v)")
+    parser.add_argument("-o", "--output", type=Path, help="output netlist")
+    if is_pipe:
+        parser.add_argument(
+            "--stages", type=int, default=1, metavar="K",
+            help="register layers to insert (default 1; 0 = plain retime)",
+        )
+    else:
+        parser.add_argument(
+            "--factor", type=int, default=2, metavar="C",
+            help="slowdown factor / thread count (default 2; 1 = plain "
+            "retime)",
+        )
+    parser.add_argument(
+        "--objective", choices=["minarea", "minperiod"], default="minperiod",
+        help="retiming objective (default minperiod: balancing the new "
+        "registers is the point)",
+    )
+    parser.add_argument(
+        "--target-period", type=float, default=None,
+        help="retime for this period instead of the minimum feasible",
+    )
+    parser.add_argument(
+        "--map", action="store_true",
+        help="run the mapped XC4000E flow (optimise + map first, remap "
+        "after) instead of the unit-delay engine transform",
+    )
+    parser.add_argument(
+        "--delay-model", choices=["unit", "xc4000e"], default=None,
+        help="default: xc4000e when --map is given, unit otherwise",
+    )
+    parser.add_argument(
+        "--syntactic-classes", action="store_true",
+        help="compare control signals by net name instead of BDD function",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print the retiming engine report",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="check the result against the input with the "
+        + (
+            "latency-shifted refinement check"
+            if is_pipe
+            else "thread-interleaving refinement check"
+        )
+        + "; a mismatch fails the run",
+    )
+    parser.add_argument(
+        "--verify-cycles", type=int, default=48 if is_pipe else 32,
+        metavar="N",
+        help="cycles (pipeline) / superperiods (cslow) to compare "
+        f"(default {48 if is_pipe else 32})",
+    )
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="OUT.json",
+        help="write a Chrome trace_event JSON (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--log-json", type=Path, default=None, metavar="RUN.jsonl",
+        help="write a structured JSONL run log (one event per line)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print the trace summary tree to stderr after the run",
+    )
+    parser.add_argument(
+        "--profile", type=Path, default=None, metavar="OUT.json",
+        help="sample the run with the built-in profiler (speedscope JSON)",
+    )
+    parser.add_argument(
+        "--profile-interval", type=float, default=0.005, metavar="SECONDS",
+        help="sampling interval for --profile (default 5ms)",
+    )
+    parser.add_argument(
+        "--ledger", type=Path, default=None, metavar="RUNS.jsonl",
+        help="append one run-ledger record to this JSONL file",
+    )
+    args = parser.parse_args(argv)
+    amount = args.stages if is_pipe else args.factor
+
+    try:
+        circuit = load_circuit(args.input)
+        check_circuit(circuit)
+    except OSError as exc:
+        return _fail(f"cannot read {args.input}: {exc.strerror or exc}")
+    except NetlistError as exc:
+        return _fail(f"{args.input}: {exc}")
+    model_name = args.delay_model or ("xc4000e" if args.map else "unit")
+    model = XC4000E_DELAY if model_name == "xc4000e" else UNIT_DELAY
+
+    print(f"{args.input}: {_stats_line(circuit, model)}")
+    print(f"  classes: {format_class_histogram(class_histogram(circuit))}")
+
+    trace = args.trace or os.environ.get("REPRO_TRACE") or None
+    log_json = args.log_json or os.environ.get("REPRO_TRACE_LOG") or None
+    verbose = args.verbose or bool(os.environ.get("REPRO_TRACE_SUMMARY"))
+    profile = args.profile or os.environ.get("REPRO_PROFILE") or None
+    ledger = args.ledger or os.environ.get("REPRO_LEDGER") or None
+    observing = trace or log_json or verbose or profile or ledger
+
+    verify_check = None
+    try:
+        with obs.session(
+            trace=trace,
+            jsonl=log_json,
+            summary=verbose,
+            meta={
+                "input": str(args.input),
+                "transform": kind,
+                ("stages" if is_pipe else "factor"): amount,
+                "objective": args.objective,
+                "flow": "retime" if args.map else "mcretime",
+                "delay_model": model_name,
+                "target_period": args.target_period,
+            },
+            profile=profile,
+            profile_interval=args.profile_interval,
+            ledger=ledger,
+            ledger_kind=f"cli.{kind}",
+            fingerprint=obs.design_fingerprint(circuit) if ledger else None,
+        ) if observing else _no_tracing():
+            if args.map:
+                flow_fn = pipeline_flow if is_pipe else cslow_flow
+                flow = flow_fn(
+                    circuit,
+                    amount,
+                    model,
+                    objective=args.objective,
+                    target_period=args.target_period,
+                    semantic_classes=not args.syntactic_classes,
+                    verify=args.verify,
+                    verify_cycles=args.verify_cycles,
+                )
+                out, retime = flow.circuit, flow.retime
+                report = flow.transform
+                verify_check = flow.verify
+            elif is_pipe:
+                res = pipeline_retime(
+                    circuit,
+                    amount,
+                    model,
+                    objective=args.objective,
+                    target_period=args.target_period,
+                    semantic_classes=not args.syntactic_classes,
+                )
+                out, retime = res.circuit, res.retime
+                report = {
+                    "kind": "pipeline",
+                    "stages": res.stages,
+                    "registers_inserted": res.registers_inserted,
+                    "period_before": res.period_before,
+                    "period_after": res.period_after,
+                    "lower_bound": res.lower_bound,
+                    "balance_slack": res.balance_slack,
+                    "speedup": res.speedup,
+                    "classes_before": res.classes_before,
+                    "classes_after": res.classes_after,
+                }
+            else:
+                res = cslow_retime(
+                    circuit,
+                    amount,
+                    model,
+                    objective=args.objective,
+                    target_period=args.target_period,
+                    semantic_classes=not args.syntactic_classes,
+                )
+                out, retime = res.circuit, res.retime
+                report = {
+                    "kind": "cslow",
+                    "factor": res.factor,
+                    "registers_replicated": res.registers_replicated,
+                    "enables_folded": res.enables_folded,
+                    "sync_resets_folded": res.sync_resets_folded,
+                    "async_resets_folded": res.async_resets_folded,
+                    "period_before": res.period_before,
+                    "period_after": res.period_after,
+                    "thread_period": res.thread_period,
+                    "throughput_gain": res.throughput_gain,
+                    "classes_before": res.classes_before,
+                    "classes_after": res.classes_after,
+                }
+            if args.verify and not args.map:
+                if is_pipe:
+                    verify_check = check_pipeline(
+                        circuit, out, shift=amount,
+                        cycles=args.verify_cycles,
+                    )
+                else:
+                    verify_check = check_cslow(
+                        circuit, out, amount, cycles=args.verify_cycles
+                    )
+                if not verify_check.equivalent:
+                    raise VerificationError(verify_check)
+            check_circuit(out)
+            if obs.enabled():
+                numeric = {
+                    k: v for k, v in report.items()
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                }
+                obs.annotate(
+                    ff_before=len(circuit.registers),
+                    ff_after=len(out.registers),
+                    n_gates=len(out.gates),
+                    **numeric,
+                )
+    except PipelineError as exc:
+        return _fail(str(exc))
+    except VerificationError as exc:
+        return _fail(str(exc))
+    if trace:
+        print(f"wrote trace to {trace}", file=sys.stderr)
+    if log_json:
+        print(f"wrote run log to {log_json}", file=sys.stderr)
+    if profile:
+        print(f"wrote profile to {profile}", file=sys.stderr)
+    if ledger:
+        print(f"appended run record to {ledger}", file=sys.stderr)
+
+    if is_pipe:
+        print(
+            f"pipelined: period {report['period_before']:.2f} -> "
+            f"{report['period_after']:.2f} "
+            f"(lower bound {report['lower_bound']:.2f}, "
+            f"slack {report['balance_slack']:.2f}, "
+            f"speedup {report['speedup']:.2f}x)"
+        )
+        print(
+            f"  inserted {report['registers_inserted']} registers "
+            f"({report['stages']} layers); "
+            f"FF {len(circuit.registers)} -> {len(out.registers)}"
+        )
+    else:
+        print(
+            f"C-slowed: period {report['period_before']:.2f} -> "
+            f"{report['period_after']:.2f} "
+            f"(thread period {report['thread_period']:.2f}, "
+            f"throughput gain {report['throughput_gain']:.2f}x)"
+        )
+        print(
+            f"  replicated {report['registers_replicated']} registers; "
+            f"folded {report['enables_folded']} EN / "
+            f"{report['sync_resets_folded']} SR / "
+            f"{report['async_resets_folded']} AR; "
+            f"FF {len(circuit.registers)} -> {len(out.registers)}"
+        )
+    print(
+        f"  classes: {format_class_histogram(report['classes_before'])} "
+        f"-> {format_class_histogram(report['classes_after'])}"
+    )
+    if verify_check is not None:
+        print(f"verified: {verify_check.reason}")
+
+    if args.report:
+        print(f"  classes          : {retime.n_classes}")
+        print(
+            f"  steps            : {retime.steps_moved} moved / "
+            f"{retime.steps_possible} possible"
+        )
+        print(
+            f"  graph period     : {retime.period_before:.2f} -> "
+            f"{retime.period_after:.2f}"
+        )
+        print(f"  registers        : {retime.ff_before} -> {retime.ff_after}")
+
+    if args.output is not None:
+        save_circuit(out, args.output)
         print(f"wrote {args.output}")
     return 0
 

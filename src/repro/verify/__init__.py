@@ -26,6 +26,12 @@ from .fuzz import (
     mutate_one,
     random_spec,
 )
+from .pipeline import (
+    CSlowCheckResult,
+    PipelineCheckResult,
+    check_cslow,
+    check_pipeline,
+)
 from .sequential import (
     RESET_PREFIXES,
     SequentialCheckResult,
@@ -37,15 +43,19 @@ from .sequential import (
 )
 
 __all__ = [
+    "CSlowCheckResult",
     "CheckResult",
     "FuzzCase",
     "FuzzReport",
     "MUTATION_KINDS",
+    "PipelineCheckResult",
     "RESET_PREFIXES",
     "SequentialCheckResult",
     "StimulusPlan",
     "VerificationError",
     "check_combinational",
+    "check_cslow",
+    "check_pipeline",
     "check_refinement",
     "check_sequential",
     "clock_exempt_nets",

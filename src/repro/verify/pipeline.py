@@ -1,0 +1,378 @@
+"""Refinement checks for the pipeline subsystem's transforms.
+
+Two checkers on the bit-parallel simulator, both refinement-style
+(wherever the reference's output bit is binary, the transformed circuit
+must reproduce it exactly; X in the reference exempts the bit):
+
+* :func:`check_pipeline` — **latency-shifted** refinement.  A K-stage
+  pipelined-and-retimed circuit must satisfy ``y'(t + K) = y(t)``; the
+  checker drives both circuits with the identical coverage-directed
+  :class:`~repro.verify.sequential.StimulusPlan` and compares the
+  original's cycle-``t`` outputs against the pipelined circuit's
+  cycle-``t+K`` outputs.
+
+* :func:`check_cslow` — **thread-interleaving** refinement.  A C-slowed
+  circuit interleaves C independent threads, one per global cycle
+  (thread ``k`` owns cycles ``t ≡ k (mod C)``).  The reference is the
+  *original* circuit simulated with one lane per (variant, thread)
+  pair, stepped once per superperiod; the C-slowed circuit runs one
+  lane per variant at the full clock rate, fed thread ``k``'s inputs on
+  thread ``k``'s cycles.  Output ``j`` of C-slow lane ``m`` at global
+  cycle ``i*C + k`` must refine output ``j`` of reference lane
+  ``m*C + k`` at superperiod ``i`` — the bit-parallel simulator's lanes
+  *are* the threads.
+
+Because :func:`~repro.pipeline.cslow_transform` folds *every* control —
+EN, SR and AR alike — into the D path (the engine samples AR at the
+clock edge, so the fold is exact), each thread's controls land in that
+thread's own slot and the comparison is exact on every cycle: resets,
+enables and data are all driven independently per (variant, thread)
+pair with no exemption windows.  This is what kills the "broadcast AR"
+mutant that keeps AR pins on the replicas — its assertion edge skews
+threads ``k >= 1`` by a thread-cycle and the checker sees the wave.
+
+The C-slow reference starts from *power-up X* rather than the
+sval/aval initial-state convention: that convention exists for reset
+relocation inside the retiming engine, and plain replica registers
+cannot encode it in the netlist.  Starting unknown, a reference output
+bit becomes binary only once the original's own resets or data writes
+establish it — and from then on the C-slowed machine must reproduce it
+exactly, so coverage after the warm-up superperiod is unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from .. import obs
+from ..kernels.sim import BitSimulator, compile_circuit, unpack_lane
+from ..logic.ternary import TX
+from ..netlist import Circuit
+from .equivalence import CheckResult, clock_exempt_nets
+from .sequential import RESET_PREFIXES, StimulusPlan
+
+
+@dataclass
+class PipelineCheckResult(CheckResult):
+    """Verdict of the latency-shifted pipeline check."""
+
+    #: latency shift applied to the pipelined circuit's outputs
+    shift: int = 0
+    #: cycles compared (excluding warm-up and the shift window)
+    cycles: int = 0
+    #: stimulus lanes simulated
+    lanes: int = 0
+    #: lane of the first failure, if any
+    lane: int | None = None
+
+
+@dataclass
+class CSlowCheckResult(CheckResult):
+    """Verdict of the thread-interleaving C-slow check."""
+
+    factor: int = 1
+    #: superperiods (thread-cycles) compared per thread
+    cycles: int = 0
+    #: reference lanes simulated (= variants * factor)
+    lanes: int = 0
+    #: independent stimulus variants interleaved
+    variants: int = 0
+    #: (variant, thread) of the first failure, if any
+    variant: int | None = None
+    thread: int | None = None
+
+
+def _interface_mismatch(original: Circuit, transformed: Circuit) -> str | None:
+    if len(original.outputs) != len(transformed.outputs):
+        return "output counts differ"
+    known = set(original.inputs)
+    extra = [net for net in transformed.inputs if net not in known]
+    if extra:
+        return (
+            "input interface mismatch: transformed-only inputs "
+            f"{extra} would be driven to X"
+        )
+    return None
+
+
+# --------------------------------------------------------------------- #
+# pipelining: latency-shifted refinement
+
+
+def check_pipeline(
+    original: Circuit,
+    pipelined: Circuit,
+    shift: int,
+    cycles: int = 48,
+    seed: int = 0,
+    lanes: int = 64,
+    reset_prefixes: Sequence[str] = RESET_PREFIXES,
+) -> PipelineCheckResult:
+    """Latency-shifted refinement: ``pipelined(t + shift)`` must refine
+    ``original(t)`` under the identical coverage-directed stimulus.
+
+    ``shift=0`` degenerates to the plain sequential refinement
+    criterion.  Cycle 0 of the plan is the unchecked warm-up vector;
+    comparison covers original cycles ``1..cycles``.
+    """
+    if shift < 0:
+        return PipelineCheckResult(False, f"negative shift {shift}")
+    mismatch = _interface_mismatch(original, pipelined)
+    if mismatch:
+        return PipelineCheckResult(False, mismatch, shift=shift)
+
+    plan = StimulusPlan(
+        original, pipelined, cycles + shift, seed, lanes, reset_prefixes
+    )
+    full = (1 << plan.lanes) - 1
+    with obs.span(
+        "verify.pipeline", shift=shift, cycles=cycles, lanes=plan.lanes
+    ):
+        sim_o = BitSimulator(compile_circuit(original), lanes=plan.lanes)
+        sim_p = BitSimulator(compile_circuit(pipelined), lanes=plan.lanes)
+        outs_o = []
+        outs_p = []
+        for t in range(cycles + shift + 1):
+            words = plan.word_stimulus(t)
+            outs_o.append(sim_o.step(words))
+            outs_p.append(sim_p.step(words))
+        obs.count("verify.checks")
+        obs.count("verify.lane_cycles", plan.lanes * cycles)
+        for t in range(1, cycles + 1):
+            pairs = zip(outs_o[t], outs_p[t + shift])
+            for k, ((av, ax), (bv, bx)) in enumerate(pairs):
+                bad = ~ax & full & (bx | (av ^ bv))
+                if bad:
+                    lane = (bad & -bad).bit_length() - 1
+                    expected = unpack_lane((av, ax), lane)
+                    got = unpack_lane((bv, bx), lane)
+                    obs.count("verify.failures")
+                    net = original.outputs[k]
+                    return PipelineCheckResult(
+                        False,
+                        f"cycle {t} (+{shift} shift), output #{k} "
+                        f"({net!r}): original={expected}, "
+                        f"pipelined={got} (lane {lane}: "
+                        f"{plan.describe_lane(lane)})",
+                        counterexample=(t, k, expected, got),
+                        shift=shift,
+                        cycles=cycles,
+                        lanes=plan.lanes,
+                        lane=lane,
+                    )
+    return PipelineCheckResult(
+        True,
+        f"latency-{shift} refinement holds over {cycles} cycles x "
+        f"{plan.lanes} coverage-directed lanes",
+        shift=shift,
+        cycles=cycles,
+        lanes=plan.lanes,
+    )
+
+
+# --------------------------------------------------------------------- #
+# C-slow: thread-interleaving refinement
+
+
+def _slice_thread(word: int, factor: int, variants: int, k: int) -> int:
+    """Compress an ``(variants*factor)``-bit word: bit ``m*factor+k``
+    moves to bit ``m`` (thread ``k``'s view, one bit per variant)."""
+    out = 0
+    for m in range(variants):
+        if (word >> (m * factor + k)) & 1:
+            out |= 1 << m
+    return out
+
+
+class _CSlowStimulus:
+    """Thread-rate stimulus streams for the C-slow check.
+
+    For each superperiod ``i`` (0 = warm-up, resets asserted) every
+    input net gets an ``(variants*factor)``-bit word — one lane per
+    (variant, thread) pair, so even async resets exercise each thread
+    independently.  Variant 0 is the quiet variant: zero data, enables
+    low, resets only in warm-up.
+    """
+
+    def __init__(
+        self,
+        original: Circuit,
+        cslowed: Circuit,
+        factor: int,
+        cycles: int,
+        seed: int,
+        variants: int,
+        reset_prefixes: Sequence[str],
+    ) -> None:
+        self.factor = factor
+        self.variants = variants
+        self.cycles = cycles
+        exempt = clock_exempt_nets(original, cslowed)
+        inputs = [n for n in original.inputs if n not in exempt]
+        prefixes = tuple(reset_prefixes)
+
+        ar_pins: set[str] = set()
+        sr_pins: set[str] = set()
+        en_pins: set[str] = set()
+        for circuit in (original, cslowed):
+            for reg in circuit.registers.values():
+                if reg.ar is not None:
+                    ar_pins.add(reg.ar)
+                if reg.sr is not None:
+                    sr_pins.add(reg.sr)
+                if reg.en is not None:
+                    en_pins.add(reg.en)
+
+        self.reset_like = [
+            n for n in inputs
+            if n.startswith(prefixes) or n in sr_pins or n in ar_pins
+        ]
+        reset_set = set(self.reset_like)
+        self.en_like = [
+            n for n in inputs if n in en_pins and n not in reset_set
+        ]
+        en_set = set(self.en_like)
+        self.data = [
+            n for n in inputs if n not in reset_set and n not in en_set
+        ]
+
+        R = variants * factor
+        full_R = (1 << R) - 1
+        quiet_R = (1 << factor) - 1  # variant 0's thread lanes
+        rng = random.Random(seed)
+
+        def sparse(bits: int, p_shift: int) -> int:
+            word = rng.getrandbits(bits)
+            for _ in range(p_shift):
+                word &= rng.getrandbits(bits)
+            return word
+
+        #: per-thread streams: net -> [word per superperiod 0..cycles]
+        self.streams: dict[str, list[int]] = {}
+        for net in self.data:
+            self.streams[net] = [0] + [
+                rng.getrandbits(R) & ~quiet_R for _ in range(cycles)
+            ]
+        for net in self.en_like:
+            # mostly high (p(0) = 1/4) so data flows; variant 0 quiet
+            self.streams[net] = [0] + [
+                (full_R & ~sparse(R, 1)) & ~quiet_R for _ in range(cycles)
+            ]
+        for net in self.reset_like:
+            self.streams[net] = [full_R] + [
+                sparse(R, 3) & ~quiet_R for _ in range(cycles)
+            ]
+
+    def reference_words(self, i: int) -> dict[str, tuple[int, int]]:
+        """Superperiod *i*'s stimulus for the reference run (lanes =
+        (variant, thread) pairs)."""
+        return {net: (stream[i], 0) for net, stream in self.streams.items()}
+
+    def cslow_words(self, i: int, k: int) -> dict[str, tuple[int, int]]:
+        """Global cycle ``i*factor + k``'s stimulus for the C-slowed run
+        (lanes = variants; thread ``k``'s slice of the superperiod)."""
+        return {
+            net: (_slice_thread(stream[i], self.factor, self.variants, k), 0)
+            for net, stream in self.streams.items()
+        }
+
+
+def check_cslow(
+    original: Circuit,
+    cslowed: Circuit,
+    factor: int,
+    cycles: int = 32,
+    seed: int = 0,
+    variants: int | None = None,
+    reset_prefixes: Sequence[str] = RESET_PREFIXES,
+) -> CSlowCheckResult:
+    """Thread-interleaving refinement check of a C-slowed circuit.
+
+    Simulates ``variants`` independent copies of the original circuit
+    at thread rate (one bit-parallel lane per (variant, thread) pair)
+    and the C-slowed circuit at clock rate (one lane per variant), and
+    requires every binary reference output bit to be reproduced in the
+    matching thread slot on every compared cycle.  Superperiod 0 is the
+    reset warm-up; all controls (including async resets, which the
+    transform folds into the D path) are exercised per thread.
+    """
+    if factor < 1:
+        return CSlowCheckResult(False, f"factor must be >= 1, got {factor}")
+    mismatch = _interface_mismatch(original, cslowed)
+    if mismatch:
+        return CSlowCheckResult(False, mismatch, factor=factor)
+    if variants is None:
+        variants = max(2, min(16, 64 // factor))
+
+    stim = _CSlowStimulus(
+        original, cslowed, factor, cycles, seed, variants, reset_prefixes
+    )
+    M = variants
+    full_M = (1 << M) - 1
+    with obs.span(
+        "verify.cslow",
+        factor=factor,
+        cycles=cycles,
+        variants=variants,
+        lanes=M * factor,
+    ):
+        # power-up-X reference: the sval/aval initial-state convention
+        # serves reset *relocation*; C-slow replicas cannot encode it
+        # (they are plain), so the refinement statement starts both
+        # machines unknown and compares bits once the original's own
+        # resets / data writes establish them — which the folded
+        # per-thread controls reproduce exactly.
+        x_state = {name: TX for name in original.registers}
+        sim_ref = BitSimulator(
+            compile_circuit(original), lanes=M * factor, state=x_state
+        )
+        sim_cs = BitSimulator(compile_circuit(cslowed), lanes=M)
+        ref_outs = [
+            sim_ref.step(stim.reference_words(i)) for i in range(cycles + 1)
+        ]
+        cs_outs: list[list[tuple[int, int]]] = []
+        for i in range(cycles + 1):
+            for k in range(factor):
+                cs_outs.append(sim_cs.step(stim.cslow_words(i, k)))
+        obs.count("verify.checks")
+        obs.count("verify.lane_cycles", M * factor * cycles)
+        for i in range(1, cycles + 1):
+            for k in range(factor):
+                cs_row = cs_outs[i * factor + k]
+                for j, (av, ax) in enumerate(ref_outs[i]):
+                    bv, bx = cs_row[j]
+                    ref_v = _slice_thread(av, factor, M, k)
+                    ref_x = _slice_thread(ax, factor, M, k)
+                    bad = ~ref_x & full_M & (bx | (ref_v ^ bv))
+                    if bad:
+                        m = (bad & -bad).bit_length() - 1
+                        lane = m * factor + k
+                        expected = unpack_lane(ref_outs[i][j], lane)
+                        got = unpack_lane((bv, bx), m)
+                        obs.count("verify.failures")
+                        net = original.outputs[j]
+                        return CSlowCheckResult(
+                            False,
+                            f"thread-cycle {i}, thread {k}, variant {m}, "
+                            f"output #{j} ({net!r}): original={expected}, "
+                            f"C-slowed={got} (global cycle "
+                            f"{i * factor + k})",
+                            counterexample=(i, j, expected, got),
+                            factor=factor,
+                            cycles=cycles,
+                            lanes=M * factor,
+                            variants=variants,
+                            variant=m,
+                            thread=k,
+                        )
+    return CSlowCheckResult(
+        True,
+        f"thread-interleaving refinement holds over {cycles} "
+        f"superperiods x {factor} threads x {variants} variants",
+        factor=factor,
+        cycles=cycles,
+        lanes=M * factor,
+        variants=variants,
+    )

@@ -1,0 +1,64 @@
+"""Tests for the mapped pipeline / C-slow flows."""
+
+import pytest
+
+from repro.flows import cslow_flow, pipeline_flow
+from repro.netlist import check_circuit
+from repro.synth import build_datapath, build_design
+from repro.techmap import XC4000E_ARCH
+from repro.verify import VerificationError
+
+
+@pytest.fixture(scope="module")
+def ntt4():
+    return build_datapath("NTT4").circuit
+
+
+class TestPipelineFlow:
+    def test_mapped_and_reported(self, ntt4):
+        flow = pipeline_flow(ntt4, stages=2)
+        check_circuit(flow.circuit)
+        XC4000E_ARCH.check_mapped(flow.circuit)
+        t = flow.transform
+        assert t["kind"] == "pipeline" and t["stages"] == 2
+        assert t["registers_inserted"] > 0
+        assert t["period_after"] <= t["period_before"]
+        assert t["lower_bound"] == pytest.approx(t["period_before"] / 3)
+        assert sum(t["classes_before"].values()) > 0
+        assert flow.accepted
+
+    def test_verify_populates_check(self, ntt4):
+        flow = pipeline_flow(ntt4, stages=1, verify=True, verify_cycles=24)
+        assert flow.verify is not None and flow.verify.equivalent
+        assert "verify" in flow.timings
+
+
+class TestCSlowFlow:
+    def test_mapped_and_reported(self, ntt4):
+        flow = cslow_flow(ntt4, factor=2)
+        check_circuit(flow.circuit)
+        XC4000E_ARCH.check_mapped(flow.circuit)
+        t = flow.transform
+        assert t["kind"] == "cslow" and t["factor"] == 2
+        assert t["registers_replicated"] > 0
+        assert t["enables_folded"] > 0
+        assert t["thread_period"] == pytest.approx(2 * t["period_after"])
+        assert flow.accepted
+
+    def test_verified_throughput_gain(self, ntt4):
+        flow = cslow_flow(ntt4, factor=3, verify=True, verify_cycles=16)
+        assert flow.verify is not None and flow.verify.equivalent
+        assert flow.transform["throughput_gain"] > 1.0
+
+    def test_flow_verify_gate_bites(self, ntt4):
+        # the flow's verify stage checks against the *mapped base*; the
+        # same checker run with the wrong latency must reject, so a
+        # transform bug cannot slip through as "verified"
+        from repro.flows import baseline_flow
+        from repro.verify import check_pipeline
+
+        base = baseline_flow(ntt4)
+        flow = pipeline_flow(ntt4, stages=2, mapped=base)
+        good = check_pipeline(base.circuit, flow.circuit, shift=2, cycles=24)
+        bad = check_pipeline(base.circuit, flow.circuit, shift=1, cycles=24)
+        assert good.equivalent and not bad.equivalent

@@ -1,0 +1,115 @@
+"""CLI integration tests for the pipeline / cslow subcommands,
+including the acceptance run: ``mcretime cslow --factor 3 --verify``
+on a datapath benchmark netlist."""
+
+import json
+
+import pytest
+
+from repro.netlist import check_circuit, read_blif, write_blif
+from repro.synth import build_datapath
+from repro.tools.cli import main
+
+
+@pytest.fixture()
+def datapath_blif(tmp_path):
+    circuit = build_datapath("NTT4").circuit
+    path = tmp_path / "ntt4.blif"
+    path.write_text(write_blif(circuit))
+    return path
+
+
+class TestPipelineCommand:
+    def test_basic(self, datapath_blif, tmp_path, capsys):
+        out_path = tmp_path / "out.blif"
+        rc = main(
+            [
+                "pipeline",
+                str(datapath_blif),
+                "--stages",
+                "2",
+                "-o",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pipelined:" in out and "lower bound" in out
+        assert "classes:" in out
+        result = read_blif(out_path.read_text())
+        check_circuit(result)
+
+    def test_verify_and_report(self, datapath_blif, capsys):
+        rc = main(
+            [
+                "pipeline",
+                str(datapath_blif),
+                "--stages",
+                "1",
+                "--verify",
+                "--report",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verified:" in out
+
+    def test_zero_stages_allowed(self, datapath_blif, capsys):
+        assert main(["pipeline", str(datapath_blif), "--stages", "0"]) == 0
+
+
+class TestCSlowCommand:
+    def test_acceptance_factor3_verified(self, datapath_blif, capsys):
+        # the ISSUE acceptance run: C-slow a datapath benchmark by 3
+        # and pass the thread-interleaving refinement check
+        rc = main(
+            ["cslow", str(datapath_blif), "--factor", "3", "--verify"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "C-slowed:" in out and "throughput gain" in out
+        assert "verified:" in out
+
+    def test_output_netlist(self, datapath_blif, tmp_path, capsys):
+        out_path = tmp_path / "out.blif"
+        rc = main(
+            [
+                "cslow",
+                str(datapath_blif),
+                "--factor",
+                "2",
+                "-o",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        result = read_blif(out_path.read_text())
+        check_circuit(result)
+        original = read_blif(datapath_blif.read_text())
+        assert len(result.registers) >= 2 * len(original.registers)
+
+    def test_mapped_flow_with_ledger(self, datapath_blif, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        rc = main(
+            [
+                "cslow",
+                str(datapath_blif),
+                "--factor",
+                "2",
+                "--map",
+                "--ledger",
+                str(ledger),
+            ]
+        )
+        assert rc == 0
+        records = [
+            json.loads(line) for line in ledger.read_text().splitlines()
+        ]
+        assert len(records) == 1
+        assert records[0]["kind"] == "cli.cslow"
+        assert records[0]["fingerprint"]
+        assert records[0]["span_counts"]
+
+    def test_bad_factor_fails(self, datapath_blif, capsys):
+        rc = main(["cslow", str(datapath_blif), "--factor", "0"])
+        assert rc != 0

@@ -1,0 +1,89 @@
+"""Tests for the register-class histogram in circuit statistics."""
+
+from repro.logic.ternary import T0, T1, TX
+from repro.netlist import (
+    Circuit,
+    GateFn,
+    circuit_stats,
+    class_histogram,
+    format_class_histogram,
+    register_class_label,
+)
+from repro.netlist.signals import CONST0, CONST1
+from repro.pipeline import cslow_transform
+
+
+def _mixed_circuit() -> Circuit:
+    c = Circuit("mixed")
+    clk = c.add_input("clk")
+    en = c.add_input("en")
+    sr = c.add_input("srst")
+    ar = c.add_input("rst")
+    d = c.add_input("d")
+    taps = []
+    taps.append(c.add_register(d, clk=clk).q)
+    taps.append(c.add_register(taps[-1], clk=clk).q)
+    taps.append(c.add_register(taps[-1], clk=clk, en=en).q)
+    taps.append(c.add_register(taps[-1], clk=clk, sr=sr, sval=T1).q)
+    taps.append(
+        c.add_register(taps[-1], clk=clk, en=en, ar=ar, aval=T0).q
+    )
+    net = taps[0]
+    for other in taps[1:]:
+        net = c.add_gate(GateFn.XOR, [net, other]).output
+    c.add_output(net)
+    return c
+
+
+class TestRegisterClassLabel:
+    def test_shapes(self, ):
+        c = _mixed_circuit()
+        labels = [
+            register_class_label(r) for r in c.registers.values()
+        ]
+        assert labels == ["plain", "plain", "EN", "SR1", "EN+AR0"]
+
+    def test_const_tied_pins_do_not_count(self):
+        c = Circuit("tied")
+        clk = c.add_input("clk")
+        d = c.add_input("d")
+        # EN tied high / AR tied low are the neutral constants: the
+        # register behaves as plain and must be labelled plain
+        reg = c.add_register(d, clk=clk, en=CONST1, ar=CONST0, aval=T0)
+        c.add_output(reg.q)
+        assert register_class_label(reg) == "plain"
+
+    def test_x_reset_value_char(self):
+        c = Circuit("xval")
+        clk = c.add_input("clk")
+        ar = c.add_input("rst")
+        d = c.add_input("d")
+        reg = c.add_register(d, clk=clk, ar=ar, aval=TX)
+        c.add_output(reg.q)
+        assert register_class_label(reg) == "ARx"
+
+
+class TestClassHistogram:
+    def test_counts_and_sorted(self):
+        hist = class_histogram(_mixed_circuit())
+        assert hist == {"EN": 1, "EN+AR0": 1, "SR1": 1, "plain": 2}
+        assert list(hist) == sorted(hist)
+
+    def test_in_circuit_stats(self):
+        stats = circuit_stats(_mixed_circuit())
+        assert stats.class_histogram == class_histogram(_mixed_circuit())
+        assert sum(stats.class_histogram.values()) == stats.n_ff
+
+    def test_format(self):
+        assert (
+            format_class_histogram({"plain": 12, "EN": 4})
+            == "plain=12 EN=4"
+        )
+        assert format_class_histogram({}) == "-"
+
+    def test_cslow_collapses_to_plain(self):
+        # the before/after story the transform reports rely on
+        c = _mixed_circuit()
+        out, _ = cslow_transform(c, 2)
+        assert set(class_histogram(out)) == {"plain"}
+        assert sum(class_histogram(out).values()) == 2 * len(c.registers)

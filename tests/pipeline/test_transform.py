@@ -1,0 +1,147 @@
+"""Unit tests for the netlist-level pipeline / C-slow transforms."""
+
+import pytest
+
+from repro.netlist import Circuit, check_circuit, write_blif
+from repro.pipeline import (
+    PipelineError,
+    cslow_transform,
+    insert_pipeline_layers,
+)
+from repro.synth import build_design
+
+
+def _counter(name="ctr", en=False, sr=False, ar=False) -> Circuit:
+    c = Circuit(name)
+    clk = c.add_input("clk")
+    kwargs = {}
+    if en:
+        kwargs["en"] = c.add_input("en")
+    if sr:
+        kwargs["sr"] = c.add_input("srst")
+        kwargs["sval"] = 0
+    if ar:
+        kwargs["ar"] = c.add_input("rst")
+        kwargs["aval"] = 0
+    from repro.netlist import GateFn
+
+    q = c.new_net("q")
+    d = c.add_gate(GateFn.NOT, [q]).output
+    c.add_register(d, q=q, clk=clk, **kwargs)
+    c.add_output(q)
+    return c
+
+
+class TestInsertPipelineLayers:
+    def test_inserts_per_distinct_output(self):
+        c = build_design("C2", scale=0.4).circuit
+        distinct = len(dict.fromkeys(c.outputs))
+        out, inserted = insert_pipeline_layers(c, 3)
+        check_circuit(out)
+        assert inserted == 3 * distinct
+        assert len(out.registers) == len(c.registers) + inserted
+
+    def test_shared_output_nets_share_chains(self):
+        c = _counter()
+        c.add_output(c.outputs[0])  # same net listed twice
+        out, inserted = insert_pipeline_layers(c, 2)
+        check_circuit(out)
+        assert inserted == 2
+        assert out.outputs[0] == out.outputs[1]
+
+    def test_zero_stages_is_plain_clone(self):
+        c = build_design("C2", scale=0.3).circuit
+        out, inserted = insert_pipeline_layers(c, 0)
+        assert inserted == 0
+        assert write_blif(out) == write_blif(c)
+
+    def test_input_untouched(self):
+        c = _counter()
+        before = write_blif(c)
+        insert_pipeline_layers(c, 4)
+        assert write_blif(c) == before
+
+    def test_inserted_registers_are_plain(self):
+        c = _counter(en=True, ar=True)
+        out, _ = insert_pipeline_layers(c, 2)
+        new = [
+            r
+            for name, r in out.registers.items()
+            if name not in c.registers
+        ]
+        assert new and all(
+            not (r.has_enable or r.has_sync_reset or r.has_async_reset)
+            for r in new
+        )
+
+    def test_negative_stages_rejected(self):
+        with pytest.raises(PipelineError):
+            insert_pipeline_layers(_counter(), -1)
+
+
+class TestCSlowTransform:
+    def test_replica_counts(self):
+        c = build_design("C2", scale=0.4).circuit
+        n = len(c.registers)
+        out, counts = cslow_transform(c, 3)
+        check_circuit(out)
+        assert counts["registers_replicated"] == 2 * n
+        assert len(out.registers) == 3 * n
+
+    def test_fold_counts_match_register_shapes(self):
+        c = build_design("C5", scale=0.4).circuit
+        regs = c.registers.values()
+        _, counts = cslow_transform(c, 2)
+        assert counts["enables_folded"] == sum(
+            1 for r in regs if r.has_enable
+        )
+        assert counts["sync_resets_folded"] == sum(
+            1 for r in regs if r.has_sync_reset
+        )
+        assert counts["async_resets_folded"] == sum(
+            1 for r in regs if r.has_async_reset
+        )
+        assert counts["async_resets_folded"] > 0  # C5 exercises AR
+
+    def test_all_registers_become_plain(self):
+        c = _counter(en=True, sr=True, ar=True)
+        out, counts = cslow_transform(c, 2)
+        check_circuit(out)
+        assert counts == {
+            "registers_replicated": 1,
+            "enables_folded": 1,
+            "sync_resets_folded": 1,
+            "async_resets_folded": 1,
+        }
+        assert all(
+            not (r.has_enable or r.has_sync_reset or r.has_async_reset)
+            for r in out.registers.values()
+        )
+
+    def test_factor_one_is_plain_clone(self):
+        c = build_design("C2", scale=0.3).circuit
+        out, counts = cslow_transform(c, 1)
+        assert counts["registers_replicated"] == 0
+        assert write_blif(out) == write_blif(c)
+
+    def test_input_untouched(self):
+        c = _counter(en=True)
+        before = write_blif(c)
+        cslow_transform(c, 3)
+        assert write_blif(c) == before
+
+    def test_factor_zero_rejected(self):
+        with pytest.raises(PipelineError):
+            cslow_transform(_counter(), 0)
+
+    def test_multi_clock_rejected(self):
+        c = _counter()
+        clk2 = c.add_input("clk2")
+        from repro.netlist import GateFn
+
+        q2 = c.new_net("q2")
+        d2 = c.add_gate(GateFn.NOT, [q2]).output
+        c.add_register(d2, q=q2, clk=clk2)
+        c.add_output(q2)
+        with pytest.raises(PipelineError, match="single clock"):
+            cslow_transform(c, 2)

@@ -64,6 +64,18 @@ class TestRoutes:
         assert "# TYPE repro_jobs_submitted_total counter" in text
         assert "repro_job_latency_seconds_bucket" in text
 
+    def test_transform_job_over_http(self, server):
+        text = (DATA / "c2_small_mapped.blif").read_text()
+        record = server.retime(text, transform="cslow", factor=2)
+        assert record["state"] == "done"
+        transform = record["result"]["metrics"]["transform"]
+        assert transform["kind"] == "cslow" and transform["factor"] == 2
+
+    def test_bad_transform_factor_is_400(self, server):
+        with pytest.raises(ServiceError) as info:
+            server.retime("text", transform="cslow", factor=0)
+        assert info.value.status == 400
+
     def test_job_options_rejected_cleanly(self, server):
         with pytest.raises(ServiceError) as info:
             server.retime("text", flow="bogus")

@@ -1,0 +1,130 @@
+"""Service-layer tests for transform jobs: cache-key isolation between
+transform configs, validation, round-trips, and execution."""
+
+import pytest
+
+from repro.netlist import write_blif
+from repro.service import JOB_TRANSFORMS, RetimeJob, execute_job
+from repro.service.server import job_from_request
+from repro.synth import build_datapath
+
+TINY = """\
+.model tiny
+.inputs clk a b
+.outputs y
+.names a b n1
+11 1
+.names n1 q1 y
+10 1
+01 1
+.latch n1 q1 re clk 0
+.end
+"""
+
+
+class TestTransformKeys:
+    def test_distinct_transform_configs_never_collide(self):
+        # the cache-correctness property from the ISSUE: every distinct
+        # (transform, knob) combination must key differently
+        jobs = [
+            RetimeJob(netlist=TINY),
+            RetimeJob(netlist=TINY, transform="pipeline"),
+            RetimeJob(netlist=TINY, transform="pipeline", stages=2),
+            RetimeJob(netlist=TINY, transform="cslow"),
+            RetimeJob(netlist=TINY, transform="cslow", factor=3),
+        ]
+        keys = {job.canonical_key for job in jobs}
+        assert len(keys) == len(jobs)
+
+    def test_unused_knob_does_not_change_key(self):
+        # `stages` is a pipeline knob: on a cslow job it must be nulled
+        # out of the key (and vice versa), or caches would miss
+        a = RetimeJob(netlist=TINY, transform="cslow", factor=2, stages=1)
+        b = RetimeJob(netlist=TINY, transform="cslow", factor=2, stages=7)
+        assert a.canonical_key == b.canonical_key
+        c = RetimeJob(netlist=TINY, transform="pipeline", stages=2, factor=2)
+        d = RetimeJob(netlist=TINY, transform="pipeline", stages=2, factor=9)
+        assert c.canonical_key == d.canonical_key
+
+    def test_round_trip_preserves_key(self):
+        job = RetimeJob(
+            netlist=TINY, flow="mcretime", transform="cslow", factor=3
+        )
+        again = RetimeJob.from_dict(job.to_dict())
+        assert again.canonical_key == job.canonical_key
+        assert again.transform == "cslow" and again.factor == 3
+
+
+class TestTransformValidation:
+    def test_job_transforms_exported(self):
+        assert JOB_TRANSFORMS == ("pipeline", "cslow")
+
+    def test_unknown_transform_rejected(self):
+        with pytest.raises(ValueError):
+            RetimeJob(netlist=TINY, transform="unroll")
+
+    def test_transform_requires_compatible_flow(self):
+        with pytest.raises(ValueError):
+            RetimeJob(netlist=TINY, flow="baseline", transform="pipeline")
+
+    def test_bad_stage_and_factor_values(self):
+        with pytest.raises(ValueError):
+            RetimeJob(netlist=TINY, transform="pipeline", stages=-1)
+        with pytest.raises(ValueError):
+            RetimeJob(netlist=TINY, transform="cslow", factor=0)
+
+
+class TestHTTPRequestParsing:
+    def test_transform_fields_reach_the_job(self):
+        # regression: the POST /retime field allowlist must include the
+        # transform knobs, or the server silently runs a plain retime
+        job = job_from_request(
+            {"netlist": TINY, "transform": "cslow", "factor": 3}
+        )
+        assert job.transform == "cslow" and job.factor == 3
+        job = job_from_request(
+            {"netlist": TINY, "transform": "pipeline", "stages": 2}
+        )
+        assert job.transform == "pipeline" and job.stages == 2
+
+    def test_bad_transform_values_are_client_errors(self):
+        with pytest.raises(ValueError):
+            job_from_request(
+                {"netlist": TINY, "transform": "cslow", "factor": 0}
+            )
+
+
+class TestTransformExecution:
+    @pytest.fixture(scope="class")
+    def datapath_netlist(self):
+        return write_blif(build_datapath("NTT4").circuit)
+
+    def test_engine_cslow_job(self, datapath_netlist):
+        job = RetimeJob(
+            netlist=datapath_netlist,
+            transform="cslow",
+            factor=2,
+            verify=True,
+            verify_cycles=16,
+        )
+        result = execute_job(job)
+        assert result.ok, result.error
+        transform = result.metrics["transform"]
+        assert transform["kind"] == "cslow"
+        assert transform["throughput_gain"] > 1.0
+        assert result.metrics["verify"]["equivalent"]
+
+    def test_flow_pipeline_job(self, datapath_netlist):
+        job = RetimeJob(
+            netlist=datapath_netlist,
+            flow="retime",
+            transform="pipeline",
+            stages=2,
+            verify=True,
+            verify_cycles=16,
+        )
+        result = execute_job(job)
+        assert result.ok, result.error
+        transform = result.metrics["transform"]
+        assert transform["kind"] == "pipeline" and transform["stages"] == 2
+        assert result.metrics["verify"]["equivalent"]

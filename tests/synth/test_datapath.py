@@ -1,0 +1,170 @@
+"""Datapath primitives and designs: hypothesis round-trips against
+integer arithmetic, determinism, and structural validity."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.logic.simulate import SequentialSimulator
+from repro.logic.ternary import T0, T1
+from repro.mcretime import Classifier
+from repro.netlist import check_circuit, write_blif
+from repro.synth import (
+    DATAPATH_NAMES,
+    build_datapath,
+    datapath_spec,
+)
+from repro.synth.datapath import _DatapathBuilder
+from repro.synth.generator import DesignSpec, _Builder
+
+WIDTH = 4
+MASK = (1 << WIDTH) - 1
+
+
+def _spec(name="dp", n_inputs=2 * WIDTH):
+    return DesignSpec(
+        name=name,
+        seed=11,
+        target_ff=8,
+        target_gates=64,
+        n_classes=2,
+        has_enable=True,
+        has_async=True,
+        derived_controls=0.0,
+        n_inputs=n_inputs,
+    )
+
+
+def _operands():
+    a = [f"in{i}" for i in range(WIDTH)]
+    b = [f"in{WIDTH + i}" for i in range(WIDTH)]
+    return a, b
+
+
+class _Harness:
+    """Drive a built datapath block cycle by cycle, reading Q words."""
+
+    def __init__(self, circuit):
+        self.circuit = circuit
+        self.sim = SequentialSimulator(circuit)
+
+    def step(self, a, b, rst=0, en=1):
+        vals = {"clk": T0}
+        for i in range(WIDTH):
+            vals[f"in{i}"] = T1 if (a >> i) & 1 else T0
+            vals[f"in{WIDTH + i}"] = T1 if (b >> i) & 1 else T0
+        for net in self.circuit.inputs:
+            if net.startswith("rst"):
+                vals[net] = T1 if rst else T0
+            elif net.startswith("en"):
+                vals[net] = T1 if en else T0
+        self.sim.step(vals)
+
+    def word(self, q_nets):
+        by_q = {
+            reg.q: self.sim.state[name]
+            for name, reg in self.circuit.registers.items()
+        }
+        value = 0
+        for i, net in enumerate(q_nets):
+            bit = by_q[net]
+            assert bit in (T0, T1), (net, bit)
+            if bit == T1:
+                value |= 1 << i
+        return value
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(
+    st.tuples(st.integers(0, MASK), st.integers(0, MASK)),
+    min_size=1, max_size=24,
+))
+def test_mac_round_trip(ops):
+    builder = _Builder(_spec())
+    a_nets, b_nets = _operands()
+    acc = builder.add_mac(WIDTH, a_nets, b_nets)
+    for q in acc:
+        builder.circuit.add_output(q)
+    check_circuit(builder.circuit)
+    h = _Harness(builder.circuit)
+    h.step(0, 0, rst=1)  # flush power-up X
+    model_acc = a_reg = b_reg = 0
+    for a, b in ops:
+        h.step(a, b)
+        model_acc = (model_acc + a_reg * b_reg) & MASK
+        a_reg, b_reg = a, b
+        assert h.word(acc) == model_acc
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(
+    st.tuples(st.integers(0, MASK), st.integers(0, MASK)),
+    min_size=1, max_size=24,
+))
+def test_butterfly_round_trip(ops):
+    builder = _Builder(_spec())
+    a_nets, b_nets = _operands()
+    out = builder.add_butterfly(WIDTH, a_nets, b_nets)
+    for q in out:
+        builder.circuit.add_output(q)
+    check_circuit(builder.circuit)
+    h = _Harness(builder.circuit)
+    h.step(0, 0, rst=1)
+    a_reg = b_reg = 0
+    for a, b in ops:
+        h.step(a, b)
+        assert h.word(out[:WIDTH]) == (a_reg + b_reg) & MASK
+        assert h.word(out[WIDTH:]) == (a_reg - b_reg) & MASK
+        a_reg, b_reg = a, b
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(
+    st.tuples(st.integers(0, MASK), st.integers(0, MASK)),
+    min_size=2, max_size=24,
+))
+def test_modmul_round_trip(ops):
+    modulus = 13
+    builder = _DatapathBuilder(_spec())
+    a_nets, b_nets = _operands()
+    out = builder.add_modmul(WIDTH, modulus, a_nets, b_nets)
+    for q in out:
+        builder.circuit.add_output(q)
+    check_circuit(builder.circuit)
+    h = _Harness(builder.circuit)
+    h.step(0, 0, rst=1)
+    a_reg = b_reg = 0
+    for a, b in ops:
+        h.step(a, b)
+        # one conditional subtract of the low product: exact when
+        # p < 2*modulus, otherwise still the defined netlist function
+        p = (a_reg * b_reg) & MASK
+        t = (p + ((1 << WIDTH) - modulus)) & MASK
+        cout = 1 if p + ((1 << WIDTH) - modulus) > MASK else 0
+        assert h.word(out) == (t if cout else p)
+        a_reg, b_reg = a, b
+
+
+class TestDatapathDesigns:
+    def test_all_valid_and_deterministic(self):
+        for name in DATAPATH_NAMES:
+            first = build_datapath(name)
+            check_circuit(first.circuit)
+            assert write_blif(first.circuit) == write_blif(
+                build_datapath(name).circuit
+            )
+
+    def test_two_register_classes(self):
+        # operand regs (EN) + state/output regs (EN+AR), except MAC
+        # which puts everything on the resettable class
+        for name, expected in (("NTT4", 2), ("MAC6", 1)):
+            d = build_datapath(name)
+            assert Classifier(d.circuit).n_classes == expected, name
+
+    def test_spec_lookup_errors(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            datapath_spec("NOPE")
