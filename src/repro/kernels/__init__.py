@@ -30,7 +30,15 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-from .compiled_graph import HAVE_NUMPY, CompiledGraph, compile_graph
+from .compiled_graph import (
+    HAVE_NUMPY,
+    CompiledGraph,
+    clear_intern_seeds,
+    compile_graph,
+    graph_from_buffer,
+    intern_stats,
+    seed_intern,
+)
 from .delta import KernelSweep, delta_sweep, refresh
 from .diffsys import CompiledSystem
 from .mcf import IntMinCostFlow
@@ -118,8 +126,12 @@ __all__ = [
     "analyze_kernel",
     "broadcast",
     "check_period_kernel",
+    "clear_intern_seeds",
     "compile_circuit",
     "compile_graph",
+    "graph_from_buffer",
+    "intern_stats",
+    "seed_intern",
     "delta_sweep",
     "pack_lanes",
     "pack_vectors",

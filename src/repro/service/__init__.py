@@ -7,21 +7,27 @@ into a servable, fault-tolerant batch engine:
   and structured outcomes (:mod:`repro.service.jobs`);
 * :class:`ResultCache` — two-tier LRU-over-disk result cache
   (:mod:`repro.service.cache`);
-* :class:`RetimePool` — crash-isolated multiprocessing pool with
-  per-job timeouts and bounded retries (:mod:`repro.service.pool`);
+* :class:`RetimePool` — crash-isolated, consistent-hash-sharded
+  multiprocessing pool with per-job timeouts, bounded retries, and
+  bounded admission (:mod:`repro.service.pool` /
+  :mod:`repro.service.sharding`);
+* :class:`InternRegistry` — refcounted shared-memory design interning
+  for the scale-out dispatch path (:mod:`repro.service.interning`);
 * :class:`MetricsRegistry` — Prometheus-exportable counters and
   histograms (:mod:`repro.service.metrics`);
 * :class:`RetimeService` — the façade combining all of the above
   (:mod:`repro.service.engine`);
-* :func:`make_server` / :class:`RetimeClient` — stdlib HTTP JSON API
-  and client (:mod:`repro.service.server` / ``.client``).
+* :func:`make_server` / :class:`RetimeClient` — asyncio HTTP/1.1 JSON
+  API (keep-alive, pipelining, backpressure) and keep-alive client
+  (:mod:`repro.service.server` / ``.client``).
 
 See ``docs/SERVICE.md`` for the API and failure-semantics reference.
 """
 
 from .cache import ResultCache
-from .client import RetimeClient, ServiceError
+from .client import RetimeClient, ServiceError, ServiceOverloadedError
 from .engine import RetimeService
+from .interning import HAVE_SHM, InternRegistry, design_fingerprint, design_ref
 from .jobs import (
     JOB_FLOWS,
     JOB_TRANSFORMS,
@@ -29,26 +35,37 @@ from .jobs import (
     JobResult,
     RetimeJob,
     execute_job,
+    resolve_payload,
 )
 from .metrics import Counter, Histogram, MetricsRegistry
-from .pool import RetimePool
-from .server import make_server, serve_forever
+from .pool import PoolSaturatedError, RetimePool
+from .server import AsyncRetimeServer, make_server, serve_forever
+from .sharding import HashRing
 
 __all__ = [
+    "HAVE_SHM",
     "JOB_FLOWS",
     "JOB_TRANSFORMS",
+    "AsyncRetimeServer",
     "Counter",
+    "HashRing",
     "Histogram",
+    "InternRegistry",
     "JobFailure",
     "JobResult",
     "MetricsRegistry",
+    "PoolSaturatedError",
     "ResultCache",
     "RetimeClient",
     "RetimeJob",
     "RetimePool",
     "RetimeService",
     "ServiceError",
+    "ServiceOverloadedError",
+    "design_fingerprint",
+    "design_ref",
     "execute_job",
     "make_server",
+    "resolve_payload",
     "serve_forever",
 ]

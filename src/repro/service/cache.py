@@ -81,9 +81,20 @@ class ResultCache:
             self._remember(key, data)
         if self.cache_dir is not None:
             path = self._disk_path(key)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(json.dumps(data))
-            os.replace(tmp, path)
+            if path.exists():
+                # content-addressed: an existing entry is already this
+                # result, so concurrent re-puts skip the disk write
+                return
+            # per-writer temp name: concurrent writers of the same key
+            # must never truncate each other's in-progress temp file
+            tmp = path.with_name(
+                f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
+            try:
+                tmp.write_text(json.dumps(data))
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
 
     def _remember(self, key: str, data: dict) -> None:
         if self.memory_size == 0:

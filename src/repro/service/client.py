@@ -1,5 +1,14 @@
 """Thin stdlib client for the ``mcretime serve`` HTTP API.
 
+The client holds one persistent HTTP/1.1 connection per
+:class:`RetimeClient` (the server speaks keep-alive), so a polling
+``wait`` loop or a batch submission burst pays the TCP handshake once,
+not per request.  A request that fails on a *reused* connection — the
+server may close an idle keep-alive socket at any time — is retried
+once on a fresh connection; that retry is safe here because every API
+request is idempotent (submissions are content-addressed, so a
+duplicate ``POST /retime`` coalesces server-side).
+
 Example::
 
     client = RetimeClient("http://127.0.0.1:8117")
@@ -9,10 +18,11 @@ Example::
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
-import urllib.error
-import urllib.request
+from urllib.parse import urlsplit
 
 
 class ServiceError(RuntimeError):
@@ -23,34 +33,96 @@ class ServiceError(RuntimeError):
         self.status = status
 
 
+class ServiceOverloadedError(ServiceError):
+    """HTTP 429/503: the service shed the request under load.
+
+    ``retry_after`` carries the server's ``Retry-After`` hint in
+    seconds; back off at least that long before resubmitting.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: float = 1.0
+    ) -> None:
+        super().__init__(status, message)
+        self.retry_after = retry_after
+
+
 class RetimeClient:
-    """JSON client over :mod:`urllib` — no third-party dependencies."""
+    """JSON client over :mod:`http.client` — no third-party dependencies."""
 
     def __init__(self, base_url: str, timeout: float = 600.0) -> None:
         self.base_url = base_url.rstrip("/")
+        parts = urlsplit(self.base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parts.scheme!r}")
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or 80
         self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+        self._lock = threading.Lock()
 
     # -- transport -----------------------------------------------------
 
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on next request)."""
+        with self._lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def __enter__(self) -> "RetimeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _request(self, method: str, path: str, payload: dict | None = None):
         data = json.dumps(payload).encode() if payload is not None else None
-        req = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                body = resp.read().decode()
-                ctype = resp.headers.get("Content-Type", "")
-        except urllib.error.HTTPError as exc:
-            detail = exc.read().decode(errors="replace")
+        headers = {"Content-Type": "application/json"} if data else {}
+        with self._lock:
+            reused = self._conn is not None
+            while True:
+                if self._conn is None:
+                    self._conn = http.client.HTTPConnection(
+                        self._host, self._port, timeout=self.timeout
+                    )
+                try:
+                    self._conn.request(method, path, body=data, headers=headers)
+                    resp = self._conn.getresponse()
+                    status = resp.status
+                    body = resp.read().decode(errors="replace")
+                    ctype = resp.getheader("Content-Type", "") or ""
+                    retry_after = resp.getheader("Retry-After")
+                    if resp.getheader("Connection", "").lower() == "close":
+                        self._close_locked()
+                    break
+                except (http.client.HTTPException, ConnectionError, OSError):
+                    # a reused keep-alive socket the server closed between
+                    # requests looks like a send/recv failure — retry once
+                    # on a fresh connection; a fresh-connection failure is
+                    # a real outage and propagates
+                    self._close_locked()
+                    if not reused:
+                        raise
+                    reused = False
+        if status >= 400:
             try:
-                detail = json.loads(detail).get("error", detail)
-            except json.JSONDecodeError:
-                pass
-            raise ServiceError(exc.code, detail) from None
+                detail = json.loads(body).get("error", body)
+            except (json.JSONDecodeError, AttributeError):
+                detail = body
+            if status in (429, 503):
+                try:
+                    delay = float(retry_after) if retry_after else 1.0
+                except ValueError:
+                    delay = 1.0
+                raise ServiceOverloadedError(status, detail, retry_after=delay)
+            raise ServiceError(status, detail)
         if ctype.startswith("application/json"):
             return json.loads(body)
         return body
@@ -58,7 +130,11 @@ class RetimeClient:
     # -- API -----------------------------------------------------------
 
     def submit(self, netlist: str, **options) -> dict:
-        """``POST /retime`` without waiting; returns the job record."""
+        """``POST /retime`` without waiting; returns the job record.
+
+        Raises :class:`ServiceOverloadedError` when the service sheds
+        the submission under load (HTTP 429).
+        """
         return self._request(
             "POST", "/retime", {"netlist": netlist, **options}
         )

@@ -31,14 +31,39 @@ import time
 from pathlib import Path
 
 from .. import __version__, obs
+from ..mcretime import intern_work_graph
+from ..kernels import compile_graph
+from ..netlist import read_blif
 from .cache import ResultCache
-from .jobs import JobResult, RetimeJob
+from .client import ServiceOverloadedError
+from .interning import (
+    HAVE_SHM,
+    InternRegistry,
+    design_fingerprint,
+    design_ref,
+    warm_local,
+)
+from .jobs import _DELAY_MODELS, JobResult, RetimeJob
 from .metrics import MetricsRegistry
-from .pool import RetimePool
+from .pool import PoolSaturatedError, RetimePool
 
 
 class RetimeService:
-    """Submit/await retiming jobs against a pool with a result cache."""
+    """Submit/await retiming jobs against a pool with a result cache.
+
+    With ``scaleout`` enabled (the default wherever shared memory and
+    numpy are available), admission interns each design once — the
+    canonical BLIF text plus a pre-compiled work-graph CSR snapshot go
+    into a refcounted ``multiprocessing.shared_memory`` segment — and
+    dispatched jobs ship a design reference instead of the netlist.
+    The consistent-hash ring routes every job for one design to the
+    worker already holding its parsed circuit and attached segment,
+    ``max_pending`` bounds the admission queue (overflow raises
+    :class:`~repro.service.client.ServiceOverloadedError`, surfaced
+    over HTTP as 429 + ``Retry-After``), and ``preload`` interns
+    designs *before* the workers fork so they inherit the warm caches
+    copy-on-write.
+    """
 
     def __init__(
         self,
@@ -48,6 +73,9 @@ class RetimeService:
         job_timeout: float = 300.0,
         max_retries: int = 2,
         retry_backoff: float = 0.5,
+        max_pending: int | None = None,
+        scaleout: bool | None = None,
+        preload: list[str | Path] | None = None,
         metrics: MetricsRegistry | None = None,
         trace_dir: str | Path | None = None,
         ledger: str | Path | None = None,
@@ -80,6 +108,22 @@ class RetimeService:
         )
         self._deduped = m.counter(
             "repro_jobs_deduped_total", "Submissions coalesced onto an in-flight job"
+        )
+        self._shed = m.counter(
+            "repro_jobs_shed_total",
+            "Submissions refused by admission backpressure (HTTP 429)",
+        )
+        self._dispatched = m.counter(
+            "repro_shard_dispatched_total",
+            "Jobs dispatched to workers, labelled by shard slot",
+        )
+        self._stolen = m.counter(
+            "repro_jobs_stolen_total",
+            "Dispatches that broke shard affinity via work stealing",
+        )
+        self._queue_wait = m.histogram(
+            "repro_queue_wait_seconds",
+            "Seconds a job waited in the admission queue before dispatch",
         )
         self._latency = m.histogram(
             "repro_job_latency_seconds", "End-to-end job execution latency"
@@ -132,14 +176,63 @@ class RetimeService:
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
 
         self.cache = ResultCache(cache_dir, memory_size=cache_memory)
+
+        #: shared-memory interning is on by default wherever available;
+        #: ``scaleout=False`` forces the legacy ship-the-netlist path
+        self.scaleout = HAVE_SHM if scaleout is None else (
+            bool(scaleout) and HAVE_SHM
+        )
+        self.intern: InternRegistry | None = (
+            InternRegistry() if self.scaleout else None
+        )
+        self._intern_lock = threading.Lock()
+        if self.scaleout and preload:
+            # intern before the workers fork: they inherit the parsed
+            # circuits and compiled seeds copy-on-write
+            for path in preload:
+                self._preload_design(Path(path))
+
         self.pool = RetimePool(
             workers=workers,
             job_timeout=job_timeout,
             max_retries=max_retries,
             retry_backoff=retry_backoff,
+            max_pending=max_pending,
             on_event=self._on_pool_event,
             worker_env=worker_env,
         ).start()
+        self._pool_started_at = time.monotonic()
+
+        m.gauge(
+            "repro_pool_queue_depth",
+            "Jobs admitted but not yet dispatched to a worker",
+        ).set_function(self.pool.queue_depth)
+        m.gauge(
+            "repro_interned_designs",
+            "Designs live in the shared-memory intern registry",
+        ).set_function(lambda: len(self.intern) if self.intern else 0)
+        m.gauge(
+            "repro_intern_bytes",
+            "Bytes held by shared-memory intern segments",
+        ).set_function(
+            lambda: self.intern.total_bytes() if self.intern else 0
+        )
+        shard_depth = m.gauge(
+            "repro_shard_queue_depth", "Queued jobs per shard slot"
+        )
+        shard_util = m.gauge(
+            "repro_shard_utilization",
+            "Fraction of wall-clock each shard's worker spent executing",
+        )
+        for slot in range(self.pool.workers):
+            shard_depth.set_function(
+                lambda s=slot: self.pool.stats()["shards"][s]["depth"],
+                shard=str(slot),
+            )
+            shard_util.set_function(
+                lambda s=slot: self._shard_utilization(s), shard=str(slot)
+            )
+
         self._lock = threading.Lock()
         #: job_id -> record dict (state machine mirrored for the HTTP API)
         self._jobs: dict[str, dict] = {}
@@ -151,53 +244,161 @@ class RetimeService:
 
         Parse errors from canonicalisation propagate to the caller —
         invalid netlists are rejected before they reach a worker.
+        Raises :class:`~repro.service.client.ServiceOverloadedError`
+        when the pool's admission queue is full (backpressure).
         """
         job_id = job.canonical_key
         self._submitted.inc()
-        with self._lock:
-            record = self._jobs.get(job_id)
-            if record is not None and record["state"] != "failed":
-                if record["result"] is not None:
-                    # completed earlier this session: an in-memory hit —
-                    # re-mark the record so waiters see cached=True
-                    self._cache_hits.inc()
-                    obs.count("service.cache.hit")
-                    hit = JobResult.from_dict(record["result"].to_dict())
-                    hit.cached = True
-                    record["result"] = hit
-                    record["cached"] = True
-                else:
-                    # still queued/running: coalesce onto the in-flight job
-                    self._deduped.inc()
-                    obs.count("service.cache.dedup")
+        t0 = time.perf_counter()
+        with obs.span("service.admit", job=job_id[:16]):
+            with self._lock:
+                record = self._jobs.get(job_id)
+                if record is not None and record["state"] != "failed":
+                    if record["result"] is not None:
+                        # completed earlier this session: an in-memory hit —
+                        # re-mark the record so waiters see cached=True
+                        self._cache_hits.inc()
+                        obs.count("service.cache.hit")
+                        hit = JobResult.from_dict(record["result"].to_dict())
+                        hit.cached = True
+                        record["result"] = hit
+                        record["cached"] = True
+                        self._latency.observe(time.perf_counter() - t0)
+                    else:
+                        # still queued/running: coalesce onto the in-flight job
+                        self._deduped.inc()
+                        obs.count("service.cache.dedup")
+                    return job_id
+            cached = self.cache.get(job_id)
+            if cached is not None:
+                cached.cached = True
+                cached.job_id = job_id
+                self._cache_hits.inc()
+                obs.count("service.cache.hit")
+                # cache hits flow into the latency histogram too —
+                # otherwise a warm service reports p95 = 0.0 from an
+                # empty reservoir
+                self._latency.observe(time.perf_counter() - t0)
+                with self._lock:
+                    self._jobs[job_id] = {
+                        "state": "done",
+                        "cached": True,
+                        "submitted_at": time.time(),
+                        "result": cached,
+                        "options": job.options(),
+                    }
                 return job_id
-        cached = self.cache.get(job_id)
-        if cached is not None:
-            cached.cached = True
-            cached.job_id = job_id
-            self._cache_hits.inc()
-            obs.count("service.cache.hit")
+            self._cache_misses.inc()
+            obs.count("service.cache.miss")
+
+            shard_key = job_id
+            payload = None
+            ref = None
+            if self.scaleout:
+                ref, segment, shard_key, payload = self._intern_job(job)
             with self._lock:
                 self._jobs[job_id] = {
-                    "state": "done",
-                    "cached": True,
+                    "state": "queued",
+                    "cached": False,
                     "submitted_at": time.time(),
-                    "result": cached,
+                    "result": None,
                     "options": job.options(),
+                    "intern_ref": ref,
                 }
-            return job_id
-        self._cache_misses.inc()
-        obs.count("service.cache.miss")
-        with self._lock:
-            self._jobs[job_id] = {
-                "state": "queued",
-                "cached": False,
-                "submitted_at": time.time(),
-                "result": None,
-                "options": job.options(),
-            }
-        self.pool.submit(job_id, job)
+            try:
+                with obs.span("service.shard", job=job_id[:16]):
+                    self.pool.submit(
+                        job_id, job, shard_key=shard_key, payload=payload
+                    )
+            except PoolSaturatedError as exc:
+                self._shed.inc()
+                obs.count("service.shed")
+                with self._lock:
+                    self._jobs.pop(job_id, None)
+                if ref is not None and self.intern is not None:
+                    self.intern.release(ref)
+                raise ServiceOverloadedError(
+                    429, str(exc), retry_after=self._retry_after()
+                ) from None
         return job_id
+
+    def _intern_job(self, job: RetimeJob):
+        """Intern the job's design; returns (ref, segment, shard_key,
+        dispatch payload).  The caller owns one registry pin on *ref*,
+        released when the job reaches a terminal state."""
+        canonical = job.canonical_netlist
+        fingerprint = design_fingerprint(canonical)
+        # only the plain engine flow solves on the design's own work
+        # graph; everything else (mapped synthesis, transforms) ships
+        # text-only under the seedless variant
+        seedable = job.flow == "mcretime" and job.transform is None
+        ref = design_ref(
+            fingerprint,
+            job.resolved_delay_model() if seedable else None,
+            job.semantic_classes if seedable else False,
+        )
+        assert self.intern is not None
+        with self._intern_lock:
+            try:
+                segment = self.intern.acquire(ref)
+            except KeyError:
+                seeds = {}
+                if seedable:
+                    try:
+                        circuit = read_blif(canonical, name_hint=job.name)
+                        model = _DELAY_MODELS[job.resolved_delay_model()]
+                        work = intern_work_graph(
+                            circuit, model, job.semantic_classes
+                        )
+                        seeds[ref] = compile_graph(work)
+                    except Exception:  # noqa: BLE001
+                        # a design whose work graph can't be built still
+                        # dispatches text-only; the worker reproduces the
+                        # error as a structured, non-retried JobFailure
+                        seeds = {}
+                        obs.count("service.intern.seed_error")
+                segment = self.intern.register(ref, canonical, seeds)
+                self.intern.acquire(ref)
+        shipped = job.to_dict()
+        shipped.pop("netlist")
+        shipped["fmt"] = "blif"
+        shipped["output_fmt"] = job.resolved_output_fmt()
+        payload = {"design_ref": ref, "segment": segment, "job": shipped}
+        return ref, segment, fingerprint, payload
+
+    def _preload_design(self, path: Path) -> None:
+        """Intern one netlist file pre-fork (registry + local caches)."""
+        fmt = "verilog" if path.suffix in (".v", ".sv") else "blif"
+        job = RetimeJob(netlist=path.read_text(), fmt=fmt, name=path.stem)
+        canonical = job.canonical_netlist
+        fingerprint = design_fingerprint(canonical)
+        ref = design_ref(
+            fingerprint, job.resolved_delay_model(), job.semantic_classes
+        )
+        circuit = read_blif(canonical, name_hint=job.name)
+        model = _DELAY_MODELS[job.resolved_delay_model()]
+        seeds = {ref: compile_graph(
+            intern_work_graph(circuit, model, job.semantic_classes)
+        )}
+        assert self.intern is not None
+        self.intern.register(ref, canonical, seeds)
+        warm_local(ref, canonical, circuit=circuit, seeds=seeds)
+        obs.count("service.preload")
+
+    def _retry_after(self) -> float:
+        """Backpressure hint: expected seconds to drain one queue slot."""
+        count = self._latency.count()
+        avg = self._latency.sum() / count if count else 1.0
+        depth = self.pool.queue_depth()
+        estimate = avg * (depth + 1) / max(1, self.pool.workers)
+        return min(60.0, max(1.0, estimate))
+
+    def _shard_utilization(self, slot: int) -> float:
+        elapsed = time.monotonic() - self._pool_started_at
+        if elapsed <= 0:
+            return 0.0
+        busy = self.pool.stats()["shards"][slot]["busy_seconds"]
+        return min(1.0, busy / elapsed)
 
     def wait(self, job_id: str, timeout: float | None = None) -> JobResult:
         """Block until *job_id* completes (cache hits return at once)."""
@@ -267,8 +468,22 @@ class RetimeService:
         misses = self._cache_misses.total()
         return hits / max(hits + misses, 1)
 
+    def _release_intern_ref(self, job_id: str) -> None:
+        """Drop the job's design pin once it reaches a terminal state."""
+        if self.intern is None:
+            return
+        with self._lock:
+            record = self._jobs.get(job_id)
+            ref = record.get("intern_ref") if record else None
+            if record is not None:
+                record["intern_ref"] = None
+        if ref is not None:
+            self.intern.release(ref)
+
     def close(self) -> None:
         self.pool.close()
+        if self.intern is not None:
+            self.intern.close()
 
     def __enter__(self) -> "RetimeService":
         return self
@@ -279,6 +494,18 @@ class RetimeService:
     # -- pool event plumbing -------------------------------------------
 
     def _on_pool_event(self, kind: str, job_id: str, **info) -> None:
+        if kind == "dispatch":
+            queued = info.get("queued_seconds", 0.0)
+            self._queue_wait.observe(queued)
+            self._span_seconds.observe(
+                queued, exemplar={"run": job_id[:16]}, span="pool.dispatch"
+            )
+            self._dispatched.inc(shard=str(info.get("worker", "?")))
+            if info.get("stolen"):
+                self._stolen.inc()
+            return
+        if kind in ("done", "failed"):
+            self._release_intern_ref(job_id)
         if kind == "done":
             result: JobResult = info["result"]
             self._completed.inc()

@@ -1,0 +1,386 @@
+"""Shared-memory design interning for the scale-out serving path.
+
+The single biggest cold-job overhead in the pre-scale-out service was
+that **every worker re-did the same design-level work for every job**:
+the netlist text rode along in each dispatched payload, was re-parsed,
+re-checked, and re-interned into CSR kernel arrays — even when hundreds
+of jobs (a target-period sweep, a pipeline/C-slow config grid) touched
+the same few designs.
+
+This module makes designs first-class:
+
+* the **server** interns a design once at admission —
+  :class:`InternRegistry` packs the canonical BLIF text plus the
+  pre-compiled work-graph CSR snapshot (see
+  :func:`repro.mcretime.intern_work_graph`) into one
+  ``multiprocessing.shared_memory`` segment addressed by the design
+  fingerprint;
+* **jobs ship a key + config**, not a pickled netlist: the dispatched
+  payload carries the fingerprint and segment name;
+* **workers attach** the segment on first touch
+  (:func:`resolve_design`), decode the text, lazily parse the circuit
+  once per process, and seed the kernel intern cache
+  (:func:`repro.kernels.seed_intern`) with zero-copy views into the
+  shared mapping — four workers share one physical copy of the arrays;
+* segments are **refcounted**: the registry holds one pin per live
+  design, every in-flight job holds another, and the segment is
+  unlinked when the last reference drops (LRU eviction or service
+  shutdown).
+
+Workers spawned by ``fork`` (the Linux default) additionally inherit
+the parent's resolved-design cache copy-on-write, so designs interned
+*before* the pool starts (``RetimeService(preload=...)``) cost the
+workers nothing at all — not even the attach.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import struct
+import threading
+from collections import OrderedDict
+
+from .. import obs
+from ..kernels import HAVE_NUMPY, CompiledGraph, graph_from_buffer, seed_intern
+from ..netlist import Circuit, read_blif
+
+try:  # pragma: no cover - stdlib since 3.8, but keep the service usable
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+#: whether shared-memory interning is available on this platform
+HAVE_SHM = _shm is not None and HAVE_NUMPY
+
+_MAGIC = b"MCRI"
+
+#: serialises the resource-tracker monkeypatch in :func:`_attach`
+_ATTACH_LOCK = threading.Lock()
+
+#: distinguishes registries living in the same process
+_REGISTRY_IDS = itertools.count()
+
+
+def design_fingerprint(canonical_text: str) -> str:
+    """Content address of a canonicalised design (SHA-256 hex)."""
+    return hashlib.sha256(canonical_text.encode()).hexdigest()
+
+
+def design_ref(fingerprint: str, delay_model: str | None, semantic: bool) -> str:
+    """Registry key for one design × solver-variant combination.
+
+    Also the intern-cache prefix handed to
+    :func:`repro.mcretime.mc_retime` as ``intern_key`` (which appends
+    ``|work``).  ``delay_model=None`` names the seedless variant used
+    by flows whose work graph is not the design's own (mapped
+    synthesis, pipeline/C-slow transforms).
+    """
+    if delay_model is None:
+        return f"{fingerprint}|plain"
+    return f"{fingerprint}|{delay_model}|{'sem' if semantic else 'syn'}"
+
+
+def pack_segment(canonical_text: str, seeds: dict[str, bytes]) -> bytes:
+    """Serialise one design (text + compiled-graph buffers) for a segment."""
+    text = canonical_text.encode()
+    header = {"text": len(text), "seeds": {}}
+    blobs: list[bytes] = []
+    offset = 0
+    for variant, buf in seeds.items():
+        header["seeds"][variant] = [offset, len(buf)]
+        blobs.append(buf)
+        offset += len(buf) + ((-len(buf)) % 8)
+    head = json.dumps(header).encode()
+    parts = [_MAGIC, struct.pack("<QQ", len(head), len(text)), head, text]
+    pos = sum(len(p) for p in parts)
+    parts.append(b"\x00" * ((-pos) % 8))
+    for buf in blobs:
+        parts.append(buf)
+        parts.append(b"\x00" * ((-len(buf)) % 8))
+    return b"".join(parts)
+
+
+def unpack_segment(view: memoryview) -> tuple[str, dict[str, memoryview]]:
+    """Inverse of :func:`pack_segment`; seed buffers stay zero-copy."""
+    if bytes(view[:4]) != _MAGIC:
+        raise ValueError("not an intern segment")
+    head_len, text_len = struct.unpack("<QQ", bytes(view[4:20]))
+    header = json.loads(bytes(view[20:20 + head_len]).decode())
+    text = bytes(view[20 + head_len:20 + head_len + text_len]).decode()
+    base = 20 + head_len + text_len
+    base += (-base) % 8
+    seeds = {
+        variant: view[base + off:base + off + length]
+        for variant, (off, length) in header["seeds"].items()
+    }
+    return text, seeds
+
+
+def _attach(name: str):
+    """Attach an existing segment without resource-tracker ownership.
+
+    Before 3.13 an attaching process registers the segment with its
+    ``resource_tracker`` unconditionally.  Forked workers (the Linux
+    default) share the parent's tracker, so that duplicate register is
+    a harmless set-add and must NOT be unregistered — doing so would
+    drop the parent's own entry.  Under ``spawn``/``forkserver`` the
+    worker has a private tracker that would unlink the segment at
+    worker exit — yanking the mapping out from under everyone — so
+    there the unregister workaround applies.  3.13 grew ``track=False``
+    and needs neither.
+    """
+    try:
+        return _shm.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - python < 3.13
+        # suppress the attach-side register entirely (cpython #82300):
+        # attach-then-unregister loses to pipe-write races against the
+        # creator's eventual unlink-unregister
+        from multiprocessing import resource_tracker
+
+        with _ATTACH_LOCK:
+            original = resource_tracker.register
+            resource_tracker.register = lambda *_args: None
+            try:
+                return _shm.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original
+
+
+class _Design:
+    """Server-side record of one interned design variant."""
+
+    __slots__ = ("ref", "segment", "shm", "refs", "bytes")
+
+    def __init__(self, ref, segment, shm, size) -> None:
+        self.ref = ref
+        self.segment = segment
+        self.shm = shm
+        self.refs = 1  # the registry's own pin
+        self.bytes = size
+
+
+class InternRegistry:
+    """Refcounted shared-memory segments for interned designs.
+
+    One registry per serving process.  ``max_designs`` bounds the LRU
+    of registry-pinned designs; an evicted design's segment survives
+    until its last in-flight job releases it.
+    """
+
+    def __init__(self, max_designs: int = 256) -> None:
+        if not HAVE_SHM:  # pragma: no cover - platform fallback
+            raise RuntimeError("shared-memory interning unavailable")
+        self.max_designs = max(1, max_designs)
+        self._designs: OrderedDict[str, _Design] = OrderedDict()
+        self._lock = threading.Lock()
+        # The prefix must be unique per *registry*, not just per process:
+        # two services in one process (common in tests) would otherwise
+        # reclaim and unlink each other's live segments.
+        self._prefix = f"mcri{os.getpid():x}r{next(_REGISTRY_IDS):x}"
+        self.interned = 0
+        self.evicted = 0
+
+    # -- registration (server side) ------------------------------------
+
+    def segment_name(self, ref: str) -> str:
+        digest = hashlib.blake2b(ref.encode(), digest_size=10).hexdigest()
+        return f"{self._prefix}_{digest}"
+
+    def register(
+        self,
+        ref: str,
+        canonical_text: str,
+        seeds: dict[str, CompiledGraph] | None = None,
+    ) -> str:
+        """Intern *canonical_text* under *ref*; returns the segment name.
+
+        Idempotent per ref — repeated registrations of a live design
+        variant just refresh its LRU position.
+        """
+        with self._lock:
+            known = self._designs.get(ref)
+            if known is not None:
+                self._designs.move_to_end(ref)
+                return known.segment
+        with obs.span("service.intern", design=ref[:12]):
+            payload = pack_segment(
+                canonical_text,
+                {k: cg.to_buffer() for k, cg in (seeds or {}).items()},
+            )
+            name = self.segment_name(ref)
+            try:
+                shm = _shm.SharedMemory(name=name, create=True, size=len(payload))
+            except FileExistsError:
+                # a previous incarnation leaked it; reclaim
+                stale = _attach(name)
+                stale.close()
+                try:
+                    stale.unlink()
+                except FileNotFoundError:  # pragma: no cover - raced
+                    pass
+                shm = _shm.SharedMemory(name=name, create=True, size=len(payload))
+            shm.buf[: len(payload)] = payload
+        evict: list[_Design] = []
+        with self._lock:
+            self._designs[ref] = _Design(ref, name, shm, len(payload))
+            self.interned += 1
+            obs.count("service.intern.designs")
+            while len(self._designs) > self.max_designs:
+                # evict the oldest design no in-flight job still pins;
+                # evicting a pinned one would orphan its refcount and
+                # leak the segment (the pin's release could no longer
+                # find it).  In-flight pins are bounded by the pool's
+                # admission limit, so the transient overshoot is too.
+                victim = next(
+                    (
+                        r
+                        for r, d in self._designs.items()
+                        if r != ref and d.refs <= 1
+                    ),
+                    None,
+                )
+                if victim is None:
+                    break
+                old = self._designs.pop(victim)
+                self.evicted += 1
+                old.refs -= 1
+                evict.append(old)
+        for old in evict:
+            self._unlink(old)
+        return name
+
+    # -- refcounting (one ref per in-flight job) -----------------------
+
+    def acquire(self, ref: str) -> str:
+        """Pin a design for an in-flight job; returns the segment name."""
+        with self._lock:
+            design = self._designs.get(ref)
+            if design is None:
+                raise KeyError(f"design {ref[:12]} is not interned")
+            design.refs += 1
+            return design.segment
+
+    def release(self, ref: str) -> None:
+        """Drop one job pin (no-op for already-evicted designs)."""
+        gone: _Design | None = None
+        with self._lock:
+            design = self._designs.get(ref)
+            if design is None:
+                return
+            design.refs -= 1
+            if design.refs <= 0:
+                del self._designs[ref]
+                gone = design
+        if gone is not None:
+            self._unlink(gone)
+
+    def _unlink(self, design: _Design) -> None:
+        try:
+            design.shm.close()
+            design.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._designs)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(d.bytes for d in self._designs.values())
+
+    def close(self) -> None:
+        """Unlink every live segment (service shutdown)."""
+        with self._lock:
+            designs = list(self._designs.values())
+            self._designs.clear()
+        for design in designs:
+            self._unlink(design)
+
+
+# ---------------------------------------------------------------------------
+# worker side: attach-once design cache
+# ---------------------------------------------------------------------------
+
+
+class ResolvedDesign:
+    """A design variant as seen by one worker process."""
+
+    __slots__ = ("ref", "text", "circuit", "shm", "seed_variants")
+
+    def __init__(self, ref, text, shm, seed_variants) -> None:
+        self.ref = ref
+        self.text = text
+        self.circuit: Circuit | None = None
+        self.shm = shm  # keeps the zero-copy seed views mapped
+        self.seed_variants = seed_variants
+
+
+#: design ref -> resolved design; inherited copy-on-write by forked
+#: workers when populated before the pool starts
+_LOCAL: OrderedDict[str, ResolvedDesign] = OrderedDict()
+_LOCAL_MAX = 128
+_LOCAL_LOCK = threading.Lock()
+
+
+def resolve_design(ref: str, segment: str | None = None) -> ResolvedDesign:
+    """The worker-side lookup: cache hit, else attach + seed interns."""
+    with _LOCAL_LOCK:
+        found = _LOCAL.get(ref)
+        if found is not None:
+            _LOCAL.move_to_end(ref)
+            obs.count("service.intern.local_hit")
+            return found
+    if segment is None or not HAVE_SHM:
+        raise KeyError(f"design {ref[:12]} not in the local cache")
+    with obs.span("service.intern.attach", design=ref[:12]):
+        shm = _attach(segment)
+        text, seeds = unpack_segment(shm.buf)
+        for variant, view in seeds.items():
+            seed_intern(f"{variant}|work", graph_from_buffer(view))
+        resolved = ResolvedDesign(ref, text, shm, tuple(seeds))
+        obs.count("service.intern.attach")
+    with _LOCAL_LOCK:
+        _LOCAL[ref] = resolved
+        _LOCAL.move_to_end(ref)
+        while len(_LOCAL) > _LOCAL_MAX:
+            _ref, old = _LOCAL.popitem(last=False)
+            if old.shm is not None:
+                old.shm.close()
+    return resolved
+
+
+def warm_local(
+    ref: str,
+    text: str,
+    circuit: Circuit | None = None,
+    seeds: dict[str, CompiledGraph] | None = None,
+) -> None:
+    """Populate the local cache directly (pre-fork warm-up path)."""
+    resolved = ResolvedDesign(ref, text, None, tuple(seeds or ()))
+    resolved.circuit = circuit
+    for variant, cg in (seeds or {}).items():
+        seed_intern(f"{variant}|work", cg)
+    with _LOCAL_LOCK:
+        _LOCAL[ref] = resolved
+        _LOCAL.move_to_end(ref)
+
+
+def resolved_circuit(design: ResolvedDesign, name: str) -> Circuit:
+    """Parse (once per process) and cache the design's circuit."""
+    if design.circuit is None:
+        design.circuit = read_blif(design.text, name_hint=name)
+    return design.circuit
+
+
+def clear_local() -> None:
+    """Drop the worker-side cache (tests)."""
+    with _LOCAL_LOCK:
+        designs = list(_LOCAL.values())
+        _LOCAL.clear()
+    for design in designs:
+        if design.shm is not None:
+            design.shm.close()

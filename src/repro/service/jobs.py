@@ -204,16 +204,27 @@ class RetimeJob:
         }
 
     @cached_property
+    def canonical_netlist(self) -> str:
+        """The canonicalised BLIF emission of the parsed netlist.
+
+        The design-level content address: two sources that differ only
+        in whitespace, comments, or syntax variants (``.latch`` vs
+        ``.mcff``) — or even in source format — emit identical text.
+        The scale-out serving path interns this text into shared memory
+        once per design (:mod:`repro.service.interning`).
+        """
+        circuit = _parse(self.netlist, self.fmt, self.name)
+        return _emit(circuit, "blif")
+
+    @cached_property
     def canonical_key(self) -> str:
         """Content-addressed job key (SHA-256 hex).
 
-        Canonicalisation parses the netlist and re-emits it as BLIF, so
-        the key is invariant under whitespace, comments, and syntax
-        variants (``.latch`` vs ``.mcff``).  Parse errors propagate to
-        the submitter, which doubles as early input validation.
+        The hash of :attr:`canonical_netlist` plus the sorted JSON of
+        the execution options.  Parse errors propagate to the
+        submitter, which doubles as early input validation.
         """
-        circuit = _parse(self.netlist, self.fmt, self.name)
-        payload = _emit(circuit, "blif") + "\n" + json.dumps(
+        payload = self.canonical_netlist + "\n" + json.dumps(
             self.options(), sort_keys=True
         )
         return hashlib.sha256(payload.encode()).hexdigest()
@@ -328,11 +339,31 @@ def _flow_metrics(flow: FlowResult) -> dict[str, object]:
     return metrics
 
 
-def execute_job(job: RetimeJob) -> JobResult:
+def execute_job(
+    job: RetimeJob,
+    *,
+    job_id: str | None = None,
+    circuit: Circuit | None = None,
+    intern_key: str | None = None,
+) -> JobResult:
     """Run *job* to completion (worker-side entry point).
 
     Raises on deterministic errors (parse failures, invalid circuits);
     the pool records those as immediate failures without retrying.
+
+    Args:
+        job: the job to execute.
+        job_id: the job's content key, when the submitter already
+            computed it — saves the worker a parse + re-emit.
+        circuit: a pre-parsed circuit for ``job.netlist`` (scale-out
+            path: the worker's per-design cache).  The circuit is never
+            mutated, so one parsed instance serves every job touching
+            the design.
+        intern_key: design ref whose pre-compiled work-graph CSR
+            snapshot is seeded in this process
+            (:func:`repro.kernels.seed_intern`); forwarded to
+            :func:`repro.mcretime.mc_retime`.  Results are
+            bit-identical with or without it.
     """
     if job.flow == "__crash__":
         # simulate a segfault/OOM kill: bypass all Python cleanup
@@ -342,15 +373,16 @@ def execute_job(job: RetimeJob) -> JobResult:
         while True:  # pragma: no cover - killed by the pool
             time.sleep(60)
 
+    key = job_id or job.canonical_key
     t0 = time.perf_counter()
-    with obs.job_trace(job.canonical_key) as tracer:
-        metrics = _run_flow(job)
+    with obs.job_trace(key) as tracer:
+        metrics = _run_flow(job, key, circuit=circuit, intern_key=intern_key)
         if tracer is not None:
             metrics["obs"] = tracer.snapshot()
     out_circuit = metrics.pop("_circuit")
     out_fmt = job.resolved_output_fmt()
     return JobResult(
-        job_id=job.canonical_key,
+        job_id=key,
         status="done",
         output=_emit(out_circuit, out_fmt),
         output_fmt=out_fmt,
@@ -359,14 +391,51 @@ def execute_job(job: RetimeJob) -> JobResult:
     )
 
 
-def _run_flow(job: RetimeJob) -> dict:
+def resolve_payload(payload: dict) -> tuple[RetimeJob, dict]:
+    """Rebuild a job from a scale-out dispatch payload (worker side).
+
+    A scale-out payload ships a design reference instead of the netlist
+    text: ``{"design_ref": ref, "segment": name, "job": {fields minus
+    netlist}}``.  The worker resolves the design through its attach-once
+    cache (:func:`repro.service.interning.resolve_design`) and returns
+    the reconstituted job plus the keyword arguments for
+    :func:`execute_job` — a cached parsed circuit and, when the segment
+    carries a compiled work-graph seed for this ref, the intern key.
+
+    The shipped job dict must carry a resolved ``output_fmt``: the
+    reconstituted job's source is always canonical BLIF, so the input
+    format of the original submission is not recoverable here.
+    """
+    from .interning import resolve_design, resolved_circuit
+
+    ref = payload["design_ref"]
+    design = resolve_design(ref, payload.get("segment"))
+    fields = dict(payload["job"])
+    fields["netlist"] = design.text
+    fields["fmt"] = "blif"
+    job = RetimeJob(**fields)
+    kwargs: dict = {}
+    if job.flow == "mcretime" and job.transform is None:
+        kwargs["circuit"] = resolved_circuit(design, job.name)
+        if ref in design.seed_variants:
+            kwargs["intern_key"] = ref
+    return job, kwargs
+
+
+def _run_flow(
+    job: RetimeJob,
+    key: str,
+    circuit: Circuit | None = None,
+    intern_key: str | None = None,
+) -> dict:
     """Execute the job's flow; returns its metrics dict (the output
     circuit rides along under the ``_circuit`` key)."""
-    with obs.span("job.execute", flow=job.flow, job=job.canonical_key[:16]):
-        circuit = _parse(job.netlist, job.fmt, job.name)
+    with obs.span("job.execute", flow=job.flow, job=key[:16]):
+        if circuit is None:
+            circuit = _parse(job.netlist, job.fmt, job.name)
         check_circuit(circuit)
         model = _DELAY_MODELS[job.resolved_delay_model()]
-        metrics = _dispatch_flow(job, circuit, model)
+        metrics = _dispatch_flow(job, circuit, model, intern_key=intern_key)
         if job.verify:
             _verify_output(job, circuit, metrics)
     return metrics
@@ -491,7 +560,9 @@ def _dispatch_transform(job: RetimeJob, circuit: Circuit, model) -> dict:
     return metrics
 
 
-def _dispatch_flow(job: RetimeJob, circuit: Circuit, model) -> dict:
+def _dispatch_flow(
+    job: RetimeJob, circuit: Circuit, model, intern_key: str | None = None
+) -> dict:
     if job.transform is not None:
         return _dispatch_transform(job, circuit, model)
     if job.flow == "mcretime":
@@ -501,6 +572,7 @@ def _dispatch_flow(job: RetimeJob, circuit: Circuit, model) -> dict:
             target_period=job.target_period,
             objective=job.objective,
             semantic_classes=job.semantic_classes,
+            intern_key=intern_key,
         )
         out_circuit = result.circuit
         check_circuit(out_circuit)

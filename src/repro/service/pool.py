@@ -1,4 +1,4 @@
-"""Crash-isolated multiprocessing worker pool for retiming jobs.
+"""Crash-isolated, sharded multiprocessing worker pool for retiming jobs.
 
 Design points:
 
@@ -11,6 +11,23 @@ Design points:
   hard ``os._exit``/segfault can swallow the in-flight bookkeeping.)
   All queues are ``SimpleQueue``s — writes land in the pipe before
   ``put`` returns, no feeder threads anywhere.
+* **Workers are shard slots.**  Slot *i* owns the keyspace region the
+  consistent-hash ring (:class:`~repro.service.sharding.HashRing`)
+  assigns to shard *i*; a job's ``shard_key`` (the design fingerprint)
+  routes all work on one design to the worker that already holds its
+  parsed circuit and attached intern segment.  A crashed worker is
+  respawned *into the same slot*, so churn doesn't reshuffle the
+  keyspace.  An idle worker with an empty home queue steals from the
+  deepest backlog — affinity is a fast path, not a straitjacket.
+* **Bounded admission.**  ``max_pending`` caps the queued-not-running
+  backlog; :meth:`RetimePool.submit` raises
+  :class:`PoolSaturatedError` instead of queueing unboundedly, and the
+  service layer turns that into an HTTP 429 with ``Retry-After``.
+* **Event-driven dispatch.**  A dedicated drain thread blocks on the
+  result pipe and completed jobs wake the supervisor immediately, so
+  dispatch latency is microseconds, not a poll interval.  (The
+  supervisor still ticks every 50 ms as a fallback to reap corpses,
+  enforce timeouts, and release backoff retries.)
 * **Crash isolation.**  A segfault, OOM kill, or injected ``os._exit``
   takes down only the job its worker was holding.  The supervisor
   reaps the corpse, respawns a replacement, and requeues the job (with
@@ -39,9 +56,27 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 
-from .jobs import JobFailure, JobResult, RetimeJob, execute_job
+from .jobs import JobFailure, JobResult, RetimeJob, execute_job, resolve_payload
+from .sharding import DEFAULT_VNODES, HashRing
 
+#: fallback supervisor tick — corpse reaping, timeout enforcement, and
+#: retry release run at least this often; dispatch itself is event-driven
 _POLL_INTERVAL = 0.05
+
+
+class PoolSaturatedError(RuntimeError):
+    """``submit`` refused a job: the admission queue is full.
+
+    The service layer maps this to HTTP 429 + ``Retry-After``; batch
+    callers should back off and resubmit.
+    """
+
+    def __init__(self, pending: int, limit: int) -> None:
+        super().__init__(
+            f"admission queue full ({pending} pending, limit {limit})"
+        )
+        self.pending = pending
+        self.limit = limit
 
 
 def _worker_main(task_q, result_q, env=None) -> None:
@@ -52,6 +87,12 @@ def _worker_main(task_q, result_q, env=None) -> None:
     (``REPRO_TRACE_DIR`` / ``REPRO_TRACE_SPANS``) across the process
     boundary; the trace id itself is the job's canonical key, carried by
     the job payload.
+
+    Payloads come in two shapes: a legacy full job dict (carries the
+    ``netlist`` text) and a scale-out reference
+    (``{"design_ref", "segment", "job"}``) resolved through the
+    worker's shared-memory design cache — see
+    :func:`~repro.service.jobs.resolve_payload`.
     """
     if env:
         os.environ.update(env)
@@ -61,8 +102,11 @@ def _worker_main(task_q, result_q, env=None) -> None:
             return
         job_id, attempt, payload = item
         try:
-            result = execute_job(RetimeJob.from_dict(payload))
-            result.job_id = job_id
+            if "design_ref" in payload:
+                job, kwargs = resolve_payload(payload)
+            else:
+                job, kwargs = RetimeJob.from_dict(payload), {}
+            result = execute_job(job, job_id=job_id, **kwargs)
             result_q.put(("done", os.getpid(), job_id, attempt, result.to_dict()))
         except BaseException as exc:  # noqa: BLE001 - report, don't die
             info = {
@@ -78,38 +122,55 @@ class _Entry:
     """Supervisor-side bookkeeping for one submitted job."""
 
     job: RetimeJob
+    shard: int = 0
+    #: scale-out dispatch payload; ``None`` ships the full job dict
+    payload: dict | None = None
     state: str = "queued"  # queued | running | retrying | done | failed
     attempts: int = 0
     result: JobResult | None = None
     event: threading.Event = field(default_factory=threading.Event)
-    submitted_at: float = field(default_factory=time.time)
+    submitted_at: float = field(default_factory=time.monotonic)
 
 
 @dataclass
 class _Worker:
-    """One worker process plus its private dispatch queue."""
+    """One worker process bound to a shard slot."""
 
+    slot: int
     proc: mp.Process
     task_q: object
     #: (job_id, attempt, dispatch_monotonic) while busy, else None
     held: tuple[str, int, float] | None = None
 
 
+@dataclass
+class _ShardStats:
+    """Cumulative per-slot dispatch accounting (for metrics)."""
+
+    dispatched: int = 0
+    stolen: int = 0
+    busy_seconds: float = 0.0
+
+
 class RetimePool:
-    """Supervised pool of retiming workers with retry/timeout policy.
+    """Supervised pool of sharded retiming workers with retry/timeout
+    policy and bounded admission.
 
     Args:
-        workers: process count (default ``os.cpu_count()``).
+        workers: process count (default ``os.cpu_count()``); also the
+            shard count of the consistent-hash ring.
         job_timeout: seconds a single execution may run before the
             worker is killed and the job retried.
         max_retries: crash/timeout retries per job after the first
             attempt (total attempts = ``max_retries + 1``).
         retry_backoff: base delay before a retry; attempt *n* waits
             ``retry_backoff * 2**(n-1)`` seconds.
+        max_pending: bound on the queued-not-yet-dispatched backlog;
+            ``None`` admits unboundedly (the legacy behaviour).
         on_event: optional callback ``(kind, job_id, **info)`` invoked
-            from the supervisor thread for ``done`` / ``failed`` /
-            ``retry`` / ``timeout`` / ``crash`` events — the service
-            layer hangs its metrics off this.
+            from the supervisor threads for ``done`` / ``failed`` /
+            ``retry`` / ``timeout`` / ``crash`` / ``dispatch`` events —
+            the service layer hangs its metrics off this.
         worker_env: environment variables applied in every worker
             process before it takes jobs (tracing configuration).
     """
@@ -120,6 +181,7 @@ class RetimePool:
         job_timeout: float = 300.0,
         max_retries: int = 2,
         retry_backoff: float = 0.5,
+        max_pending: int | None = None,
         on_event=None,
         worker_env: dict[str, str] | None = None,
     ) -> None:
@@ -127,25 +189,39 @@ class RetimePool:
         self.job_timeout = job_timeout
         self.max_retries = max(0, max_retries)
         self.retry_backoff = retry_backoff
+        self.max_pending = max_pending
         self._on_event = on_event
         self._worker_env = dict(worker_env or {})
         self._ctx = mp.get_context()
         self._result_q = self._ctx.SimpleQueue()
+        self._ring = HashRing(self.workers, DEFAULT_VNODES)
         self._entries: dict[str, _Entry] = {}
-        self._workers: dict[int, _Worker] = {}
-        self._pending: deque[tuple[str, int]] = deque()  # (job_id, attempt)
+        self._slots: list[_Worker | None] = [None] * self.workers
+        self._by_pid: dict[int, _Worker] = {}
+        #: per-shard FIFO of (job_id, attempt)
+        self._queues: list[deque[tuple[str, int]]] = [
+            deque() for _ in range(self.workers)
+        ]
+        self._pending_total = 0
+        self._shard_stats = [_ShardStats() for _ in range(self.workers)]
         self._retry_heap: list[tuple[float, str]] = []
         self._lock = threading.Lock()
         self._stop = threading.Event()
+        self._wake = threading.Event()
         self._supervisor: threading.Thread | None = None
+        self._drainer: threading.Thread | None = None
 
     # -- lifecycle -----------------------------------------------------
 
     def start(self) -> "RetimePool":
         if self._supervisor is not None:
             return self
-        for _ in range(self.workers):
-            self._spawn_worker()
+        for slot in range(self.workers):
+            self._spawn_worker(slot)
+        self._drainer = threading.Thread(
+            target=self._drain_loop, name="retime-pool-drain", daemon=True
+        )
+        self._drainer.start()
         self._supervisor = threading.Thread(
             target=self._supervise, name="retime-pool-supervisor", daemon=True
         )
@@ -157,19 +233,25 @@ class RetimePool:
         if self._supervisor is None:
             return
         self._stop.set()
+        self._wake.set()
+        self._result_q.put(None)  # unblock the drain thread
         self._supervisor.join(timeout=timeout)
-        for worker in self._workers.values():
+        if self._drainer is not None:
+            self._drainer.join(timeout=timeout)
+        workers = [w for w in self._slots if w is not None]
+        for worker in workers:
             try:
                 worker.task_q.put(None)
             except (OSError, ValueError):
                 pass
         deadline = time.monotonic() + timeout
-        for worker in self._workers.values():
+        for worker in workers:
             worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
             if worker.proc.is_alive():
                 worker.proc.kill()
                 worker.proc.join(timeout=1.0)
-        self._workers.clear()
+        self._slots = [None] * self.workers
+        self._by_pid.clear()
 
     def __enter__(self) -> "RetimePool":
         return self.start()
@@ -179,18 +261,45 @@ class RetimePool:
 
     # -- submission API ------------------------------------------------
 
-    def submit(self, job_id: str, job: RetimeJob) -> None:
-        """Queue *job* under *job_id* (in-flight ids coalesce)."""
+    def shard_for(self, shard_key: str) -> int:
+        """The home shard the ring assigns to *shard_key*."""
+        return self._ring.shard(shard_key)
+
+    def submit(
+        self,
+        job_id: str,
+        job: RetimeJob,
+        shard_key: str | None = None,
+        payload: dict | None = None,
+    ) -> int:
+        """Queue *job* under *job_id*; returns its home shard.
+
+        In-flight ids coalesce.  *shard_key* (typically the design
+        fingerprint) routes the job; it defaults to the job id, which
+        still spreads uniformly but loses design affinity.  *payload*
+        replaces the dispatched job dict with a scale-out design
+        reference.  Raises :class:`PoolSaturatedError` when the
+        admission queue is at ``max_pending``.
+        """
         if self._supervisor is None:
             raise RuntimeError("pool is not started")
+        shard = self._ring.shard(shard_key if shard_key is not None else job_id)
         with self._lock:
             entry = self._entries.get(job_id)
             if entry is not None and not entry.event.is_set():
-                return  # already queued or running: coalesce
-            entry = _Entry(job=job)
+                return entry.shard  # already queued or running: coalesce
+            if (
+                self.max_pending is not None
+                and self._pending_total >= self.max_pending
+            ):
+                raise PoolSaturatedError(self._pending_total, self.max_pending)
+            entry = _Entry(job=job, shard=shard, payload=payload)
             entry.attempts = 1
             self._entries[job_id] = entry
-            self._pending.append((job_id, 1))
+            self._queues[shard].append((job_id, 1))
+            self._pending_total += 1
+        self._wake.set()
+        return shard
 
     def wait(self, job_id: str, timeout: float | None = None) -> JobResult:
         """Block until *job_id* finishes; raises ``TimeoutError``."""
@@ -211,18 +320,52 @@ class RetimePool:
             self.submit(job_id, job)
         return {job_id: self.wait(job_id) for job_id in jobs}
 
+    # -- introspection -------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet dispatched to a worker."""
+        with self._lock:
+            return self._pending_total
+
+    def stats(self) -> dict:
+        """Admission/queue/shard snapshot for the metrics endpoint."""
+        with self._lock:
+            shards = []
+            for slot in range(self.workers):
+                worker = self._slots[slot]
+                st = self._shard_stats[slot]
+                busy = worker.held[2] if worker is not None and worker.held else None
+                extra = time.monotonic() - busy if busy is not None else 0.0
+                shards.append(
+                    {
+                        "depth": len(self._queues[slot]),
+                        "busy": busy is not None,
+                        "dispatched": st.dispatched,
+                        "stolen": st.stolen,
+                        "busy_seconds": st.busy_seconds + extra,
+                    }
+                )
+            return {
+                "workers": self.workers,
+                "pending": self._pending_total,
+                "max_pending": self.max_pending,
+                "shards": shards,
+            }
+
     # -- supervisor ----------------------------------------------------
 
-    def _spawn_worker(self) -> None:
+    def _spawn_worker(self, slot: int) -> None:
         task_q = self._ctx.SimpleQueue()
         proc = self._ctx.Process(
             target=_worker_main,
             args=(task_q, self._result_q, self._worker_env),
             daemon=True,
-            name="retime-worker",
+            name=f"retime-worker-{slot}",
         )
         proc.start()
-        self._workers[proc.pid] = _Worker(proc=proc, task_q=task_q)
+        worker = _Worker(slot=slot, proc=proc, task_q=task_q)
+        self._slots[slot] = worker
+        self._by_pid[proc.pid] = worker
 
     def _emit(self, kind: str, job_id: str, **info) -> None:
         if self._on_event is not None:
@@ -233,58 +376,121 @@ class RetimePool:
 
     def _supervise(self) -> None:
         while not self._stop.is_set():
-            drained = self._drain_results()
+            self._wake.wait(_POLL_INTERVAL)
+            self._wake.clear()
             self._reap_dead_workers()
             self._enforce_timeouts()
             self._release_retries()
             self._dispatch()
-            if not drained:
-                time.sleep(_POLL_INTERVAL)
+
+    def _drain_loop(self) -> None:
+        """Block on the result pipe; completions don't wait for a tick."""
+        while True:
+            item = self._result_q.get()
+            if item is None or self._stop.is_set():
+                return
+            self._handle_result(*item)
+            self._wake.set()
+
+    def _next_for_slot(self, slot: int):
+        """Pop the next queued job for *slot* (home queue, else steal).
+
+        Caller holds the lock.  Returns ``(job_id, attempt, stolen,
+        home_shard)`` or ``None``.
+        """
+        queue = self._queues[slot]
+        if queue:
+            self._pending_total -= 1
+            job_id, attempt = queue.popleft()
+            return job_id, attempt, False, slot
+        victim = max(
+            range(self.workers), key=lambda s: len(self._queues[s])
+        )
+        if self._queues[victim]:
+            self._pending_total -= 1
+            job_id, attempt = self._queues[victim].popleft()
+            return job_id, attempt, True, victim
+        return None
 
     def _dispatch(self) -> None:
         """Hand pending jobs to idle workers, recording the assignment
         before the worker can possibly start executing."""
-        idle = [w for w in self._workers.values() if w.held is None]
-        while idle:
+        while True:
             with self._lock:
-                if not self._pending:
+                if self._pending_total == 0:
                     return
-                job_id, attempt = self._pending.popleft()
+                idle = [
+                    w
+                    for w in self._slots
+                    if w is not None
+                    and w.held is None
+                    and w.proc.is_alive()
+                ]
+                assignment = None
+                # pass 1: home-queue dispatch (cache affinity)
+                for worker in idle:
+                    if self._queues[worker.slot]:
+                        assignment = (worker, self._next_for_slot(worker.slot))
+                        break
+                # pass 2: no idle worker has home work — steal
+                if assignment is None:
+                    for worker in idle:
+                        item = self._next_for_slot(worker.slot)
+                        if item is not None:
+                            assignment = (worker, item)
+                            break
+                if assignment is None:
+                    return
+                worker, (job_id, attempt, stolen, home) = assignment
                 entry = self._entries.get(job_id)
                 if entry is None or entry.event.is_set():
-                    continue
+                    continue  # stale queue entry; pick again
                 entry.state = "running"
                 entry.attempts = attempt
-                payload = entry.job.to_dict()
-            worker = idle.pop()
-            worker.held = (job_id, attempt, time.monotonic())
-            worker.task_q.put((job_id, attempt, payload))
-
-    def _drain_results(self) -> bool:
-        drained = False
-        while not self._result_q.empty():
-            kind, pid, job_id, attempt, payload = self._result_q.get()
-            drained = True
-            worker = self._workers.get(pid)
-            if worker is not None and worker.held and worker.held[0] == job_id:
-                worker.held = None
-            with self._lock:
-                entry = self._entries.get(job_id)
-            if entry is None:
-                continue
-            if kind == "done":
-                result = JobResult.from_dict(payload)
-                result.attempts = attempt
-                self._finish(entry, job_id, result)
-            else:  # deterministic Python-level failure: no retry
-                result = JobResult(
-                    job_id=job_id,
-                    status="failed",
-                    error=JobFailure(**payload),
-                    attempts=attempt,
+                payload = (
+                    entry.payload
+                    if entry.payload is not None
+                    else entry.job.to_dict()
                 )
-                self._finish(entry, job_id, result)
-        return drained
+                queued_s = time.monotonic() - entry.submitted_at
+                worker.held = (job_id, attempt, time.monotonic())
+                stats = self._shard_stats[worker.slot]
+                stats.dispatched += 1
+                if stolen:
+                    stats.stolen += 1
+            worker.task_q.put((job_id, attempt, payload))
+            self._emit(
+                "dispatch",
+                job_id,
+                shard=home,
+                worker=worker.slot,
+                stolen=stolen,
+                queued_seconds=queued_s,
+            )
+
+    def _handle_result(self, kind, pid, job_id, attempt, payload) -> None:
+        with self._lock:
+            worker = self._by_pid.get(pid)
+            if worker is not None and worker.held and worker.held[0] == job_id:
+                self._shard_stats[worker.slot].busy_seconds += (
+                    time.monotonic() - worker.held[2]
+                )
+                worker.held = None
+            entry = self._entries.get(job_id)
+        if entry is None:
+            return
+        if kind == "done":
+            result = JobResult.from_dict(payload)
+            result.attempts = attempt
+            self._finish(entry, job_id, result)
+        else:  # deterministic Python-level failure: no retry
+            result = JobResult(
+                job_id=job_id,
+                status="failed",
+                error=JobFailure(**payload),
+                attempts=attempt,
+            )
+            self._finish(entry, job_id, result)
 
     def _finish(self, entry: _Entry, job_id: str, result: JobResult) -> None:
         if entry.event.is_set():
@@ -292,19 +498,34 @@ class RetimePool:
         with self._lock:
             entry.result = result
             entry.state = result.status
-        entry.event.set()
+        # observers (cache/ledger/metrics writes) run BEFORE waiters
+        # wake: a client that saw the job finish must find its side
+        # effects already durable
         self._emit(result.status, job_id, result=result)
+        entry.event.set()
 
     def _reap_dead_workers(self) -> None:
-        for pid, worker in list(self._workers.items()):
-            if worker.proc.is_alive():
-                continue
+        with self._lock:
+            dead = [
+                w for w in self._by_pid.values() if not w.proc.is_alive()
+            ]
+        for worker in dead:
             worker.proc.join(timeout=0.1)
-            del self._workers[pid]
-            if not self._stop.is_set():
-                self._spawn_worker()
-            if worker.held is not None:
-                job_id, attempt, _t0 = worker.held
+            with self._lock:
+                self._by_pid.pop(worker.proc.pid, None)
+                held = worker.held
+                if held is not None:
+                    self._shard_stats[worker.slot].busy_seconds += (
+                        time.monotonic() - held[2]
+                    )
+                respawn = (
+                    not self._stop.is_set()
+                    and self._slots[worker.slot] is worker
+                )
+            if respawn:
+                self._spawn_worker(worker.slot)
+            if held is not None:
+                job_id, attempt, _t0 = held
                 self._emit("crash", job_id, exitcode=worker.proc.exitcode)
                 self._retry_or_fail(
                     job_id,
@@ -320,17 +541,31 @@ class RetimePool:
         if self.job_timeout is None:
             return
         now = time.monotonic()
-        for pid, worker in list(self._workers.items()):
-            if worker.held is None:
-                continue
-            job_id, attempt, t0 = worker.held
-            if now - t0 <= self.job_timeout:
-                continue
-            del self._workers[pid]
+        with self._lock:
+            overdue = [
+                w
+                for w in self._by_pid.values()
+                if w.held is not None and now - w.held[2] > self.job_timeout
+            ]
+        for worker in overdue:
+            with self._lock:
+                self._by_pid.pop(worker.proc.pid, None)
+                held = worker.held
+                if held is not None:
+                    self._shard_stats[worker.slot].busy_seconds += (
+                        time.monotonic() - held[2]
+                    )
+                respawn = (
+                    not self._stop.is_set()
+                    and self._slots[worker.slot] is worker
+                )
             worker.proc.kill()
             worker.proc.join(timeout=1.0)
-            if not self._stop.is_set():
-                self._spawn_worker()
+            if respawn:
+                self._spawn_worker(worker.slot)
+            if held is None:
+                continue
+            job_id, attempt, _t0 = held
             self._emit("timeout", job_id, attempt=attempt)
             self._retry_or_fail(
                 job_id,
@@ -375,4 +610,8 @@ class RetimePool:
                 entry = self._entries.get(job_id)
                 if entry is None or entry.event.is_set():
                     continue
-                self._pending.append((job_id, entry.attempts))
+                # retries bypass the admission bound: the job was
+                # already admitted once and holds a design pin
+                self._queues[entry.shard].append((job_id, entry.attempts))
+                self._pending_total += 1
+            self._wake.set()

@@ -1079,6 +1079,23 @@ def _serve_main(argv: list[str]) -> int:
         help="append one run-ledger record per executed job here "
         "(served back by GET /runs)",
     )
+    parser.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="bound the admission queue at N in-flight jobs; beyond it "
+        "POST /retime sheds load with 429 + Retry-After "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--no-scaleout", action="store_true",
+        help="disable shared-memory design interning and ship full "
+        "netlists to workers (legacy dispatch path)",
+    )
+    parser.add_argument(
+        "--preload", type=Path, action="append", default=[],
+        metavar="NETLIST",
+        help="intern this design before the pool forks so workers "
+        "inherit it copy-on-write (repeatable)",
+    )
     args = parser.parse_args(argv)
 
     from ..service import RetimeService, serve_forever
@@ -1090,10 +1107,15 @@ def _serve_main(argv: list[str]) -> int:
         job_timeout=args.timeout,
         max_retries=args.retries,
         ledger=args.ledger,
+        max_pending=args.max_pending,
+        scaleout=False if args.no_scaleout else None,
+        preload=args.preload or None,
     )
     print(
         f"mcretime service on http://{args.host}:{args.port} "
         f"({service.pool.workers} workers"
+        + (", scale-out" if service.scaleout else ", legacy dispatch")
+        + (f", max-pending {args.max_pending}" if args.max_pending else "")
         + (f", cache {args.cache_dir}" if args.cache_dir else "")
         + (f", ledger {args.ledger}" if args.ledger else "")
         + ")"

@@ -1,5 +1,9 @@
 """Unit tests for the two-tier result cache."""
 
+import json
+import os
+import threading
+
 from repro.service import JobFailure, JobResult, ResultCache
 
 
@@ -77,3 +81,56 @@ class TestDiskTier:
         assert len(cache) == 2
         cache.clear()
         assert len(cache) == 0 and "a" not in cache
+
+
+class TestConcurrentAccess:
+    def test_reput_skips_disk_write(self, tmp_path, monkeypatch):
+        """Content-addressed entries are written to disk exactly once."""
+        writes = []
+        real_replace = os.replace
+        monkeypatch.setattr(
+            "repro.service.cache.os.replace",
+            lambda src, dst: (writes.append(dst), real_replace(src, dst)),
+        )
+        cache = ResultCache(tmp_path)
+        cache.put("k", _result())
+        cache.put("k", _result())
+        cache.put("k", _result())
+        assert len(writes) == 1
+
+    def test_parallel_writers_and_readers_no_corruption(self, tmp_path):
+        """8 threads hammering overlapping keys: every entry stays whole."""
+        cache = ResultCache(tmp_path, memory_size=4)
+        keys = [f"key-{i}" for i in range(16)]
+        errors = []
+
+        def hammer(seed):
+            try:
+                for round_no in range(30):
+                    key = keys[(seed + round_no) % len(keys)]
+                    cache.put(key, _result(job_id=key, output=f"net-{key}"))
+                    hit = cache.get(key)
+                    if hit is not None and hit.output != f"net-{key}":
+                        errors.append((key, hit.output))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # one well-formed disk entry per key, no leftover temp files
+        assert sorted(p.stem for p in tmp_path.glob("*.json")) == sorted(keys)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob(".*.tmp")) == []
+        for path in tmp_path.glob("*.json"):
+            data = json.loads(path.read_text())
+            assert data["output"] == f"net-{path.stem}"
+        fresh = ResultCache(tmp_path)
+        for key in keys:
+            hit = fresh.get(key)
+            assert hit is not None and hit.output == f"net-{key}"

@@ -1,0 +1,215 @@
+"""Shared-memory design interning: buffers, registry, differential.
+
+The load-bearing guarantee here is the differential one: a job solved
+against a shared-memory intern seed must be **byte-identical** to the
+same job solved with per-job interning (the legacy ship-the-netlist
+path).  The rest pins down the transport (buffer/segment round-trips)
+and the lifecycle (refcounts, eviction, cross-registry isolation).
+"""
+
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.kernels import (
+    HAVE_NUMPY,
+    clear_intern_seeds,
+    compile_graph,
+    graph_from_buffer,
+    seed_intern,
+)
+from repro.mcretime import intern_work_graph, mc_retime
+from repro.netlist import read_blif, write_blif
+from repro.service import RetimeJob, RetimeService, design_fingerprint, design_ref
+from repro.service.interning import (
+    HAVE_SHM,
+    InternRegistry,
+    _attach,
+    pack_segment,
+    unpack_segment,
+)
+from repro.service.sharding import HashRing
+from repro.timing import UNIT_DELAY
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+needs_shm = pytest.mark.skipif(
+    not HAVE_SHM, reason="shared-memory interning unavailable"
+)
+
+
+def _work_graph(name="c2_small_mapped"):
+    circuit = read_blif((DATA / f"{name}.blif").read_text(), name_hint=name)
+    return intern_work_graph(circuit, UNIT_DELAY, semantic_classes=True)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="buffer transport requires numpy")
+class TestBufferRoundTrip:
+    def test_every_field_survives(self):
+        cg = compile_graph(_work_graph())
+        back = graph_from_buffer(cg.to_buffer())
+        assert back.n == cg.n and back.m == cg.m
+        assert back.names == cg.names
+        assert back.index == cg.index
+        assert back.delay == cg.delay
+        assert bytes(back.movable) == bytes(cg.movable)
+        assert bytes(back.is_mirror) == bytes(cg.is_mirror)
+        assert bytes(back.src_host) == bytes(cg.src_host)
+        assert back.host == cg.host
+        assert back.through_host == cg.through_host
+        assert back.eu == cg.eu and back.ev == cg.ev and back.ew == cg.ew
+        assert back.out_start == cg.out_start
+        assert back.out_edges == cg.out_edges
+        assert back.in_start == cg.in_start
+        assert back.in_edges == cg.in_edges
+        if cg.m:
+            assert back.eu_np.tolist() == list(cg.eu_np)
+            assert back.ew_np.tolist() == list(cg.ew_np)
+            assert back.src_host_np.tolist() == list(cg.src_host_np)
+
+    def test_segment_pack_unpack(self):
+        cg = compile_graph(_work_graph())
+        text = (DATA / "c2_small_mapped.blif").read_text()
+        blob = pack_segment(text, {"a|unit|sem": cg.to_buffer(), "b": b"\x01" * 9})
+        got_text, seeds = unpack_segment(memoryview(blob))
+        assert got_text == text
+        assert set(seeds) == {"a|unit|sem", "b"}
+        assert bytes(seeds["b"]) == b"\x01" * 9
+        back = graph_from_buffer(seeds["a|unit|sem"])
+        assert back.names == cg.names and back.ew == cg.ew
+
+
+@needs_shm
+class TestInternRegistry:
+    def test_register_acquire_release_unlinks(self):
+        reg = InternRegistry()
+        try:
+            ref = design_ref(design_fingerprint("text"), "unit", True)
+            segment = reg.register(ref, "canonical text")
+            assert reg.acquire(ref) == segment
+            shm = _attach(segment)  # segment is live while pinned
+            text, seeds = unpack_segment(shm.buf)
+            assert text == "canonical text" and seeds == {}
+            shm.close()
+            reg.release(ref)  # job pin gone; registry pin remains
+            assert len(reg) == 1
+        finally:
+            reg.close()
+        with pytest.raises(FileNotFoundError):
+            _attach(segment)
+
+    def test_register_is_idempotent_per_ref(self):
+        reg = InternRegistry()
+        try:
+            ref = design_ref(design_fingerprint("x"), "unit", True)
+            assert reg.register(ref, "x") == reg.register(ref, "x")
+            assert len(reg) == 1
+        finally:
+            reg.close()
+
+    def test_lru_eviction_respects_inflight_pins(self):
+        reg = InternRegistry(max_designs=1)
+        try:
+            ref_a = design_ref(design_fingerprint("a"), "unit", True)
+            ref_b = design_ref(design_fingerprint("b"), "unit", True)
+            seg_a = reg.register(ref_a, "a")
+            reg.acquire(ref_a)  # in-flight job pins a
+            reg.register(ref_b, "b")
+            # a is pinned, so eviction skips it (bound overshoots)
+            assert len(reg) == 2
+            _attach(seg_a).close()
+            reg.release(ref_a)  # job pin drops; registry pin remains
+            assert len(reg) == 2
+            # next registration re-applies the bound: a (and b) evict
+            reg.register(design_ref(design_fingerprint("c"), "unit", True), "c")
+            assert len(reg) == 1
+            with pytest.raises(FileNotFoundError):
+                _attach(seg_a)
+        finally:
+            reg.close()
+
+    def test_two_registries_in_one_process_do_not_collide(self):
+        # regression: a second service's registry used to reclaim and
+        # unlink the first's live segments (same pid, same ref -> same
+        # segment name)
+        ref = design_ref(design_fingerprint("shared"), "unit", True)
+        first, second = InternRegistry(), InternRegistry()
+        try:
+            seg_first = first.register(ref, "shared")
+            seg_second = second.register(ref, "shared")
+            assert seg_first != seg_second
+            second.close()
+            _attach(seg_first).close()  # survives the other's shutdown
+        finally:
+            first.close()
+            second.close()
+
+
+class TestHashRing:
+    def test_deterministic_and_stable_across_rebuilds(self):
+        keys = [f"design-{i}" for i in range(200)]
+        one, two = HashRing(4), HashRing(4)
+        assert [one.shard(k) for k in keys] == [two.shard(k) for k in keys]
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing(4)
+        keys = [f"fp{i:04x}" for i in range(400)]
+        counts = [0, 0, 0, 0]
+        for key in keys:
+            counts[ring.shard(key)] += 1
+        assert min(counts) > 0
+        assert max(counts) < 0.6 * len(keys)
+
+    def test_single_shard_degenerates_to_zero(self):
+        ring = HashRing(1)
+        assert {ring.shard(f"k{i}") for i in range(32)} == {0}
+
+
+class TestSeededSolveDifferential:
+    def test_seeded_mc_retime_is_bit_identical(self):
+        """intern seed vs full compile: same solver, same bytes out."""
+        text = (DATA / "c3_small_mapped.blif").read_text()
+        baseline = mc_retime(
+            read_blif(text, name_hint="c3"), delay_model=UNIT_DELAY
+        )
+        clear_intern_seeds()
+        try:
+            circuit = read_blif(text, name_hint="c3")
+            seed = compile_graph(intern_work_graph(circuit, UNIT_DELAY, True))
+            if HAVE_NUMPY:
+                # cross the buffer boundary like a worker attach would
+                seed = graph_from_buffer(seed.to_buffer())
+            seed_intern("ref|work", seed)
+            seeded = mc_retime(
+                read_blif(text, name_hint="c3"),
+                delay_model=UNIT_DELAY,
+                intern_key="ref",
+            )
+        finally:
+            clear_intern_seeds()
+        assert write_blif(seeded.circuit) == write_blif(baseline.circuit)
+        assert seeded.period_after == baseline.period_after
+
+    @needs_shm
+    def test_scaleout_service_matches_legacy_service(self):
+        """End-to-end: shared-memory dispatch == ship-the-netlist."""
+        jobs = [
+            RetimeJob.from_file(DATA / f"{name}.blif")
+            for name in ("c2_small", "c3_small", "c2_small_mapped")
+        ]
+        legacy = RetimeService(workers=2, scaleout=False)
+        try:
+            want = legacy.batch(jobs)
+        finally:
+            legacy.close()
+        scaleout = RetimeService(workers=2, scaleout=True)
+        try:
+            assert scaleout.scaleout, "shared memory expected in CI"
+            got = scaleout.batch(jobs)
+        finally:
+            scaleout.close()
+        for expect, actual in zip(want, got):
+            assert expect.ok and actual.ok
+            assert actual.output == expect.output
+            assert actual.metrics["final"] == expect.metrics["final"]
