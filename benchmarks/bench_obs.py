@@ -20,7 +20,11 @@ Runs under pytest (``pytest benchmarks/bench_obs.py``) or standalone::
 threshold (default 3 %).  ``--smoke`` runs one traced Table-2 row,
 validates the Chrome-trace and JSONL schemas, and checks that span
 totals reproduce the flow's ``timings`` dict exactly — the CI
-``obs-smoke`` contract.
+``obs-smoke`` contract.  ``--check-bus`` gates the *distributed*
+telemetry plane: a traced saturation batch with the worker→supervisor
+telemetry bus attached must stay within 5 % of the same batch with the
+bus disabled (JSONL tracing on in both runs, so the delta isolates the
+bus itself).
 """
 
 from __future__ import annotations
@@ -43,8 +47,14 @@ _perf_counter = time.perf_counter
 #: disabled-tracing overhead budget (percent) for --check-overhead
 OVERHEAD_BUDGET_PCT = 3.0
 
+#: telemetry-bus budget (percent) on traced saturation wall time
+BUS_BUDGET_PCT = 5.0
+
 #: interleaved repeats per workload (median taken over these)
 DEFAULT_REPEATS = 15
+
+#: A/B repeats for the bus gate (each repeat runs two full batches)
+BUS_REPEATS = 3
 
 
 @contextlib.contextmanager
@@ -232,6 +242,131 @@ def check_overhead(
 
 
 # --------------------------------------------------------------------- #
+# telemetry-bus throughput gate (--check-bus)
+
+
+def _traced_batch_seconds(
+    jobs, workers: int, trace_dir: Path, telemetry: bool
+) -> float:
+    """Wall time for one fully traced batch, bus on or off."""
+    from repro.service import RetimeService
+
+    service = RetimeService(
+        workers=workers,
+        job_timeout=600.0,
+        trace_dir=trace_dir,
+        telemetry=telemetry,
+    )
+    try:
+        t0 = _perf_counter()
+        ids = [service.submit(job) for job in jobs]
+        results = [service.wait(job_id, timeout=600) for job_id in ids]
+        elapsed = _perf_counter() - t0
+        assert all(r.ok for r in results), [
+            r.error.message for r in results if not r.ok
+        ]
+        return elapsed
+    finally:
+        service.close()
+
+
+def check_bus(
+    out_dir: Path,
+    repeats: int = BUS_REPEATS,
+    threshold: float = BUS_BUDGET_PCT,
+    quick: bool = False,
+) -> dict[str, float]:
+    """Gate: the live telemetry bus must not tax traced throughput.
+
+    Both sides run the same cold target-period sweep with JSONL tracing
+    enabled; only the worker→supervisor bus differs.  Pairs run back to
+    back with alternating order (same rationale as
+    :func:`_paired_overhead`) and the gate judges the median per-pair
+    ratio.
+    """
+    import statistics
+
+    try:
+        from benchmarks.bench_service import _sweep_jobs
+    except ImportError:  # standalone: python benchmarks/bench_obs.py
+        from bench_service import _sweep_jobs
+
+    import os
+
+    designs = ["C1", "C3"] if quick else ["C1", "C3", "C5"]
+    n_jobs = 8 if quick else 12
+    workers = min(4, os.cpu_count() or 1)
+    jobs = _sweep_jobs(designs, 0.3, n_jobs)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    run_index = 0
+
+    def run(telemetry: bool) -> float:
+        nonlocal run_index
+        run_index += 1
+        trace_dir = out_dir / f"traces_{run_index:02d}"
+        return _traced_batch_seconds(jobs, workers, trace_dir, telemetry)
+
+    run(telemetry=True)  # warm-up: imports, design build caches
+
+    def measure() -> dict[str, float]:
+        with_bus, without_bus, ratios = [], [], []
+        for i in range(repeats):
+            if i % 2 == 0:
+                a = run(telemetry=True)
+                b = run(telemetry=False)
+            else:
+                b = run(telemetry=False)
+                a = run(telemetry=True)
+            with_bus.append(a)
+            without_bus.append(b)
+            ratios.append(a / b)
+        return {
+            "with_bus_s": statistics.median(with_bus),
+            "without_bus_s": statistics.median(without_bus),
+            "overhead_pct": 100.0 * (statistics.median(ratios) - 1.0),
+        }
+
+    # a real bus regression breaches on every attempt; pool-startup and
+    # scheduler noise (batches are short) does not survive retries
+    report = None
+    for attempt in range(3):
+        candidate = measure()
+        if report is None or candidate["overhead_pct"] < report["overhead_pct"]:
+            report = candidate
+        if report["overhead_pct"] <= threshold:
+            break
+        print(
+            f"bus: {candidate['overhead_pct']:+.2f}% > {threshold}%, "
+            "re-measuring"
+        )
+    overhead = report["overhead_pct"]
+    print(
+        f"telemetry bus    on {report['with_bus_s']:8.2f}s  "
+        f"off {report['without_bus_s']:8.2f}s  overhead {overhead:+6.2f}%"
+    )
+    append_run(
+        "bench.obs.bus",
+        {"with_bus": report["with_bus_s"], "without_bus": report["without_bus_s"]},
+        config={
+            "designs": designs,
+            "n_jobs": n_jobs,
+            "workers": workers,
+            "repeats": repeats,
+            "threshold": threshold,
+            "quick": quick,
+        },
+        metrics={"bus_overhead_pct": overhead},
+    )
+    if overhead > threshold:
+        raise AssertionError(
+            f"telemetry bus overhead {overhead:.2f}% > {threshold}% "
+            f"of traced saturation wall time"
+        )
+    return report
+
+
+# --------------------------------------------------------------------- #
 # traced smoke run (the CI obs-smoke contract)
 
 
@@ -292,12 +427,21 @@ def test_smoke(tmp_path):
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--check-overhead", action="store_true")
+    parser.add_argument("--check-bus", action="store_true")
     parser.add_argument("--smoke", action="store_true")
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
     parser.add_argument(
         "--threshold", type=float, default=OVERHEAD_BUDGET_PCT,
         help="overhead budget in percent (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--bus-repeats", type=int, default=BUS_REPEATS,
+        help="A/B pairs for --check-bus (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--bus-threshold", type=float, default=BUS_BUDGET_PCT,
+        help="bus overhead budget in percent (default: %(default)s)",
     )
     parser.add_argument(
         "--out-dir", type=Path, default=Path("benchmarks") / "obs_smoke",
@@ -307,11 +451,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=0.3)
     args = parser.parse_args(argv)
 
-    if not (args.check_overhead or args.smoke):
-        parser.error("pick at least one of --check-overhead / --smoke")
+    if not (args.check_overhead or args.check_bus or args.smoke):
+        parser.error(
+            "pick at least one of --check-overhead / --check-bus / --smoke"
+        )
     try:
         if args.check_overhead:
             check_overhead(args.repeats, args.threshold, args.quick)
+        if args.check_bus:
+            check_bus(
+                args.out_dir / "bus_gate",
+                repeats=args.bus_repeats,
+                threshold=args.bus_threshold,
+                quick=args.quick,
+            )
         if args.smoke:
             smoke(args.out_dir, args.design, args.scale)
     except AssertionError as exc:

@@ -62,6 +62,7 @@ from .ledger import (
     record_from_tracer,
     validate_record,
 )
+from .bus import BusSink, TelemetryBus, job_sink, set_worker_queue
 from .profile import Profile, SamplingProfiler, profile_block
 from .report import (
     chrome_trace_errors,
@@ -73,6 +74,23 @@ from .report import (
     validate_jsonl,
 )
 from .sinks import ChromeTraceSink, JsonlSink, MemorySink
+from .slo import (
+    SLOConfig,
+    SLOEngine,
+    check_records,
+    evaluate,
+    reevaluate,
+    render_status,
+)
+from .stitch import (
+    critical_path,
+    render_critical_path,
+    request_timelines,
+    stitch_dir,
+    stitch_events,
+    write_chrome,
+    write_jsonl,
+)
 from .tracer import (
     NULL_SPAN,
     Span,
@@ -93,43 +111,60 @@ from .tracer import (
 
 __all__ = [
     "NULL_SPAN",
+    "BusSink",
     "ChromeTraceSink",
     "JsonlSink",
     "MemorySink",
     "Profile",
     "RunLedger",
+    "SLOConfig",
+    "SLOEngine",
     "SamplingProfiler",
     "Span",
     "StageClock",
     "Stopwatch",
+    "TelemetryBus",
     "Tracer",
     "annotate",
     "build_record",
+    "check_records",
     "chrome_trace_errors",
     "configure_from_env",
     "count",
     "cpu_split",
+    "critical_path",
     "current",
     "design_fingerprint",
     "enabled",
     "environment",
+    "evaluate",
     "finalize_total",
     "gauge",
+    "job_sink",
     "job_trace",
     "jsonl_errors",
     "load_events",
     "profile_block",
     "record_errors",
     "record_from_tracer",
+    "reevaluate",
+    "render_critical_path",
+    "render_status",
     "render_summary",
+    "request_timelines",
     "session",
+    "set_worker_queue",
     "span",
     "start",
+    "stitch_dir",
+    "stitch_events",
     "stop",
     "timed",
     "validate_chrome_trace",
     "validate_jsonl",
     "validate_record",
+    "write_chrome",
+    "write_jsonl",
 ]
 
 
@@ -221,7 +256,11 @@ def configure_from_env(environ: dict[str, str] | None = None):
 
 
 @contextlib.contextmanager
-def job_trace(job_id: str, environ: dict[str, str] | None = None):
+def job_trace(
+    job_id: str,
+    environ: dict[str, str] | None = None,
+    parent: dict[str, Any] | None = None,
+):
     """Per-job tracing inside service worker processes.
 
     The pool propagates ``REPRO_TRACE_DIR`` / ``REPRO_TRACE_SPANS``
@@ -230,6 +269,14 @@ def job_trace(job_id: str, environ: dict[str, str] | None = None):
     metrics observed in the service process correlate.  Yields None
     (without touching the active tracer) when an outer tracer is
     already running or neither variable is set.
+
+    *parent* is the propagated trace context minted by the front-end
+    (``{"trace_id", "parent_span", "parent_pid"}``): its span/pid stamp
+    is recorded in the worker's meta event so ``repro.obs.stitch`` can
+    re-parent this process's root spans under the request span that
+    dispatched the job.  When a telemetry-bus queue is installed
+    (:func:`set_worker_queue`), a :class:`BusSink` streams span deltas
+    to the supervisor alongside the JSONL file.
     """
     if current() is not None:
         yield None
@@ -243,7 +290,14 @@ def job_trace(job_id: str, environ: dict[str, str] | None = None):
     sinks: list[Any] = []
     if trace_dir:
         sinks.append(JsonlSink(Path(trace_dir) / f"{job_id[:16]}.jsonl"))
-    tracer = start(trace_id=job_id, sinks=tuple(sinks), meta={"job": job_id[:16]})
+    bus = job_sink(job_id)
+    if bus is not None:
+        sinks.append(bus)
+    meta: dict[str, Any] = {"job": job_id[:16], "role": "worker"}
+    if parent:
+        meta["parent_span"] = parent.get("parent_span")
+        meta["parent_pid"] = parent.get("parent_pid")
+    tracer = start(trace_id=job_id, sinks=tuple(sinks), meta=meta)
     try:
         yield tracer
     finally:

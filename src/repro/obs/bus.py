@@ -1,0 +1,214 @@
+"""Telemetry bus: workers stream span/counter deltas to the supervisor.
+
+The JSONL trace files are the durable record, but they only become
+readable after a job finishes and flushes.  The bus is the *live* path:
+each worker process holds one end of a multiprocessing queue
+(installed by the pool at worker startup via :func:`set_worker_queue`),
+and a per-job :class:`BusSink` rides alongside the JSONL sink,
+forwarding a bounded, filtered stream of events as they close.  On the
+supervisor side a :class:`TelemetryBus` drains the queue on a daemon
+thread into per-trace ring buffers and aggregate metrics — powering
+``GET /trace/<job>`` for in-flight jobs, the live ``/metrics``
+aggregation, and the ``mcretime top`` dashboard.
+
+The filtering matters for the <5% throughput gate: only spans that are
+either shallow (depth <= 1 — the phase-level story) or slower than
+~1ms cross the process boundary, batched 32 at a time, with a hard cap
+per job.  Micro-spans stay in the JSONL file where they belong.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+__all__ = [
+    "BusSink",
+    "TelemetryBus",
+    "job_sink",
+    "set_worker_queue",
+]
+
+#: spans shorter than this (seconds) and deeper than _MAX_DEPTH are not
+#: forwarded over the bus
+_MIN_DUR = 1e-3
+_MAX_DEPTH = 1
+#: flush a batch once it reaches this many events
+_BATCH = 32
+#: hard cap on events forwarded per job (meta/end always get through)
+_MAX_EVENTS = 512
+
+# queue end installed in each worker process by pool._worker_main
+_WORKER_QUEUE: Any = None
+
+
+def set_worker_queue(queue: Any) -> None:
+    """Install this process's bus queue (called once per worker)."""
+    global _WORKER_QUEUE
+    _WORKER_QUEUE = queue
+
+
+def job_sink(trace_id: str) -> "BusSink | None":
+    """A per-job bus sink, or ``None`` when no bus is attached."""
+    if _WORKER_QUEUE is None:
+        return None
+    return BusSink(_WORKER_QUEUE, trace_id)
+
+
+class BusSink:
+    """Tracer sink that forwards filtered event batches over a queue.
+
+    Messages are ``(pid, trace_id, [events])`` tuples.  Queue puts are
+    best-effort: a dead supervisor must never take a worker down with
+    it, so failures disable the sink for the rest of the job.
+    """
+
+    def __init__(self, queue: Any, trace_id: str) -> None:
+        import os
+
+        self._queue = queue
+        self._trace_id = trace_id
+        self._pid = os.getpid()
+        self._batch: list[dict[str, Any]] = []
+        self._sent = 0
+        self._dead = False
+
+    def event(self, event: dict[str, Any]) -> None:
+        kind = event.get("type")
+        if kind == "span":
+            if self._sent >= _MAX_EVENTS:
+                return
+            if (
+                event.get("depth", 0) > _MAX_DEPTH
+                and event.get("dur", 0.0) < _MIN_DUR
+            ):
+                return
+        elif kind not in ("meta", "end"):
+            # per-call counter/gauge events stay in the JSONL file; the
+            # end record carries their aggregates, which is all the
+            # live dashboard needs
+            return
+        self._batch.append(event)
+        self._sent += 1
+        if len(self._batch) >= _BATCH or kind == "end":
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._dead or not self._batch:
+            self._batch = []
+            return
+        try:
+            self._queue.put((self._pid, self._trace_id, self._batch))
+        except Exception:
+            self._dead = True
+        self._batch = []
+
+    def close(self, tracer: Any = None) -> None:
+        self._flush()
+
+
+class TelemetryBus:
+    """Supervisor-side drain: per-trace ring buffers + aggregate metrics.
+
+    ``attach(queue)`` starts a daemon thread that drains worker
+    messages until a ``None`` sentinel arrives (sent by the pool at
+    shutdown).  Live trace buffers are bounded deques so a pathological
+    job cannot grow supervisor memory without limit.
+    """
+
+    def __init__(self, metrics: Any = None, *, buffer_events: int = 2048) -> None:
+        self._buffer_events = buffer_events
+        self._traces: dict[str, deque] = {}
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._queue: Any = None
+        self._events_total = (
+            metrics.counter(
+                "repro_bus_events_total",
+                "Telemetry-bus events drained from workers.",
+            )
+            if metrics is not None
+            else None
+        )
+        self._live_traces = (
+            metrics.gauge(
+                "repro_bus_live_traces",
+                "Traces currently buffered on the telemetry bus.",
+            )
+            if metrics is not None
+            else None
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, queue: Any) -> None:
+        self._queue = queue
+        self._thread = threading.Thread(
+            target=self._drain, name="repro-telemetry-bus", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        if self._queue is not None:
+            try:
+                self._queue.put(None)
+            except Exception:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def _drain(self) -> None:
+        while True:
+            try:
+                message = self._queue.get()
+            except (EOFError, OSError):
+                return
+            if message is None:
+                return
+            try:
+                pid, trace_id, events = message
+            except (TypeError, ValueError):
+                continue
+            self._ingest(pid, trace_id, events)
+
+    # -- ingestion and queries --------------------------------------------
+
+    def _ingest(
+        self, pid: int, trace_id: str, events: list[dict[str, Any]]
+    ) -> None:
+        key = str(trace_id)[:16]
+        with self._lock:
+            buffer = self._traces.get(key)
+            if buffer is None:
+                buffer = self._traces[key] = deque(maxlen=self._buffer_events)
+            buffer.extend(events)
+            live = len(self._traces)
+        if self._events_total is not None:
+            for event in events:
+                self._events_total.inc(
+                    type=str(event.get("type", "unknown"))
+                )
+        if self._live_traces is not None:
+            self._live_traces.set(float(live))
+
+    def trace(self, job: str) -> list[dict[str, Any]]:
+        """Buffered events for a job id (or its 16-char prefix)."""
+        key = str(job)[:16]
+        with self._lock:
+            buffer = self._traces.get(key)
+            return list(buffer) if buffer is not None else []
+
+    def traces(self) -> list[str]:
+        with self._lock:
+            return sorted(self._traces)
+
+    def forget(self, job: str) -> None:
+        """Drop a finished job's buffer (files are the durable record)."""
+        with self._lock:
+            self._traces.pop(str(job)[:16], None)
+        if self._live_traces is not None:
+            with self._lock:
+                live = len(self._traces)
+            self._live_traces.set(float(live))

@@ -357,6 +357,11 @@ def jsonl_errors(path: str | Path) -> list[str]:
                     )
             if event.get("dur", 0) < 0:
                 errors.append(f"{path}:{lineno}: negative span duration")
+            if isinstance(event.get("ts"), (int, float)) and event["ts"] < 0:
+                # cross-process stitched traces must rebase+clamp onto
+                # the common wall-clock origin; a negative start means
+                # the skew correction was skipped
+                errors.append(f"{path}:{lineno}: negative span start")
         elif kind in ("counter", "gauge"):
             for field in ("name", "value", "ts"):
                 if field not in event:

@@ -36,6 +36,7 @@ from .jobs import (
     RetimeJob,
     execute_job,
     resolve_payload,
+    run_payload,
 )
 from .metrics import Counter, Histogram, MetricsRegistry
 from .pool import PoolSaturatedError, RetimePool
@@ -67,5 +68,6 @@ __all__ = [
     "execute_job",
     "make_server",
     "resolve_payload",
+    "run_payload",
     "serve_forever",
 ]

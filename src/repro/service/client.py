@@ -168,3 +168,11 @@ class RetimeClient:
     def metrics_text(self) -> str:
         """``GET /metrics`` — raw Prometheus exposition text."""
         return self._request("GET", "/metrics")
+
+    def slo(self) -> dict:
+        """``GET /slo`` — rolling-window SLO burn rates."""
+        return self._request("GET", "/slo")
+
+    def trace(self, job_id: str) -> dict:
+        """``GET /trace/<id>`` — the job's stitched distributed trace."""
+        return self._request("GET", f"/trace/{job_id}")

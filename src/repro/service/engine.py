@@ -26,6 +26,8 @@ bucket points back at a concrete job.  Pass ``ledger=`` to append one
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 from pathlib import Path
@@ -46,6 +48,14 @@ from .interning import (
 from .jobs import _DELAY_MODELS, JobResult, RetimeJob
 from .metrics import MetricsRegistry
 from .pool import PoolSaturatedError, RetimePool
+
+#: fixed span ids of the front-end's synthetic request span tree (the
+#: ``.req.jsonl`` trace written at terminal state).  The dispatch span
+#: id is what the minted trace context points workers at.
+_REQ_ROOT_ID = 1
+_REQ_ADMIT_ID = 2
+_REQ_QUEUE_ID = 3
+_REQ_DISPATCH_ID = 4
 
 
 class RetimeService:
@@ -79,6 +89,9 @@ class RetimeService:
         metrics: MetricsRegistry | None = None,
         trace_dir: str | Path | None = None,
         ledger: str | Path | None = None,
+        telemetry: bool = True,
+        slo: "obs.SLOConfig | dict | str | Path | None" = None,
+        start_method: str | None = None,
     ) -> None:
         self.metrics = metrics or MetricsRegistry()
         m = self.metrics
@@ -174,6 +187,27 @@ class RetimeService:
             # metrics bridge and the run ledger
             worker_env["REPRO_TRACE_SPANS"] = "1"
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+
+        #: the live telemetry bus only exists on traced services — the
+        #: workers' BusSinks ride the per-job tracer, which tracing
+        #: configuration activates
+        self.bus: obs.TelemetryBus | None = (
+            obs.TelemetryBus(metrics=m)
+            if telemetry and self.trace_dir is not None
+            else None
+        )
+
+        if isinstance(slo, obs.SLOConfig):
+            slo_config = slo
+        elif isinstance(slo, dict):
+            slo_config = obs.SLOConfig.from_dict(slo)
+        elif slo is not None:
+            slo_config = obs.SLOConfig.load(slo)
+        else:
+            slo_config = obs.SLOConfig()
+        self.slo = obs.SLOEngine(config=slo_config)
 
         self.cache = ResultCache(cache_dir, memory_size=cache_memory)
 
@@ -200,6 +234,8 @@ class RetimeService:
             max_pending=max_pending,
             on_event=self._on_pool_event,
             worker_env=worker_env,
+            start_method=start_method,
+            telemetry_bus=self.bus,
         ).start()
         self._pool_started_at = time.monotonic()
 
@@ -207,6 +243,10 @@ class RetimeService:
             "repro_pool_queue_depth",
             "Jobs admitted but not yet dispatched to a worker",
         ).set_function(self.pool.queue_depth)
+        m.gauge(
+            "repro_pool_max_pending",
+            "Admission queue bound (0 = unbounded)",
+        ).set(float(max_pending or 0))
         m.gauge(
             "repro_interned_designs",
             "Designs live in the shared-memory intern registry",
@@ -250,6 +290,7 @@ class RetimeService:
         job_id = job.canonical_key
         self._submitted.inc()
         t0 = time.perf_counter()
+        submit_wall = time.time()
         with obs.span("service.admit", job=job_id[:16]):
             with self._lock:
                 record = self._jobs.get(job_id)
@@ -264,6 +305,7 @@ class RetimeService:
                         record["result"] = hit
                         record["cached"] = True
                         self._latency.observe(time.perf_counter() - t0)
+                        self.slo.observe(time.perf_counter() - t0)
                     else:
                         # still queued/running: coalesce onto the in-flight job
                         self._deduped.inc()
@@ -279,6 +321,7 @@ class RetimeService:
                 # otherwise a warm service reports p95 = 0.0 from an
                 # empty reservoir
                 self._latency.observe(time.perf_counter() - t0)
+                self.slo.observe(time.perf_counter() - t0)
                 with self._lock:
                     self._jobs[job_id] = {
                         "state": "done",
@@ -296,6 +339,18 @@ class RetimeService:
             ref = None
             if self.scaleout:
                 ref, segment, shard_key, payload = self._intern_job(job)
+            # distributed trace context: the request span tree lives in
+            # this process (written at terminal state); the worker nests
+            # its root spans under the dispatch span via this stamp
+            trace_ctx = (
+                {
+                    "trace_id": job_id,
+                    "parent_span": _REQ_DISPATCH_ID,
+                    "parent_pid": os.getpid(),
+                }
+                if self.trace_dir is not None
+                else None
+            )
             with self._lock:
                 self._jobs[job_id] = {
                     "state": "queued",
@@ -304,15 +359,21 @@ class RetimeService:
                     "result": None,
                     "options": job.options(),
                     "intern_ref": ref,
+                    "trace": {"submit_wall": submit_wall},
                 }
             try:
                 with obs.span("service.shard", job=job_id[:16]):
                     self.pool.submit(
-                        job_id, job, shard_key=shard_key, payload=payload
+                        job_id,
+                        job,
+                        shard_key=shard_key,
+                        payload=payload,
+                        trace_ctx=trace_ctx,
                     )
             except PoolSaturatedError as exc:
-                self._shed.inc()
+                self._shed.inc(exemplar={"run": job_id[:16]})
                 obs.count("service.shed")
+                self.slo.observe_shed()
                 with self._lock:
                     self._jobs.pop(job_id, None)
                 if ref is not None and self.intern is not None:
@@ -320,6 +381,10 @@ class RetimeService:
                 raise ServiceOverloadedError(
                     429, str(exc), retry_after=self._retry_after()
                 ) from None
+            with self._lock:
+                record = self._jobs.get(job_id)
+                if record is not None and "trace" in record:
+                    record["trace"]["admit_s"] = time.perf_counter() - t0
         return job_id
 
     def _intern_job(self, job: RetimeJob):
@@ -496,18 +561,46 @@ class RetimeService:
     def _on_pool_event(self, kind: str, job_id: str, **info) -> None:
         if kind == "dispatch":
             queued = info.get("queued_seconds", 0.0)
-            self._queue_wait.observe(queued)
+            self._queue_wait.observe(queued, exemplar={"run": job_id[:16]})
             self._span_seconds.observe(
                 queued, exemplar={"run": job_id[:16]}, span="pool.dispatch"
             )
             self._dispatched.inc(shard=str(info.get("worker", "?")))
             if info.get("stolen"):
                 self._stolen.inc()
+            with self._lock:
+                record = self._jobs.get(job_id)
+                trace = record.get("trace") if record else None
+            if trace is not None:
+                # retries overwrite: the request timeline shows the
+                # dispatch that actually produced the result
+                trace.update(
+                    dispatch_wall=time.time(),
+                    queued_s=queued,
+                    shard=info.get("shard"),
+                    worker=info.get("worker"),
+                    stolen=bool(info.get("stolen")),
+                )
             return
         if kind in ("done", "failed"):
             self._release_intern_ref(job_id)
-        if kind == "done":
             result: JobResult = info["result"]
+            with self._lock:
+                record = self._jobs.get(job_id)
+                trace = record.get("trace") if record else None
+            if trace is not None:
+                submit_wall = trace.get("submit_wall", time.time())
+                self.slo.observe(
+                    time.time() - submit_wall, ok=kind == "done"
+                )
+                if self.trace_dir is not None:
+                    self._write_request_trace(job_id, trace)
+                    if self.bus is not None:
+                        self.bus.forget(job_id)
+            else:
+                self.slo.observe(result.elapsed, ok=kind == "done")
+        if kind == "done":
+            result = info["result"]
             self._completed.inc()
             self._latency.observe(result.elapsed)
             for stage, seconds in result.metrics.get("timings", {}).items():
@@ -540,6 +633,147 @@ class RetimeService:
             self._timeouts.inc()
         elif kind == "crash":
             self._crashes.inc()
+
+    def _write_request_trace(self, job_id: str, trace: dict) -> None:
+        """Write the front-end's synthetic request span tree.
+
+        One ``<job>.req.jsonl`` per executed request, in the worker
+        trace schema (meta / span / end records, timestamps relative to
+        this file's ``wall_time`` anchor), so the stitcher merges it
+        with the worker's ``<job>.jsonl`` into one timeline:
+
+        * ``request`` (id 1) — submit to terminal state, wall to wall;
+        * ``request.admit`` (id 2) — canonicalise, cache consult,
+          intern, shard, pool admission;
+        * ``request.queue`` (id 3) — admission-queue wait (from the
+          pool's ``queued_seconds``), stamped with shard/worker/stolen;
+        * ``request.dispatch`` (id 4) — dispatch to completion; the
+          worker's spans re-parent under this id via the trace context.
+
+        Best-effort: a full disk must never fail a completed job.
+        """
+        submit_wall = trace.get("submit_wall")
+        if submit_wall is None:
+            return
+        done_wall = time.time()
+        total = max(0.0, done_wall - submit_wall)
+        admit_s = min(total, trace.get("admit_s", 0.0))
+        dispatch_wall = trace.get("dispatch_wall")
+        job16 = job_id[:16]
+        pid = os.getpid()
+
+        def span(name, sid, ts, dur, self_s, **args):
+            out = {
+                "type": "span",
+                "name": name,
+                "id": sid,
+                "parent": _REQ_ROOT_ID if sid != _REQ_ROOT_ID else 0,
+                "depth": 0 if sid == _REQ_ROOT_ID else 1,
+                "ts": max(0.0, ts),
+                "dur": max(0.0, dur),
+                "self": max(0.0, self_s),
+                "pid": pid,
+                "tid": 0,
+            }
+            if args:
+                out["args"] = args
+            return out
+
+        events = [
+            {
+                "type": "meta",
+                "trace_id": job_id,
+                "pid": pid,
+                "wall_time": submit_wall,
+                "role": "frontend",
+                "job": job16,
+            },
+            span(
+                "request.admit", _REQ_ADMIT_ID, 0.0, admit_s, admit_s,
+                job=job16,
+            ),
+        ]
+        child_total = admit_s
+        if dispatch_wall is not None:
+            queued_s = min(total, trace.get("queued_s", 0.0))
+            dispatch_ts = min(total, max(0.0, dispatch_wall - submit_wall))
+            dispatch_s = total - dispatch_ts
+            events.append(
+                span(
+                    "request.queue",
+                    _REQ_QUEUE_ID,
+                    dispatch_ts - queued_s,
+                    queued_s,
+                    queued_s,
+                    shard=trace.get("shard"),
+                    worker=trace.get("worker"),
+                    stolen=trace.get("stolen", False),
+                )
+            )
+            events.append(
+                span(
+                    "request.dispatch",
+                    _REQ_DISPATCH_ID,
+                    dispatch_ts,
+                    dispatch_s,
+                    dispatch_s,
+                    job=job16,
+                )
+            )
+            child_total += queued_s + dispatch_s
+        events.append(
+            span(
+                "request",
+                _REQ_ROOT_ID,
+                0.0,
+                total,
+                max(0.0, total - child_total),
+                job=job16,
+            )
+        )
+        events.append(
+            {
+                "type": "end",
+                "trace_id": job_id,
+                "ts": total,
+                "counters": {},
+                "gauges": {},
+                "spans": {e["name"]: e["dur"] for e in events[1:]},
+                "pid": pid,
+            }
+        )
+        try:
+            path = self.trace_dir / f"{job16}.req.jsonl"
+            with path.open("w") as fh:
+                for event in events:
+                    fh.write(json.dumps(event, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+    # -- distributed-trace and SLO queries -----------------------------
+
+    def trace_events(self, job: str) -> list[dict] | None:
+        """Stitched timeline for one request (``GET /trace/<job>``).
+
+        *job* is a job id or its 16-char prefix.  Completed requests
+        come from the trace directory (front-end + worker files merged
+        by :mod:`repro.obs.stitch`); in-flight requests fall back to
+        the telemetry bus's live buffer.  Returns None when nothing is
+        known about the job.
+        """
+        if self.trace_dir is not None:
+            stitched = obs.stitch_dir(self.trace_dir, job=job)
+            if stitched:
+                return next(iter(stitched.values()))
+        if self.bus is not None:
+            live = self.bus.trace(job)
+            if live:
+                return live
+        return None
+
+    def slo_status(self) -> dict:
+        """Current SLO burn rates (``GET /slo`` / ``mcretime slo``)."""
+        return self.slo.status()
 
     def _record_final(self, job_id: str, result: JobResult) -> None:
         with self._lock:

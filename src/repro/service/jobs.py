@@ -422,6 +422,44 @@ def resolve_payload(payload: dict) -> tuple[RetimeJob, dict]:
     return job, kwargs
 
 
+def run_payload(
+    job_id: str, payload: dict, trace_ctx: dict | None = None
+) -> dict:
+    """Worker-side dispatch entry: resolve, execute, serialise one job.
+
+    This is what :func:`repro.service.pool._worker_main` calls per
+    dispatch item.  It owns the worker's end of the distributed trace:
+    the whole lifetime — payload resolution (shm attach + parse),
+    execution, and response serialisation — runs under one
+    :func:`repro.obs.job_trace` stamped with *trace_ctx* (the
+    ``{"trace_id", "parent_span", "parent_pid"}`` context minted by the
+    front-end), so the stitcher can nest this process's spans under the
+    request span that dispatched the job:
+
+    * ``worker.resolve`` — design resolution: shared-memory attach,
+      unpack, parse-or-cache (wraps ``service.intern.attach``);
+    * ``job.execute`` — the flow proper (inside :func:`execute_job`,
+      whose inner ``job_trace`` joins this outer tracer);
+    * ``worker.respond`` — result serialisation for the return pipe.
+
+    The final ``metrics["obs"]`` snapshot is taken after *all* worker
+    spans close, so the shipped span totals equal the trace file's.
+    Returns the ``JobResult`` dict to put on the result queue.
+    """
+    with obs.job_trace(job_id, parent=trace_ctx) as tracer:
+        with obs.span("worker.resolve", job=job_id[:16]):
+            if "design_ref" in payload:
+                job, kwargs = resolve_payload(payload)
+            else:
+                job, kwargs = RetimeJob.from_dict(payload), {}
+        result = execute_job(job, job_id=job_id, **kwargs)
+        with obs.span("worker.respond", job=job_id[:16]):
+            data = result.to_dict()
+        if tracer is not None:
+            data["metrics"]["obs"] = tracer.snapshot()
+    return data
+
+
 def _run_flow(
     job: RetimeJob,
     key: str,

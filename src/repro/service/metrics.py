@@ -61,14 +61,30 @@ class Counter:
         self.name = name
         self.help_text = help_text
         self._values: dict[tuple, float] = {}
+        #: label key -> (exemplar label key, increment) — most recent
+        self._exemplars: dict[tuple, tuple[tuple, float]] = {}
         self._lock = threading.Lock()
 
-    def inc(self, amount: float = 1.0, **labels: str) -> None:
+    def inc(
+        self,
+        amount: float = 1.0,
+        exemplar: dict[str, str] | None = None,
+        **labels: str,
+    ) -> None:
+        """Increment, optionally stamping an OpenMetrics exemplar.
+
+        *exemplar* (e.g. ``{"run": trace_id}``) is remembered as the
+        series' most recent exemplar and rendered in ``# {…} value``
+        suffix form, so a spike in e.g. ``repro_jobs_shed_total`` can
+        be traced back to a concrete request's stitched timeline.
+        """
         if amount < 0:
             raise ValueError("counters only go up")
         key = _label_key(labels)
         with self._lock:
             self._values[key] = self._values.get(key, 0.0) + amount
+            if exemplar:
+                self._exemplars[key] = (_label_key(exemplar), amount)
 
     def value(self, **labels: str) -> float:
         with self._lock:
@@ -86,9 +102,19 @@ class Counter:
         ]
         with self._lock:
             values = dict(self._values) or {(): 0.0}
+            exemplars = dict(self._exemplars)
         for key in sorted(values):
-            lines.append(f"{self.name}{_label_text(key)} {_format(values[key])}")
+            line = f"{self.name}{_label_text(key)} {_format(values[key])}"
+            lines.append(line + _exemplar_text(exemplars.get(key)))
         return lines
+
+    def exemplar(self, **labels: str):
+        """The stored (labels, value) exemplar for one series, or None."""
+        with self._lock:
+            found = self._exemplars.get(_label_key(labels))
+        if found is None:
+            return None
+        return dict(found[0]), found[1]
 
 
 class Gauge:

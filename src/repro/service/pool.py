@@ -56,7 +56,7 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 
-from .jobs import JobFailure, JobResult, RetimeJob, execute_job, resolve_payload
+from .jobs import JobFailure, JobResult, RetimeJob, run_payload
 from .sharding import DEFAULT_VNODES, HashRing
 
 #: fallback supervisor tick — corpse reaping, timeout enforcement, and
@@ -79,35 +79,44 @@ class PoolSaturatedError(RuntimeError):
         self.limit = limit
 
 
-def _worker_main(task_q, result_q, env=None) -> None:
+def _worker_main(task_q, result_q, env=None, telemetry_q=None) -> None:
     """Worker loop: execute assigned payloads until the ``None`` sentinel.
 
     *env* entries are applied to ``os.environ`` before the first job, so
     the supervisor can propagate tracing configuration
     (``REPRO_TRACE_DIR`` / ``REPRO_TRACE_SPANS``) across the process
     boundary; the trace id itself is the job's canonical key, carried by
-    the job payload.
+    the job payload.  *telemetry_q* is this worker's end of the live
+    telemetry bus — span deltas stream back to the supervisor while the
+    job runs (see :mod:`repro.obs.bus`).
 
     Payloads come in two shapes: a legacy full job dict (carries the
     ``netlist`` text) and a scale-out reference
     (``{"design_ref", "segment", "job"}``) resolved through the
     worker's shared-memory design cache — see
-    :func:`~repro.service.jobs.resolve_payload`.
+    :func:`~repro.service.jobs.resolve_payload`.  Dispatch items are
+    ``(job_id, attempt, payload, trace_ctx)`` tuples; the trace context
+    (minted by the front-end) is stamped into the worker's trace so the
+    stitcher can join the two processes' timelines.
     """
     if env:
         os.environ.update(env)
+    if telemetry_q is not None:
+        from repro.obs import set_worker_queue
+
+        set_worker_queue(telemetry_q)
     while True:
         item = task_q.get()
         if item is None:
             return
-        job_id, attempt, payload = item
+        if len(item) == 4:
+            job_id, attempt, payload, trace_ctx = item
+        else:  # legacy 3-tuple dispatch
+            job_id, attempt, payload = item
+            trace_ctx = None
         try:
-            if "design_ref" in payload:
-                job, kwargs = resolve_payload(payload)
-            else:
-                job, kwargs = RetimeJob.from_dict(payload), {}
-            result = execute_job(job, job_id=job_id, **kwargs)
-            result_q.put(("done", os.getpid(), job_id, attempt, result.to_dict()))
+            data = run_payload(job_id, payload, trace_ctx=trace_ctx)
+            result_q.put(("done", os.getpid(), job_id, attempt, data))
         except BaseException as exc:  # noqa: BLE001 - report, don't die
             info = {
                 "type": type(exc).__name__,
@@ -125,6 +134,9 @@ class _Entry:
     shard: int = 0
     #: scale-out dispatch payload; ``None`` ships the full job dict
     payload: dict | None = None
+    #: propagated trace context minted by the front-end, shipped with
+    #: the dispatch so the worker can stamp (pid, parent_span)
+    trace_ctx: dict | None = None
     state: str = "queued"  # queued | running | retrying | done | failed
     attempts: int = 0
     result: JobResult | None = None
@@ -173,6 +185,13 @@ class RetimePool:
             the service layer hangs its metrics off this.
         worker_env: environment variables applied in every worker
             process before it takes jobs (tracing configuration).
+        start_method: multiprocessing start method (``"fork"`` /
+            ``"spawn"`` / ``"forkserver"``); ``None`` uses the
+            platform default.
+        telemetry_bus: optional :class:`repro.obs.TelemetryBus`; when
+            given the pool creates a worker→supervisor queue, attaches
+            the bus to it, and hands each worker the sending end so
+            span deltas stream back live.
     """
 
     def __init__(
@@ -184,6 +203,8 @@ class RetimePool:
         max_pending: int | None = None,
         on_event=None,
         worker_env: dict[str, str] | None = None,
+        start_method: str | None = None,
+        telemetry_bus=None,
     ) -> None:
         self.workers = max(1, workers if workers is not None else os.cpu_count() or 1)
         self.job_timeout = job_timeout
@@ -192,7 +213,9 @@ class RetimePool:
         self.max_pending = max_pending
         self._on_event = on_event
         self._worker_env = dict(worker_env or {})
-        self._ctx = mp.get_context()
+        self._telemetry_bus = telemetry_bus
+        self._telemetry_q = None
+        self._ctx = mp.get_context(start_method)
         self._result_q = self._ctx.SimpleQueue()
         self._ring = HashRing(self.workers, DEFAULT_VNODES)
         self._entries: dict[str, _Entry] = {}
@@ -216,6 +239,9 @@ class RetimePool:
     def start(self) -> "RetimePool":
         if self._supervisor is not None:
             return self
+        if self._telemetry_bus is not None:
+            self._telemetry_q = self._ctx.SimpleQueue()
+            self._telemetry_bus.attach(self._telemetry_q)
         for slot in range(self.workers):
             self._spawn_worker(slot)
         self._drainer = threading.Thread(
@@ -252,6 +278,8 @@ class RetimePool:
                 worker.proc.join(timeout=1.0)
         self._slots = [None] * self.workers
         self._by_pid.clear()
+        if self._telemetry_bus is not None:
+            self._telemetry_bus.close()
 
     def __enter__(self) -> "RetimePool":
         return self.start()
@@ -271,6 +299,7 @@ class RetimePool:
         job: RetimeJob,
         shard_key: str | None = None,
         payload: dict | None = None,
+        trace_ctx: dict | None = None,
     ) -> int:
         """Queue *job* under *job_id*; returns its home shard.
 
@@ -278,8 +307,11 @@ class RetimePool:
         fingerprint) routes the job; it defaults to the job id, which
         still spreads uniformly but loses design affinity.  *payload*
         replaces the dispatched job dict with a scale-out design
-        reference.  Raises :class:`PoolSaturatedError` when the
-        admission queue is at ``max_pending``.
+        reference.  *trace_ctx* (``{"trace_id", "parent_span",
+        "parent_pid"}``) rides with the dispatch so the worker's trace
+        nests under the front-end's request span.  Raises
+        :class:`PoolSaturatedError` when the admission queue is at
+        ``max_pending``.
         """
         if self._supervisor is None:
             raise RuntimeError("pool is not started")
@@ -293,7 +325,9 @@ class RetimePool:
                 and self._pending_total >= self.max_pending
             ):
                 raise PoolSaturatedError(self._pending_total, self.max_pending)
-            entry = _Entry(job=job, shard=shard, payload=payload)
+            entry = _Entry(
+                job=job, shard=shard, payload=payload, trace_ctx=trace_ctx
+            )
             entry.attempts = 1
             self._entries[job_id] = entry
             self._queues[shard].append((job_id, 1))
@@ -358,7 +392,7 @@ class RetimePool:
         task_q = self._ctx.SimpleQueue()
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(task_q, self._result_q, self._worker_env),
+            args=(task_q, self._result_q, self._worker_env, self._telemetry_q),
             daemon=True,
             name=f"retime-worker-{slot}",
         )
@@ -458,7 +492,7 @@ class RetimePool:
                 stats.dispatched += 1
                 if stolen:
                     stats.stolen += 1
-            worker.task_q.put((job_id, attempt, payload))
+            worker.task_q.put((job_id, attempt, payload, entry.trace_ctx))
             self._emit(
                 "dispatch",
                 job_id,

@@ -13,6 +13,11 @@ Endpoints (see ``docs/SERVICE.md`` for the full reference):
 * ``GET /jobs/<id>`` — job status/result by content-addressed id.
 * ``GET /healthz`` — liveness plus worker/queue/job counts.
 * ``GET /metrics`` — Prometheus text exposition (with exemplars).
+* ``GET /slo`` — SLO burn rates over the rolling window
+  (:mod:`repro.obs.slo`; targets from the service's SLO config).
+* ``GET /trace/<job>`` — the job's stitched distributed trace
+  (front-end + worker timelines merged; live telemetry-bus buffer for
+  in-flight jobs).  404 until anything is known about the job.
 * ``GET /runs?n=N`` — the newest N records of the service run ledger,
   streamed with chunked transfer encoding (404 when the service was
   started without one).
@@ -357,10 +362,21 @@ class AsyncRetimeServer:
             return _Response(
                 200, text, content_type="text/plain; version=0.0.4"
             )
+        if path == "/slo":
+            status = await self._in_executor(service.slo_status)
+            return _Response(200, status)
         if path == "/runs":
             return await self._get_runs(query)
         if path == "/debug/profile":
             return await self._get_profile(query)
+        if path.startswith("/trace/"):
+            job = path[len("/trace/"):]
+            if not job:
+                return _error(400, "missing job id")
+            events = await self._in_executor(service.trace_events, job)
+            if events is None:
+                return _error(404, f"no trace for job {job!r}")
+            return _Response(200, {"job": job, "events": events})
         if path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
             record = service.status(job_id)

@@ -25,6 +25,18 @@ Two subcommands expose the batch service layer
     mcretime batch designs/ -o retimed/ --workers 4
     mcretime serve --port 8117 --cache-dir ~/.cache/mcretime
 
+Distributed tracing & SLOs (see ``docs/OBSERVABILITY.md``): a served
+system run with ``--trace-dir`` writes per-process traces that
+``mcretime report --stitch`` merges into one wall-clock timeline;
+``--critical-path`` attributes request time to queue/intern/solve/
+respond; ``mcretime top`` is a live dashboard and ``mcretime slo``
+gates rolling-window burn rates::
+
+    mcretime serve --trace-dir traces/ --slo-config slo.json
+    mcretime report traces/ --stitch --critical-path --out merged.json
+    mcretime top --url http://127.0.0.1:8117
+    mcretime slo check --url http://127.0.0.1:8117 --config slo.json
+
 Tracing (see ``docs/OBSERVABILITY.md``): ``--trace out.json`` writes a
 Chrome trace_event JSON, ``--log-json run.jsonl`` a structured run log,
 ``-v`` prints the span summary tree to stderr; ``mcretime report``
@@ -141,6 +153,10 @@ def main(argv: list[str] | None = None) -> int:
         return _report_main(argv[1:])
     if argv and argv[0] == "obs":
         return _obs_main(argv[1:])
+    if argv and argv[0] == "slo":
+        return _slo_main(argv[1:])
+    if argv and argv[0] == "top":
+        return _top_main(argv[1:])
     if argv and argv[0] == "fuzz":
         return _fuzz_main(argv[1:])
     if argv and argv[0] in ("pipeline", "cslow"):
@@ -899,7 +915,8 @@ def _report_main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "trace", type=Path,
-        help="trace file: a .jsonl run log or a Chrome trace_event JSON",
+        help="trace file: a .jsonl run log or a Chrome trace_event JSON "
+        "(with --stitch/--critical-path: a service trace DIRECTORY)",
     )
     parser.add_argument(
         "--top", type=int, default=5,
@@ -913,7 +930,30 @@ def _report_main(argv: list[str]) -> int:
         "--validate", action="store_true",
         help="check the file against the trace schema and exit",
     )
+    parser.add_argument(
+        "--stitch", action="store_true",
+        help="treat the positional path as a service trace directory and "
+        "merge each request's front-end + worker JSONL traces into one "
+        "wall-clock-anchored timeline (write Chrome JSON with --out)",
+    )
+    parser.add_argument(
+        "--critical-path", action="store_true",
+        help="over stitched traces: attribute each request's wall time to "
+        "queue / intern+attach / solve / respond and print the table",
+    )
+    parser.add_argument(
+        "--job", default=None, metavar="ID",
+        help="with --stitch/--critical-path: only this job id (or its "
+        "16-char prefix)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="with --stitch: write the merged Chrome trace_event JSON here",
+    )
     args = parser.parse_args(argv)
+
+    if args.stitch or args.critical_path:
+        return _report_stitched(args)
 
     try:
         if args.validate:
@@ -941,6 +981,45 @@ def _report_main(argv: list[str]) -> int:
         return _fail(f"cannot read {args.trace}: {exc.strerror or exc}")
     except (ValueError, KeyError) as exc:
         return _fail(f"{args.trace}: {exc}")
+    return 0
+
+
+def _report_stitched(args) -> int:
+    """``mcretime report --stitch / --critical-path`` over a trace dir."""
+    if not args.trace.is_dir():
+        return _fail(
+            f"{args.trace}: --stitch/--critical-path expect a service "
+            "trace directory (the service's trace_dir)"
+        )
+    stitched = obs.stitch_dir(args.trace, job=args.job)
+    stitched = {key: events for key, events in stitched.items() if events}
+    if not stitched:
+        return _fail(f"{args.trace}: no traces found")
+    if args.stitch:
+        print(
+            f"stitched {len(stitched)} request(s) from {args.trace} "
+            "(coverage = request wall time accounted by child spans):"
+        )
+        worst = 1.0
+        for key, events in stitched.items():
+            for line in obs.request_timelines(events):
+                worst = min(worst, line["coverage"])
+                print(
+                    f"  {key:<18} {line['duration'] * 1e3:8.1f}ms  "
+                    f"coverage {line['coverage'] * 100:5.1f}%  "
+                    f"({line['children']} child span(s))"
+                )
+        if args.out is not None:
+            obs.write_chrome(stitched, args.out)
+            print(f"wrote merged Chrome trace: {args.out}")
+        if worst < 0.9:
+            print(
+                "mcretime report: WARNING: a request's timeline covers "
+                f"only {worst * 100:.1f}% of its wall time",
+                file=sys.stderr,
+            )
+    if args.critical_path:
+        print(obs.render_critical_path(obs.critical_path(stitched)))
     return 0
 
 
@@ -1057,6 +1136,148 @@ def _obs_main(argv: list[str]) -> int:
 
 
 # ---------------------------------------------------------------------------
+# slo mode: service-level-objective burn rates
+# ---------------------------------------------------------------------------
+
+
+def _slo_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mcretime slo",
+        description=(
+            "Service-level objectives (see docs/OBSERVABILITY.md): `show` "
+            "prints the rolling-window burn rates of a live server; "
+            "`check` gates them (or a run ledger) against an SLO config "
+            "and exits non-zero when any objective is burning."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _common(p):
+        p.add_argument(
+            "--url", default=None, metavar="URL",
+            help="base URL of a live mcretime service (GET /slo)",
+        )
+        p.add_argument(
+            "--ledger", type=Path, default=None,
+            help="offline mode: replay service.job records from this run "
+            "ledger instead of querying a server",
+        )
+        p.add_argument(
+            "--config", type=Path, default=None,
+            help="SLO config JSON (window_seconds / latency_p95_seconds / "
+            "error_rate / shed_rate); defaults to the server's own config",
+        )
+
+    p_show = sub.add_parser("show", help="print current burn rates")
+    _common(p_show)
+    p_check = sub.add_parser(
+        "check", help="gate burn rates against the config (exit 1 on burn)"
+    )
+    _common(p_check)
+    p_check.add_argument(
+        "--inject-latency", type=float, default=None, metavar="FACTOR",
+        help="multiply the observed p95 by FACTOR before judging "
+        "(CI smoke hook: proves the gate fires on a degraded service)",
+    )
+    args = parser.parse_args(argv)
+
+    if (args.url is None) == (args.ledger is None):
+        return _fail("exactly one of --url / --ledger is required")
+    config = None
+    if args.config is not None:
+        try:
+            config = obs.SLOConfig.load(args.config)
+        except (OSError, ValueError, TypeError) as exc:
+            return _fail(f"cannot load SLO config {args.config}: {exc}")
+
+    inject = getattr(args, "inject_latency", None)
+    if args.ledger is not None:
+        from ..obs import sentinel
+
+        if config is None:
+            return _fail("--ledger mode requires --config")
+        try:
+            records = sentinel.load_records(args.ledger)
+        except OSError as exc:
+            return _fail(f"cannot read {args.ledger}: {exc.strerror or exc}")
+        ok, messages, status = obs.check_records(
+            records, config, inject_latency=inject
+        )
+    else:
+        from ..service import RetimeClient, ServiceError
+
+        try:
+            with RetimeClient(args.url, timeout=30.0) as client:
+                status = client.slo()
+        except (ServiceError, OSError, ValueError) as exc:
+            return _fail(f"cannot query {args.url}: {exc}")
+        if config is not None:
+            status = obs.reevaluate(status, config)
+        ok, messages = obs.evaluate(status, inject_latency=inject)
+
+    print(obs.render_status(status))
+    if args.command == "show":
+        return 0
+    for message in messages:
+        print(message)
+    if not ok:
+        print("mcretime slo: SLO check FAILED", file=sys.stderr)
+        return 1
+    print("mcretime slo: all objectives within budget")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# top mode: live terminal dashboard over a running service
+# ---------------------------------------------------------------------------
+
+
+def _top_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mcretime top",
+        description=(
+            "Live terminal dashboard over a running mcretime service: "
+            "queue depth, per-shard utilization, throughput, p95 latency, "
+            "and SLO burn rates, refreshed in place (Ctrl-C to quit)."
+        ),
+    )
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8117",
+        help="base URL of the service (default %(default)s)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh interval in seconds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen clearing; for "
+        "CI logs and piping)",
+    )
+    args = parser.parse_args(argv)
+
+    from ..service import RetimeClient, ServiceError
+    from .top import render_frame
+
+    with RetimeClient(args.url, timeout=10.0) as client:
+        while True:
+            try:
+                frame = render_frame(client, args.url)
+            except (ServiceError, OSError, ValueError) as exc:
+                return _fail(f"cannot query {args.url}: {exc}")
+            if args.once:
+                print(frame)
+                return 0
+            # ANSI home+clear keeps the frame in place without flicker
+            sys.stdout.write("\x1b[H\x1b[2J" + frame + "\n")
+            sys.stdout.flush()
+            try:
+                time.sleep(max(0.2, args.interval))
+            except KeyboardInterrupt:
+                return 0
+
+
+# ---------------------------------------------------------------------------
 # serve mode: the HTTP JSON API
 # ---------------------------------------------------------------------------
 
@@ -1065,7 +1286,8 @@ def _serve_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="mcretime serve",
         description="Serve retiming over HTTP (POST /retime, GET /jobs/<id>, "
-        "GET /healthz, GET /metrics, GET /runs, GET /debug/profile).",
+        "GET /healthz, GET /metrics, GET /slo, GET /trace/<id>, GET /runs, "
+        "GET /debug/profile).",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8117)
@@ -1096,6 +1318,29 @@ def _serve_main(argv: list[str]) -> int:
         help="intern this design before the pool forks so workers "
         "inherit it copy-on-write (repeatable)",
     )
+    parser.add_argument(
+        "--trace-dir", type=Path, default=None, metavar="DIR",
+        help="distributed tracing: workers write per-job JSONL traces "
+        "here and the front-end writes one request log per job; stitch "
+        "them with `mcretime report --stitch DIR` and query live via "
+        "GET /trace/<id>",
+    )
+    parser.add_argument(
+        "--slo-config", type=Path, default=None, metavar="JSON",
+        help="SLO config JSON backing GET /slo and `mcretime slo check` "
+        "(default: built-in targets)",
+    )
+    parser.add_argument(
+        "--start-method", choices=["fork", "spawn", "forkserver"],
+        default=None,
+        help="multiprocessing start method for pool workers "
+        "(default: platform default)",
+    )
+    parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable the worker→supervisor telemetry bus (live traces "
+        "of in-flight jobs and bus metrics)",
+    )
     args = parser.parse_args(argv)
 
     from ..service import RetimeService, serve_forever
@@ -1110,6 +1355,10 @@ def _serve_main(argv: list[str]) -> int:
         max_pending=args.max_pending,
         scaleout=False if args.no_scaleout else None,
         preload=args.preload or None,
+        trace_dir=args.trace_dir,
+        slo=args.slo_config,
+        telemetry=not args.no_telemetry,
+        start_method=args.start_method,
     )
     print(
         f"mcretime service on http://{args.host}:{args.port} "
@@ -1118,6 +1367,8 @@ def _serve_main(argv: list[str]) -> int:
         + (f", max-pending {args.max_pending}" if args.max_pending else "")
         + (f", cache {args.cache_dir}" if args.cache_dir else "")
         + (f", ledger {args.ledger}" if args.ledger else "")
+        + (f", traces {args.trace_dir}" if args.trace_dir else "")
+        + (f", slo {args.slo_config}" if args.slo_config else "")
         + ")"
     )
     serve_forever(service, host=args.host, port=args.port)

@@ -1,0 +1,219 @@
+"""Unit tests for the SLO engine (repro.obs.slo).
+
+The acceptance-critical case lives here too: an injected latency
+degradation must flip :func:`evaluate` (and the ledger replay in
+:func:`check_records`) from passing to failing.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import slo
+
+
+def make_engine(config=None, start=1000.0):
+    """Engine on a fake, advanceable clock."""
+    state = {"now": start}
+    engine = slo.SLOEngine(
+        config=config or slo.SLOConfig(), clock=lambda: state["now"]
+    )
+    return engine, state
+
+
+class TestSLOConfig:
+    def test_defaults(self):
+        config = slo.SLOConfig()
+        assert config.window_seconds == 300.0
+        assert config.latency_p95_seconds == 2.0
+        assert config.error_rate == 0.02
+        assert config.shed_rate == 0.10
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown SLO config key"):
+            slo.SLOConfig.from_dict({"latency_p99_seconds": 1.0})
+
+    def test_load_round_trips(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            json.dumps({"window_seconds": 60, "latency_p95_seconds": 0.5})
+        )
+        config = slo.SLOConfig.load(path)
+        assert config.window_seconds == 60
+        assert config.latency_p95_seconds == 0.5
+        assert config.error_rate == 0.02  # untouched default
+        assert slo.SLOConfig.from_dict(config.to_dict()) == config
+
+    def test_none_disables_an_objective(self):
+        engine, _ = make_engine(slo.SLOConfig(latency_p95_seconds=None))
+        engine.observe(100.0)
+        status = engine.status()
+        assert "latency_p95_seconds" not in {
+            s["name"] for s in status["slos"]
+        }
+        assert status["ok"]
+
+
+class TestSLOEngine:
+    def test_all_green_when_within_targets(self):
+        engine, _ = make_engine()
+        for _ in range(20):
+            engine.observe(0.1)
+        status = engine.status()
+        assert status["ok"]
+        assert status["observed"]["completed"] == 20
+        assert all(s["burn_rate"] <= 1.0 for s in status["slos"])
+
+    def test_latency_burn_flips_the_objective(self):
+        engine, _ = make_engine(slo.SLOConfig(latency_p95_seconds=0.2))
+        for _ in range(20):
+            engine.observe(0.5)
+        status = engine.status()
+        latency = next(
+            s for s in status["slos"] if s["name"] == "latency_p95_seconds"
+        )
+        assert not latency["ok"]
+        assert latency["burn_rate"] == pytest.approx(2.5)
+        assert not status["ok"]
+
+    def test_error_rate_counts_failed_outcomes(self):
+        engine, _ = make_engine()
+        for i in range(10):
+            engine.observe(0.1, ok=i != 0)  # 1 failure in 10
+        status = engine.status()
+        assert status["observed"]["error_rate"] == pytest.approx(0.1)
+        error = next(s for s in status["slos"] if s["name"] == "error_rate")
+        assert not error["ok"]  # 0.1 > the 0.02 target
+
+    def test_shed_rate_over_all_arrivals(self):
+        engine, _ = make_engine()
+        for _ in range(8):
+            engine.observe(0.1)
+        for _ in range(2):
+            engine.observe_shed()
+        status = engine.status()
+        assert status["observed"]["shed_rate"] == pytest.approx(0.2)
+        assert status["observed"]["requests"] == 10
+
+    def test_window_pruning_forgets_old_samples(self):
+        engine, state = make_engine(slo.SLOConfig(window_seconds=60.0))
+        engine.observe(5.0, ok=False)  # terrible sample at t=1000
+        state["now"] += 120.0  # two windows later
+        engine.observe(0.1)
+        status = engine.status()
+        assert status["observed"]["requests"] == 1
+        assert status["observed"]["error_rate"] == 0.0
+        assert status["ok"]
+
+    def test_throughput_is_per_window_second(self):
+        engine, _ = make_engine(slo.SLOConfig(window_seconds=100.0))
+        for _ in range(25):
+            engine.observe(0.1)
+        status = engine.status()
+        assert status["observed"]["throughput_per_second"] == pytest.approx(
+            0.25
+        )
+
+    def test_empty_engine_reports_clean(self):
+        engine, _ = make_engine()
+        status = engine.status()
+        assert status["ok"]
+        assert status["observed"]["requests"] == 0
+
+
+class TestEvaluate:
+    def test_passing_status(self):
+        engine, _ = make_engine()
+        engine.observe(0.1)
+        ok, messages = slo.evaluate(engine.status())
+        assert ok
+        assert all(m.startswith("PASS") for m in messages)
+
+    def test_injected_latency_flips_the_check(self):
+        """Acceptance: degradation injection turns a green check red."""
+        engine, _ = make_engine(slo.SLOConfig(latency_p95_seconds=2.0))
+        for _ in range(10):
+            engine.observe(0.05)
+        status = engine.status()
+        ok, _ = slo.evaluate(status)
+        assert ok
+        ok, messages = slo.evaluate(status, inject_latency=1000.0)
+        assert not ok
+        assert any(
+            m.startswith("FAIL latency_p95_seconds") for m in messages
+        )
+        # other objectives are untouched by the injection
+        assert sum(m.startswith("FAIL") for m in messages) == 1
+
+    def test_no_objectives_passes_explicitly(self):
+        ok, messages = slo.evaluate({"slos": []})
+        assert ok
+        assert "no objectives configured" in messages[0]
+
+
+class TestReevaluate:
+    def test_stricter_committed_config_overrides_server_targets(self):
+        engine, _ = make_engine(slo.SLOConfig(latency_p95_seconds=10.0))
+        for _ in range(10):
+            engine.observe(0.5)
+        status = engine.status()
+        assert status["ok"]  # lenient server-side target
+        rejudged = slo.reevaluate(
+            status, slo.SLOConfig(latency_p95_seconds=0.1)
+        )
+        assert not rejudged["ok"]
+        assert rejudged["config"]["latency_p95_seconds"] == 0.1
+
+
+class TestCheckRecords:
+    @staticmethod
+    def record(elapsed, status="done"):
+        return {
+            "kind": "service.job",
+            "status": status,
+            "metrics": {"elapsed": elapsed},
+        }
+
+    def test_replays_a_healthy_ledger(self):
+        records = [self.record(0.1) for _ in range(10)]
+        ok, messages, status = slo.check_records(records, slo.SLOConfig())
+        assert ok
+        assert status["observed"]["completed"] == 10
+
+    def test_failed_and_shed_records_count_against_budgets(self):
+        records = [self.record(0.1) for _ in range(4)]
+        records.append(self.record(0.1, status="failed"))
+        records.append(self.record(0.0, status="shed"))
+        config = slo.SLOConfig(error_rate=0.01, shed_rate=0.01)
+        ok, messages, status = slo.check_records(records, config)
+        assert not ok
+        assert status["observed"]["error_rate"] == pytest.approx(0.2)
+        assert status["observed"]["shed_rate"] == pytest.approx(1 / 6)
+
+    def test_injection_flips_the_offline_gate(self):
+        records = [self.record(0.05) for _ in range(10)]
+        config = slo.SLOConfig(latency_p95_seconds=2.0)
+        ok, _, _ = slo.check_records(records, config)
+        assert ok
+        ok, messages, _ = slo.check_records(
+            records, config, inject_latency=1000.0
+        )
+        assert not ok
+
+    def test_empty_ledger_fails_loudly(self):
+        ok, messages, _ = slo.check_records(
+            [{"kind": "bench.case"}], slo.SLOConfig()
+        )
+        assert not ok
+        assert any("no service.job records" in m for m in messages)
+
+
+class TestRenderStatus:
+    def test_mentions_every_objective_and_verdict(self):
+        engine, _ = make_engine(slo.SLOConfig(latency_p95_seconds=0.01))
+        for _ in range(5):
+            engine.observe(0.5)
+        text = slo.render_status(engine.status())
+        assert "latency_p95_seconds" in text
+        assert "BURN" in text
+        assert "VIOLATED" in text
