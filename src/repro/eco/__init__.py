@@ -1,0 +1,54 @@
+"""``repro.eco`` — incremental (ECO) multiple-class retiming.
+
+Engineering-change-order support: diff an edited netlist against its
+base (:mod:`.diff`), patch the edit's delay changes copy-on-write into
+the base's interned CSR snapshot (:mod:`.patch`), and re-solve warm
+(:mod:`.solve`) — reusing the delay-independent solver prefix, the
+content-addressed solve cache, and dirty-region Δ refreshes — with
+every result bit-identical to a cold solve of the edited design.
+
+Entry points:
+
+* :func:`eco_retime` — retime ``base + edit`` incrementally.
+* :class:`EcoState` — reusable per-base solver state (prefix, CSR
+  snapshots, solve cache); share one across an edit stream.
+* :func:`diff_circuits` / :func:`apply_edit_script` — the netlist-diff
+  layer and the JSON edit-script format the service ships.
+
+See ``docs/ECO.md`` for the plan taxonomy (reuse / resolve / cold) and
+the fallback rules.
+"""
+
+from .diff import (
+    CircuitDiff,
+    apply_edit_script,
+    diff_circuits,
+)
+from .patch import (
+    gate_delay_updates,
+    patch_compiled_delays,
+    patch_graph_delays,
+)
+from .solve import (
+    DETERMINISTIC_METRICS,
+    EcoResult,
+    EcoState,
+    SolveRecord,
+    deterministic_metrics,
+    eco_retime,
+)
+
+__all__ = [
+    "CircuitDiff",
+    "DETERMINISTIC_METRICS",
+    "EcoResult",
+    "EcoState",
+    "SolveRecord",
+    "apply_edit_script",
+    "deterministic_metrics",
+    "diff_circuits",
+    "eco_retime",
+    "gate_delay_updates",
+    "patch_compiled_delays",
+    "patch_graph_delays",
+]

@@ -5,6 +5,7 @@ from .script import (
     baseline_flow,
     cslow_flow,
     decomposed_enable_flow,
+    eco_flow,
     pipeline_flow,
     retime_flow,
 )
@@ -14,6 +15,7 @@ __all__ = [
     "baseline_flow",
     "cslow_flow",
     "decomposed_enable_flow",
+    "eco_flow",
     "pipeline_flow",
     "retime_flow",
 ]

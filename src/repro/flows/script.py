@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .. import obs
+from ..eco import EcoResult, EcoState, eco_retime
 from ..mcretime import MCRetimeResult, mc_retime
 from ..netlist import Circuit, circuit_stats, class_histogram
 from ..obs import StageClock, finalize_total
@@ -82,6 +83,9 @@ class FlowResult:
     #: economics, register-class histograms) for the pipeline / C-slow
     #: flows; ``None`` for the paper's table flows
     transform: dict | None = None
+    #: how the incremental path answered an :func:`eco_flow` run (plan,
+    #: diff, dirty fraction, fallback reason); ``None`` elsewhere
+    eco: EcoResult | None = None
 
 
 def _verify_stage(
@@ -204,6 +208,75 @@ def retime_flow(
         timings=clock.done(),
         accepted=accepted,
         verify=check,
+    )
+
+
+def eco_flow(
+    circuit: Circuit,
+    edit,
+    state: EcoState | None = None,
+    delay_model: DelayModel = XC4000E_DELAY,
+    objective: str = "minarea",
+    target_period: float | None = None,
+    semantic_classes: bool = True,
+    verify: bool = False,
+    verify_cycles: int = 64,
+) -> FlowResult:
+    """Incrementally retime an edited design against its base (ECO).
+
+    *circuit* is the **mapped** base netlist (edits address mapped
+    cells by name — typically ``baseline_flow(...).circuit`` or a
+    previous flow's output); *edit* is either an edit script (see
+    :func:`repro.eco.apply_edit_script`) or the already-edited mapped
+    circuit.  Pass a reusable :class:`repro.eco.EcoState` to amortise
+    the base's solver prefix and solve cache across an edit stream;
+    without one the flow builds a throwaway state (still correct, no
+    reuse between calls).
+
+    The retiming result is bit-identical to ``retime_flow`` on the
+    edited netlist — only faster — so the remap / accept-or-reject
+    logic is the same: the flow keeps the pre-retiming edited netlist
+    when full STA shows a regression.  ``verify=True`` sequentially
+    checks the final netlist against the edited base.
+    """
+    if state is not None and state.circuit is not circuit:
+        raise ValueError("state was built for a different base circuit")
+    clock = StageClock()
+    with clock.stage("eco", "flow.eco", objective=objective):
+        eco = eco_retime(
+            state if state is not None else circuit,
+            edit,
+            delay_model=None if state is not None else delay_model,
+            objective=objective,
+            target_period=target_period,
+            semantic_classes=None if state is not None else semantic_classes,
+        )
+        result = eco.result
+    with clock.stage("remap", "flow.remap"):
+        final = remap(result.circuit, delay_model=delay_model).circuit
+        XC4000E_ARCH.check_mapped(final)
+    base_ff, base_lut, base_delay = _measure(eco.circuit, delay_model)
+    n_ff, n_lut, delay = _measure(final, delay_model)
+    accepted = delay <= base_delay + 1e-9
+    if not accepted:
+        final = eco.circuit
+        n_ff, n_lut, delay = base_ff, base_lut, base_delay
+    check = None
+    if verify:
+        check = _verify_stage(clock, eco.circuit, final, verify_cycles)
+    stats = circuit_stats(final)
+    return FlowResult(
+        circuit=final,
+        n_ff=n_ff,
+        n_lut=n_lut,
+        delay=delay,
+        has_async=stats.has_async,
+        has_enable=stats.has_enable,
+        retime=result,
+        timings=clock.done(),
+        accepted=accepted,
+        verify=check,
+        eco=eco,
     )
 
 

@@ -38,6 +38,7 @@ from .compiled_graph import (
     graph_from_buffer,
     intern_stats,
     seed_intern,
+    unseed_intern,
 )
 from .delta import KernelSweep, delta_sweep, refresh
 from .diffsys import CompiledSystem
@@ -132,6 +133,7 @@ __all__ = [
     "graph_from_buffer",
     "intern_stats",
     "seed_intern",
+    "unseed_intern",
     "delta_sweep",
     "pack_lanes",
     "pack_vectors",

@@ -221,6 +221,12 @@ def seed_intern(key: str, cg: CompiledGraph) -> None:
     intern_stats["seeded"] += 1
 
 
+def unseed_intern(key: str) -> None:
+    """Drop one seeded snapshot (the ECO path seeds per-edit keys and
+    releases them after the solve)."""
+    _INTERN_SEEDS.pop(key, None)
+
+
 def clear_intern_seeds() -> None:
     _INTERN_SEEDS.clear()
     intern_stats.update(seeded=0, hits=0, misses=0)

@@ -56,16 +56,39 @@ class KernelSweep:
         self.delta = delta
         self.pred = pred
         #: full-sweep Kahn order (None after a refresh — the refresh
-        #: does not maintain a global order, only correct values)
+        #: does not maintain a global order, only correct values; use
+        #: :meth:`topo_order` to recover one on demand)
         self.order = order
         self.r = r
         self._period: float | None = None
 
     @property
     def period(self) -> float:
+        """Max Δ over all vertices (order-independent, refresh-safe)."""
         if self._period is None:
             self._period = max(self.delta, default=0.0)
         return self._period
+
+    def topo_order(
+        self, cg: CompiledGraph, through_host: bool | None = None
+    ) -> list[int]:
+        """Topological order of the zero-weight subgraph at ``self.r``.
+
+        After a :func:`refresh`, ``self.order`` is ``None`` — the cone
+        walk does not maintain a global order.  Consumers that iterate
+        a topo order (e.g. the min-area constraint builder) call this
+        instead of touching ``.order`` directly: it returns the cached
+        full-sweep order when present, and otherwise recomputes one
+        with the same Kahn queue discipline as :func:`delta_sweep`, so
+        the result is bit-identical to the order a full sweep at the
+        same retiming would have produced.  The recomputed order is
+        cached on the sweep.
+        """
+        if self.order is None:
+            if through_host is None:
+                through_host = cg.through_host
+            _, _, self.order = _zero_structure(cg, self.r, through_host)
+        return self.order
 
     def trace_start(self, v: int) -> int:
         """Walk predecessors to the start of v's critical path."""
@@ -110,13 +133,17 @@ def _zero_edges(
     return zero
 
 
-def delta_sweep(
-    cg: CompiledGraph, r: list[int], through_host: bool | None = None
-) -> KernelSweep:
-    """Full CP sweep; bit-identical to the dict ``compute_delta``."""
-    obs.count("delta.sweeps")
-    if through_host is None:
-        through_host = cg.through_host
+def _zero_structure(
+    cg: CompiledGraph, r: list[int], through_host: bool
+) -> tuple[list[int], list[int], list[int]]:
+    """Zero-in CSR and Kahn topological order of the zero subgraph.
+
+    Returns ``(zin_start, zin, order)``.  The construction mirrors the
+    dict implementation exactly (edge-order zero-in lists, id-order
+    zero-out build, LIFO Kahn queue) so the order is deterministic and
+    shared between :func:`delta_sweep` and
+    :meth:`KernelSweep.topo_order`.
+    """
     n = cg.n
     eu, ev = cg.eu, cg.ev
     zero = _zero_edges(cg, r, through_host)
@@ -155,6 +182,19 @@ def delta_sweep(
                 queue.append(s)
     if len(order) != n:
         raise GraphError("zero-weight subgraph is cyclic")
+    return zin_start, zin, order
+
+
+def delta_sweep(
+    cg: CompiledGraph, r: list[int], through_host: bool | None = None
+) -> KernelSweep:
+    """Full CP sweep; bit-identical to the dict ``compute_delta``."""
+    obs.count("delta.sweeps")
+    if through_host is None:
+        through_host = cg.through_host
+    n = cg.n
+    eu = cg.eu
+    zin_start, zin, order = _zero_structure(cg, r, through_host)
 
     delay = cg.delay
     delta = [0.0] * n
@@ -177,26 +217,34 @@ def refresh(
     sweep: KernelSweep,
     r: list[int],
     through_host: bool | None = None,
+    extra_seeds: "set[int] | frozenset[int] | None" = None,
 ) -> KernelSweep:
     """Incremental re-sweep after a retiming change.
 
     Recomputes Δ/pred only for vertices in the forward cone (over the
-    *new* zero-weight subgraph) of vertices whose zero-in edge set
+    *new* zero-weight subgraph) of the vertices whose zero-in edge set
     changed; everything else keeps its previous — provably identical —
     value.  Falls back to :func:`delta_sweep` when most of the graph
     moved.  Returns a new :class:`KernelSweep` (``order`` is ``None``:
-    consumers needing the global topological order must do a full
-    sweep).
+    consumers needing the global topological order should call
+    :meth:`KernelSweep.topo_order`).
+
+    *extra_seeds* forces additional vertices into the recompute cone
+    even when their zero-edge neighbourhood did not change.  The ECO
+    path uses this after patching vertex *delays* in place: a delay
+    change alters Δ at the vertex and everything downstream without
+    moving any retiming, which the r-diff seeding alone cannot see.
     """
     if through_host is None:
         through_host = cg.through_host
     r_old = sweep.r
     n = cg.n
+    extra = {i for i in extra_seeds if 0 <= i < n} if extra_seeds else set()
     changed = [i for i in range(n) if r[i] != r_old[i]]
-    if not changed:
+    if not changed and not extra:
         return sweep
     obs.count("delta.refreshes")
-    if n <= _REFRESH_MIN_N or len(changed) > n * _REFRESH_FRACTION:
+    if n <= _REFRESH_MIN_N or len(changed) + len(extra) > n * _REFRESH_FRACTION:
         obs.count("delta.refresh_full")
         return delta_sweep(cg, r, through_host)
 
@@ -226,6 +274,7 @@ def refresh(
             )
         if (w_new == 0) != (ew[k] + r_old[vi] - r_old[ui] == 0):
             seed.add(vi)
+    seed |= extra
 
     if not seed:
         # no zero edge flipped: the zero subgraph is unchanged, so Δ is

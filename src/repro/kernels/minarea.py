@@ -79,7 +79,11 @@ def min_area_kernel(
             delta = sweep.delta
             added = False
             limit = phi + EPS
-            for v in sweep.order:  # dict-engine constraint order: topo order
+            # dict-engine constraint order: topo order.  topo_order()
+            # rather than .order — the latter is None on refreshed
+            # sweeps, and this loop must stay safe if the sweep above
+            # ever becomes incremental.
+            for v in sweep.topo_order(cg):
                 if delta[v] <= limit or is_mirror[v]:
                     continue
                 u = sweep.trace_start(v)

@@ -120,10 +120,17 @@ def read_blif(stream: TextIO | str, name_hint: str | None = None) -> Circuit:
             pass  # constants are implicitly driven; ignore re-declaration
         else:
             assert circuit is not None
+            # name anonymous .names gates after the net they drive: the
+            # output net is unique and survives a BLIF round-trip, so
+            # gate names stay stable when cells are inserted or removed
+            # upstream — which is what lets the ECO layer diff two
+            # parses of related designs cell by cell (sequential
+            # numbering would shift every name after an edit)
             lut_counter += 1
-            circuit.add_gate(
-                GateFn.LUT, ins, out, name=f"lut{lut_counter}", table=table
-            )
+            name = f"lut${out}"
+            if name in circuit.gates or name in circuit.registers:
+                name = f"lut{lut_counter}"
+            circuit.add_gate(GateFn.LUT, ins, out, name=name, table=table)
         pending_names = None
         pending_cover = []
 

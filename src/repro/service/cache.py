@@ -10,7 +10,11 @@ The memory tier absorbs hot resubmissions; the disk tier (one
 restarts and is shared between ``mcretime batch`` runs and a
 ``mcretime serve`` instance pointed at the same directory.  Writes go
 through a temp-file rename so a killed process never leaves a torn
-entry behind.
+entry behind; writers killed *between* the temp write and the rename
+leave a stale ``.tmp`` file, which construction and :meth:`clear`
+sweep.  Entries that fail to decode are quarantined (renamed to
+``<key>.json.corrupt``) on the first miss so later lookups do not
+re-read the bad bytes.
 """
 
 from __future__ import annotations
@@ -41,10 +45,45 @@ class ResultCache:
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
+        #: disk entries quarantined after a decode failure (the service
+        #: surfaces this as ``repro_cache_corrupt_total``)
+        self.corrupt = 0
+        if self.cache_dir is not None:
+            self._sweep_stale_tmp()
 
     def _disk_path(self, key: str) -> Path:
         assert self.cache_dir is not None
         return self.cache_dir / f"{key}.json"
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove leftover per-writer temp files.
+
+        A writer hard-killed between ``tmp.write_text`` and
+        ``os.replace`` never reaches its ``finally`` cleanup, leaking
+        ``.<key>.json.<pid>.<tid>.tmp`` forever.  Any temp file that
+        predates this process is stale by construction (live writers
+        hold the file only for the duration of one ``put``, and temp
+        names are unique per pid/thread), so sweeping at startup and on
+        ``clear()`` cannot race an in-flight writer of *this* process.
+        """
+        assert self.cache_dir is not None
+        for tmp in self.cache_dir.glob(".*.json.*.tmp"):
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt disk entry aside so it is never re-read."""
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                return
+        with self._lock:
+            self.corrupt += 1
 
     def get(self, key: str) -> JobResult | None:
         """Look *key* up, promoting disk hits into the memory tier."""
@@ -57,9 +96,21 @@ class ResultCache:
         if self.cache_dir is not None:
             path = self._disk_path(key)
             try:
-                data = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
-                data = None
+                text = path.read_text()
+            except OSError:
+                text = None
+            data = None
+            if text is not None:
+                try:
+                    data = json.loads(text)
+                    if not isinstance(data, dict):
+                        raise ValueError("cache entry is not an object")
+                except (json.JSONDecodeError, ValueError):
+                    # decodable never again: quarantine so the next
+                    # lookup goes straight to a miss instead of
+                    # re-parsing the same bad bytes
+                    data = None
+                    self._quarantine(path)
             if data is not None:
                 with self._lock:
                     self.disk_hits += 1
@@ -124,3 +175,6 @@ class ResultCache:
         if self.cache_dir is not None:
             for path in self.cache_dir.glob("*.json"):
                 path.unlink(missing_ok=True)
+            for path in self.cache_dir.glob("*.json.corrupt"):
+                path.unlink(missing_ok=True)
+            self._sweep_stale_tmp()

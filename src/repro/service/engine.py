@@ -119,8 +119,17 @@ class RetimeService:
         self._cache_misses = m.counter(
             "repro_cache_misses_total", "Submissions that required execution"
         )
+        self._cache_corrupt = m.counter(
+            "repro_cache_corrupt_total",
+            "Corrupt disk cache entries quarantined on first read",
+        )
+        self._corrupt_synced = 0
         self._deduped = m.counter(
             "repro_jobs_deduped_total", "Submissions coalesced onto an in-flight job"
+        )
+        self._eco_jobs = m.counter(
+            "repro_eco_jobs_total",
+            "Incremental (ECO) submissions, labelled by the worker's plan",
         )
         self._shed = m.counter(
             "repro_jobs_shed_total",
@@ -276,6 +285,10 @@ class RetimeService:
         self._lock = threading.Lock()
         #: job_id -> record dict (state machine mirrored for the HTTP API)
         self._jobs: dict[str, dict] = {}
+        #: design fingerprint -> canonical BLIF of recent submissions;
+        #: what ``POST /retime`` ECO bodies resolve ``base_key`` against
+        self._design_texts: dict[str, str] = {}
+        self._design_texts_max = 128
 
     # -- submission ----------------------------------------------------
 
@@ -289,6 +302,10 @@ class RetimeService:
         """
         job_id = job.canonical_key
         self._submitted.inc()
+        design_key = self._remember_design(job)
+        if job.base_key is not None:
+            self._eco_jobs.inc(plan="submitted")
+            obs.count("service.eco.submitted")
         t0 = time.perf_counter()
         submit_wall = time.time()
         with obs.span("service.admit", job=job_id[:16]):
@@ -312,6 +329,7 @@ class RetimeService:
                         obs.count("service.cache.dedup")
                     return job_id
             cached = self.cache.get(job_id)
+            self._sync_cache_corrupt()
             if cached is not None:
                 cached.cached = True
                 cached.job_id = job_id
@@ -329,6 +347,7 @@ class RetimeService:
                         "submitted_at": time.time(),
                         "result": cached,
                         "options": job.options(),
+                        "design_key": design_key,
                     }
                 return job_id
             self._cache_misses.inc()
@@ -339,6 +358,11 @@ class RetimeService:
             ref = None
             if self.scaleout:
                 ref, segment, shard_key, payload = self._intern_job(job)
+            if job.base_key is not None:
+                # ECO affinity: route the edit to the worker holding the
+                # *base* design's parsed circuit / interned segment /
+                # warm EcoState, not to the edited content's home shard
+                shard_key = job.base_key
             # distributed trace context: the request span tree lives in
             # this process (written at terminal state); the worker nests
             # its root spans under the dispatch span via this stamp
@@ -359,6 +383,7 @@ class RetimeService:
                     "result": None,
                     "options": job.options(),
                     "intern_ref": ref,
+                    "design_key": design_key,
                     "trace": {"submit_wall": submit_wall},
                 }
             try:
@@ -431,6 +456,30 @@ class RetimeService:
         payload = {"design_ref": ref, "segment": segment, "job": shipped}
         return ref, segment, fingerprint, payload
 
+    def _remember_design(self, job: RetimeJob) -> str:
+        """Record the job's canonical netlist under its design
+        fingerprint (LRU) and return the fingerprint — the ``base_key``
+        future ECO submissions address this design by."""
+        canonical = job.canonical_netlist
+        key = design_fingerprint(canonical)
+        with self._lock:
+            self._design_texts.pop(key, None)
+            self._design_texts[key] = canonical
+            while len(self._design_texts) > self._design_texts_max:
+                self._design_texts.pop(next(iter(self._design_texts)))
+        return key
+
+    def base_netlist(self, key: str) -> str | None:
+        """Canonical BLIF of a recently seen design, by fingerprint
+        (the ``POST /retime`` ECO path resolves ``base_key`` here)."""
+        with self._lock:
+            text = self._design_texts.get(key)
+            if text is not None:
+                # LRU touch
+                self._design_texts.pop(key)
+                self._design_texts[key] = text
+        return text
+
     def _preload_design(self, path: Path) -> None:
         """Intern one netlist file pre-fork (registry + local caches)."""
         fmt = "verilog" if path.suffix in (".v", ".sv") else "blif"
@@ -498,6 +547,7 @@ class RetimeService:
             result = record["result"]
             submitted_at = record["submitted_at"]
             cached = record["cached"]
+            design_key = record.get("design_key")
         if result is None and state not in ("done", "failed"):
             # the pool has fresher in-flight state (running/retrying)
             try:
@@ -509,6 +559,7 @@ class RetimeService:
             "state": state,
             "cached": cached,
             "submitted_at": submitted_at,
+            "design_key": design_key,
             "result": result.to_dict() if result is not None else None,
         }
         return out
@@ -532,6 +583,14 @@ class RetimeService:
         hits = self._cache_hits.total()
         misses = self._cache_misses.total()
         return hits / max(hits + misses, 1)
+
+    def _sync_cache_corrupt(self) -> None:
+        """Mirror the cache's quarantine tally into the counter."""
+        seen = self.cache.corrupt
+        delta = seen - self._corrupt_synced
+        if delta > 0:
+            self._corrupt_synced = seen
+            self._cache_corrupt.inc(delta)
 
     def _release_intern_ref(self, job_id: str) -> None:
         """Drop the job's design pin once it reaches a terminal state."""
@@ -615,6 +674,9 @@ class RetimeService:
             if verify:
                 self._verify_checks.inc()
                 self._verify_seconds.observe(verify.get("seconds", 0.0))
+            eco = result.metrics.get("eco")
+            if eco:
+                self._eco_jobs.inc(plan=str(eco.get("plan", "unknown")))
             self.cache.put(job_id, result)
             self._record_final(job_id, result)
             self._ledger_append(job_id, result)

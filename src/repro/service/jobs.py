@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from functools import cached_property
@@ -119,6 +120,19 @@ class RetimeJob:
     stages: int = 1
     #: C-slow factor (used when ``transform == "cslow"``)
     factor: int = 2
+    #: ECO metadata (``docs/ECO.md``): the design fingerprint of the
+    #: base this job was derived from.  ``netlist`` always holds the
+    #: full *edited* design — the content address, cache key, and cold
+    #: path never depend on the ECO fields, so an ECO submission
+    #: dedupes against an equivalent full submission.  When the worker
+    #: also has ``base_netlist`` it retimes incrementally
+    #: (:func:`repro.eco.eco_retime`), bit-identical but warm.
+    base_key: str | None = None
+    #: canonical BLIF of the base design (ships the warm path's input;
+    #: ``None`` degrades to a plain cold solve)
+    base_netlist: str | None = None
+    #: the JSON edit script of the original request (audit trail only)
+    edit: str | None = None
 
     def __post_init__(self) -> None:
         if self.fmt not in _FORMATS:
@@ -168,6 +182,15 @@ class RetimeJob:
             raise ValueError(
                 f"factor must be a positive int, got {self.factor!r}"
             )
+        if self.base_netlist is not None and self.base_key is None:
+            raise ValueError("base_netlist requires base_key")
+        if self.edit is not None:
+            try:
+                ops = json.loads(self.edit)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"edit is not valid JSON: {exc}") from None
+            if not isinstance(ops, list):
+                raise ValueError("edit must be a JSON list of edit ops")
 
     @classmethod
     def from_file(cls, path: str | Path, **options) -> "RetimeJob":
@@ -286,6 +309,46 @@ class JobResult:
         if data.get("error"):
             data["error"] = JobFailure.from_dict(data["error"])
         return cls(**data)
+
+
+#: worker-local ECO states, keyed by (base fingerprint, delay model,
+#: semantic classes) — one per base design the worker has seen.  The
+#: shard ring routes every job for one base to the same worker, so this
+#: small LRU gives the warm path its prefix/solve-cache reuse.
+_ECO_STATES: "dict[tuple, object]" = {}
+_ECO_STATES_MAX = 4
+_ECO_LOCK = threading.Lock()
+
+
+def _eco_state(job: RetimeJob, model):
+    """Get or build the worker's :class:`repro.eco.EcoState` for the
+    job's base design; returns ``None`` when the base text is absent or
+    unparsable (the caller then runs the plain cold path)."""
+    from ..eco import EcoState
+
+    if job.base_key is None or job.base_netlist is None:
+        return None
+    key = (job.base_key, job.resolved_delay_model(), job.semantic_classes)
+    with _ECO_LOCK:
+        state = _ECO_STATES.get(key)
+        if state is not None:
+            # LRU touch
+            _ECO_STATES[key] = _ECO_STATES.pop(key)
+            return state
+    try:
+        base = read_blif(job.base_netlist, name_hint=job.name)
+        check_circuit(base)
+    except Exception:  # noqa: BLE001 - degrade to cold, never fail the job
+        obs.count("eco.base_parse_error")
+        return None
+    state = EcoState(
+        base, delay_model=model, semantic_classes=job.semantic_classes
+    )
+    with _ECO_LOCK:
+        while len(_ECO_STATES) >= _ECO_STATES_MAX:
+            _ECO_STATES.pop(next(iter(_ECO_STATES)))
+        _ECO_STATES[key] = state
+    return state
 
 
 def _measure(circuit: Circuit, model) -> dict[str, object]:
@@ -604,14 +667,33 @@ def _dispatch_flow(
     if job.transform is not None:
         return _dispatch_transform(job, circuit, model)
     if job.flow == "mcretime":
-        result = mc_retime(
-            circuit,
-            delay_model=model,
-            target_period=job.target_period,
-            objective=job.objective,
-            semantic_classes=job.semantic_classes,
-            intern_key=intern_key,
-        )
+        eco_info = None
+        state = _eco_state(job, model)
+        if state is not None:
+            from ..eco import eco_retime
+
+            eco = eco_retime(
+                state,
+                circuit,
+                target_period=job.target_period,
+                objective=job.objective,
+            )
+            result = eco.result
+            eco_info = {
+                "plan": eco.plan,
+                "dirty_fraction": eco.dirty_fraction,
+                "fallback_reason": eco.fallback_reason,
+                "patched_entries": eco.patched_entries,
+            }
+        else:
+            result = mc_retime(
+                circuit,
+                delay_model=model,
+                target_period=job.target_period,
+                objective=job.objective,
+                semantic_classes=job.semantic_classes,
+                intern_key=intern_key,
+            )
         out_circuit = result.circuit
         check_circuit(out_circuit)
         timings = dict(result.timings)
@@ -622,6 +704,8 @@ def _dispatch_flow(
             "retime": _retime_metrics(result),
             "timings": timings,
         }
+        if eco_info is not None:
+            metrics["eco"] = eco_info
     elif job.flow == "baseline":
         flow = baseline_flow(circuit, model)
         out_circuit = flow.circuit

@@ -10,6 +10,15 @@ Endpoints (see ``docs/SERVICE.md`` for the full reference):
   the finished job record; otherwise submission returns immediately
   with the job id for polling.  Under load shedding the response is
   ``429`` with a ``Retry-After`` header.
+
+  **ECO submissions** (``docs/ECO.md``) replace ``netlist`` with
+  ``{"base_key": "<design_key>", "edit": [ ...op dicts... ]}``: the
+  server resolves the base design from a previous submission's
+  ``design_key`` (returned in every job record), applies the edit
+  script, and submits the edited design — routed to the worker
+  holding the base's warm solver state, which retimes incrementally
+  (bit-identical to a cold solve).  Unknown ``base_key`` or a
+  malformed script is a ``400``.
 * ``GET /jobs/<id>`` — job status/result by content-addressed id.
 * ``GET /healthz`` — liveness plus worker/queue/job counts.
 * ``GET /metrics`` — Prometheus text exposition (with exemplars).
@@ -83,18 +92,57 @@ _JOB_FIELDS = (
 )
 
 
-def job_from_request(body: dict) -> RetimeJob:
-    """Build a :class:`RetimeJob` from a ``POST /retime`` JSON body."""
+def job_from_request(body: dict, resolve_base=None) -> RetimeJob:
+    """Build a :class:`RetimeJob` from a ``POST /retime`` JSON body.
+
+    Two request shapes: a full submission carrying ``netlist``, or an
+    ECO submission carrying ``base_key`` + ``edit`` (``docs/ECO.md``).
+    For the latter, *resolve_base* maps a design fingerprint to its
+    canonical BLIF (:meth:`RetimeService.base_netlist`); the edit
+    script is applied here so the job's ``netlist`` — hence its content
+    address and every cold/correctness path — is the full edited
+    design, with the ECO fields riding along for the warm path.
+    """
     if not isinstance(body, dict):
         raise ValueError("request body must be a JSON object")
-    netlist = body.get("netlist")
-    if not isinstance(netlist, str) or not netlist.strip():
-        raise ValueError("missing required field 'netlist'")
     options = {
         key: body[key]
         for key in _JOB_FIELDS
         if key in body and body[key] is not None
     }
+    netlist = body.get("netlist")
+    if netlist is None and body.get("base_key") is not None:
+        from ..eco import apply_edit_script
+        from ..netlist import read_blif, write_blif
+
+        base_key = body["base_key"]
+        if not isinstance(base_key, str):
+            raise ValueError("'base_key' must be a design fingerprint string")
+        edit = body.get("edit")
+        if not isinstance(edit, list):
+            raise ValueError("ECO submissions need 'edit': a list of op dicts")
+        base_text = resolve_base(base_key) if resolve_base else None
+        if base_text is None:
+            raise ValueError(
+                f"unknown base_key {base_key[:16]!r}: the base design is "
+                "not (or no longer) known to this service — submit it "
+                "first and use the returned design_key"
+            )
+        base = read_blif(base_text)
+        try:
+            edited = apply_edit_script(base, edit)
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"bad edit script: {exc}") from None
+        options.setdefault("fmt", "blif")
+        return RetimeJob(
+            netlist=write_blif(edited),
+            base_key=base_key,
+            base_netlist=base_text,
+            edit=json.dumps(edit),
+            **options,
+        )
+    if not isinstance(netlist, str) or not netlist.strip():
+        raise ValueError("missing required field 'netlist'")
     return RetimeJob(netlist=netlist, **options)
 
 
@@ -436,7 +484,7 @@ class AsyncRetimeServer:
         service = self.service
 
         def admit():
-            job = job_from_request(parsed)
+            job = job_from_request(parsed, resolve_base=service.base_netlist)
             job_id = service.submit(job)
             if parsed.get("wait"):
                 service.wait(job_id)

@@ -159,6 +159,8 @@ def main(argv: list[str] | None = None) -> int:
         return _top_main(argv[1:])
     if argv and argv[0] == "fuzz":
         return _fuzz_main(argv[1:])
+    if argv and argv[0] == "eco":
+        return _eco_main(argv[1:])
     if argv and argv[0] in ("pipeline", "cslow"):
         return _transform_main(argv[0], argv[1:])
     return _retime_main(argv)
@@ -387,6 +389,152 @@ def _retime_main(argv: list[str]) -> int:
 
     if args.output is not None:
         save_circuit(retimed, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# incremental (ECO) retiming (docs/ECO.md)
+# ---------------------------------------------------------------------------
+
+
+def _eco_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mcretime eco",
+        description=(
+            "Incrementally retime an edited design against a base "
+            "netlist: the solver prefix and solve cache of the base are "
+            "reused when the edit allows it, and the result is "
+            "bit-identical to a cold retime of the edited design "
+            "(docs/ECO.md)."
+        ),
+    )
+    parser.add_argument(
+        "input", type=Path, nargs="?",
+        help="edited netlist (.blif/.v); omit when --edits is given",
+    )
+    parser.add_argument(
+        "--base", type=Path, required=True, metavar="BASE",
+        help="base netlist the edit is diffed against",
+    )
+    parser.add_argument(
+        "--edits", type=Path, default=None, metavar="SCRIPT.json",
+        help="JSON edit script applied to the base instead of an "
+        "edited netlist (list of op dicts, see docs/ECO.md)",
+    )
+    parser.add_argument("-o", "--output", type=Path, help="output netlist")
+    parser.add_argument(
+        "--objective", choices=["minarea", "minperiod"], default="minarea"
+    )
+    parser.add_argument(
+        "--target-period", type=float, default=None,
+        help="retime for this period instead of the minimum feasible",
+    )
+    parser.add_argument(
+        "--delay-model", choices=["unit", "xc4000e"], default="unit"
+    )
+    parser.add_argument(
+        "--syntactic-classes", action="store_true",
+        help="compare control signals by net name instead of BDD function",
+    )
+    parser.add_argument(
+        "--dirty-threshold", type=float, default=None, metavar="FRACTION",
+        help="fall back to a cold solve when the edit touches more than "
+        "this fraction of cells (default: the kernel refresh fraction)",
+    )
+    parser.add_argument(
+        "--force-cold", action="store_true",
+        help="skip the incremental path (differential debugging)",
+    )
+    parser.add_argument(
+        "--report", action="store_true", help="print the ECO plan report"
+    )
+    args = parser.parse_args(argv)
+
+    if (args.input is None) == (args.edits is None):
+        return _fail("give exactly one of: an edited netlist, or --edits")
+
+    from ..eco import EcoState, eco_retime
+
+    try:
+        base = load_circuit(args.base)
+        check_circuit(base)
+    except OSError as exc:
+        return _fail(f"cannot read {args.base}: {exc.strerror or exc}")
+    except NetlistError as exc:
+        return _fail(f"{args.base}: {exc}")
+
+    if args.edits is not None:
+        try:
+            script = json.loads(args.edits.read_text())
+        except OSError as exc:
+            return _fail(f"cannot read {args.edits}: {exc.strerror or exc}")
+        except json.JSONDecodeError as exc:
+            return _fail(f"{args.edits}: {exc}")
+        if not isinstance(script, list):
+            return _fail(f"{args.edits}: expected a JSON list of edit ops")
+        edit = script
+    else:
+        try:
+            edit = load_circuit(args.input)
+            check_circuit(edit)
+        except OSError as exc:
+            return _fail(f"cannot read {args.input}: {exc.strerror or exc}")
+        except NetlistError as exc:
+            return _fail(f"{args.input}: {exc}")
+
+    model = XC4000E_DELAY if args.delay_model == "xc4000e" else UNIT_DELAY
+    state = EcoState(
+        base,
+        delay_model=model,
+        semantic_classes=not args.syntactic_classes,
+    )
+    kwargs = {}
+    if args.dirty_threshold is not None:
+        kwargs["dirty_threshold"] = args.dirty_threshold
+    try:
+        eco = eco_retime(
+            state,
+            edit,
+            target_period=args.target_period,
+            objective=args.objective,
+            force_cold=args.force_cold,
+            **kwargs,
+        )
+    except (ValueError, KeyError) as exc:
+        return _fail(f"bad edit script: {exc}")
+    result = eco.result
+    check_circuit(result.circuit)
+
+    plan_text = eco.plan
+    if eco.fallback_reason:
+        plan_text += f" ({eco.fallback_reason})"
+    print(
+        f"eco: plan={plan_text} dirty={eco.dirty_fraction:.3f} "
+        f"patched={eco.patched_entries}"
+    )
+    print(f"retimed: {_stats_line(result.circuit, model)}")
+    if args.report:
+        diff = eco.diff
+        print(f"  plan             : {plan_text}")
+        if diff is not None:
+            print(
+                f"  diff             : +{len(diff.added_gates)} "
+                f"-{len(diff.removed_gates)} gates, "
+                f"{len(diff.retyped_gates)} retyped, "
+                f"{len(diff.reset_changed)} resets, "
+                f"{len(diff.control_changed)} control"
+            )
+        print(f"  dirty fraction   : {eco.dirty_fraction:.3f}")
+        print(f"  classes          : {result.n_classes}")
+        print(
+            f"  graph period     : {result.period_before:.2f} -> "
+            f"{result.period_after:.2f}"
+        )
+        print(f"  registers        : {result.ff_before} -> {result.ff_after}")
+
+    if args.output is not None:
+        save_circuit(result.circuit, args.output)
         print(f"wrote {args.output}")
     return 0
 

@@ -1,0 +1,148 @@
+"""Unit tests for the netlist-diff layer and edit scripts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eco import apply_edit_script, diff_circuits
+from repro.logic.ternary import T1, TX
+from repro.netlist import GateFn, read_blif
+
+
+def _base():
+    return read_blif(
+        """
+.model eco_base
+.inputs clk a b sel
+.outputs out
+.names a b n1
+11 1
+.names n1 q1 n2
+10 1
+.mcff r1 d=n2 q=q1 clk=clk
+.mcff r2 d=n1 q=q2 clk=clk en=sel
+.names q1 q2 out
+01 1
+.end
+"""
+    )
+
+
+def test_identical_circuits_diff_empty():
+    base = _base()
+    d = diff_circuits(base, base.clone())
+    assert d.is_empty
+    assert d.topology_preserving
+    assert d.n_touched_cells == 0
+    assert d.dirty_fraction(base) == 0.0
+
+
+def test_retype_is_topology_preserving():
+    base = _base()
+    edited = apply_edit_script(base, [{"op": "retype_gate", "name": "lut$n1", "fn": "nand"}])
+    assert edited.gates["lut$n1"].fn is GateFn.NAND
+    d = diff_circuits(base, edited)
+    assert d.retyped_gates == ["lut$n1"]
+    assert d.topology_preserving
+    assert not d.is_empty
+    assert "n1" in d.touched_nets
+
+
+def test_lut_table_change_is_a_retype():
+    base = _base()
+    edited = apply_edit_script(
+        base, [{"op": "retype_gate", "name": "lut$n2", "fn": "lut", "table": 6}]
+    )
+    d = diff_circuits(base, edited)
+    assert d.retyped_gates == ["lut$n2"]
+    assert d.topology_preserving
+
+
+def test_set_reset_is_topology_preserving():
+    base = _base()
+    edited = apply_edit_script(
+        base, [{"op": "set_reset", "name": "r1", "sval": int(T1), "aval": int(TX)}]
+    )
+    d = diff_circuits(base, edited)
+    assert d.reset_changed == ["r1"]
+    assert d.topology_preserving
+
+
+def test_set_control_breaks_topology():
+    base = _base()
+    edited = apply_edit_script(base, [{"op": "set_control", "name": "r2", "en": None}])
+    assert edited.registers["r2"].en is None
+    d = diff_circuits(base, edited)
+    assert d.control_changed == ["r2"]
+    assert not d.topology_preserving
+
+
+def test_add_and_remove_gate_break_topology():
+    base = _base()
+    edited = apply_edit_script(
+        base,
+        [
+            {
+                "op": "add_gate",
+                "name": "extra",
+                "fn": "xor",
+                "inputs": ["a", "b"],
+                "output": "xnet",
+                "as_output": True,
+            }
+        ],
+    )
+    d = diff_circuits(base, edited)
+    assert d.added_gates == ["extra"]
+    assert d.io_changed  # as_output grew the output list
+    assert not d.topology_preserving
+
+    trimmed = apply_edit_script(edited, [{"op": "remove_gate", "name": "extra"}])
+    assert "extra" not in trimmed.gates
+    assert "xnet" not in trimmed.outputs
+    d2 = diff_circuits(edited, trimmed)
+    assert d2.removed_gates == ["extra"]
+    assert not d2.topology_preserving
+
+
+def test_dirty_fraction_counts_touched_cells():
+    base = _base()
+    edited = apply_edit_script(
+        base,
+        [
+            {"op": "retype_gate", "name": "lut$n1", "fn": "or"},
+            {"op": "set_reset", "name": "r1", "sval": int(T1)},
+        ],
+    )
+    d = diff_circuits(base, edited)
+    assert d.n_touched_cells == 2
+    # 3 gates + 2 registers = 5 cells
+    assert d.dirty_fraction(edited) == pytest.approx(2 / 5)
+
+
+def test_apply_edit_script_leaves_base_untouched():
+    base = _base()
+    before = base.gates["lut$n1"].fn
+    apply_edit_script(base, [{"op": "retype_gate", "name": "lut$n1", "fn": "nor"}])
+    assert base.gates["lut$n1"].fn is before
+
+
+def test_apply_edit_script_rejects_unknown_op():
+    with pytest.raises(ValueError, match="unknown edit op"):
+        apply_edit_script(_base(), [{"op": "fold_gate", "name": "lut$n1"}])
+
+
+def test_apply_edit_script_rejects_unknown_fn():
+    with pytest.raises(ValueError, match="unknown gate function"):
+        apply_edit_script(_base(), [{"op": "retype_gate", "name": "lut$n1", "fn": "frob"}])
+
+
+def test_apply_edit_script_rejects_missing_cell():
+    with pytest.raises(KeyError):
+        apply_edit_script(_base(), [{"op": "retype_gate", "name": "nope", "fn": "and"}])
+
+
+def test_retype_arity_mismatch_raises():
+    # the n1 gate has two inputs; MUX demands exactly three
+    with pytest.raises(ValueError):
+        apply_edit_script(_base(), [{"op": "retype_gate", "name": "lut$n1", "fn": "mux"}])

@@ -132,6 +132,89 @@ def test_refresh_multi_vertex_change(monkeypatch):
     assert inc.pred == full.pred
 
 
+def _forced_cone_refresh(monkeypatch):
+    """Force the incremental cone path on small graphs."""
+    from repro.kernels import delta as delta_module
+
+    monkeypatch.setattr(delta_module, "_REFRESH_MIN_N", 0)
+    monkeypatch.setattr(delta_module, "_REFRESH_FRACTION", 1.0)
+
+
+def test_refreshed_sweep_order_is_none_but_recoverable(monkeypatch):
+    """Satellite regression: ``order`` is None after a refresh, and
+    ``topo_order`` recovers the exact full-sweep order on demand."""
+    _forced_cone_refresh(monkeypatch)
+    g = random_graph(3, n_vertices=14, n_edges=32)
+    cg = compile_graph(g)
+    base = delta_sweep(cg, [0] * cg.n)
+    moved = _single_step_retimings(g)
+    if not moved:
+        pytest.skip("no legal single-vertex step in this random graph")
+    r = [0] * cg.n
+    r[cg.index[moved[0]]] = 1
+    inc = refresh(cg, base, r)
+    full = delta_sweep(cg, r)
+    if inc.order is None:
+        # the cone path ran: period and order must still be usable
+        assert inc.period == full.period
+        assert inc.topo_order(cg) == full.order
+        # recomputed order is cached on the sweep
+        assert inc.order == full.order
+    # full sweeps hand back their own order without recomputation
+    assert full.topo_order(cg) is full.order
+
+
+def test_constraint_generation_off_refreshed_sweep(monkeypatch):
+    """The min-area lazy loop's constraint scan (trace_start over the
+    topo order) produces identical constraints from a refreshed sweep
+    and from a full sweep at the same retiming."""
+    _forced_cone_refresh(monkeypatch)
+    g = random_graph(7, n_vertices=20, n_edges=48)
+    cg = compile_graph(g)
+    base = delta_sweep(cg, [0] * cg.n)
+    moved = _single_step_retimings(g)
+    if not moved:
+        pytest.skip("no legal single-vertex step in this random graph")
+    r = [0] * cg.n
+    r[cg.index[moved[0]]] = 1
+    inc = refresh(cg, base, r)
+    full = delta_sweep(cg, r)
+
+    def constraints(sweep):
+        limit = sweep.period / 2  # force some violations
+        return [
+            (sweep.trace_start(v), v)
+            for v in sweep.topo_order(cg)
+            if sweep.delta[v] > limit and not cg.is_mirror[v]
+        ]
+
+    assert constraints(inc) == constraints(full)
+
+
+def test_refresh_extra_seeds_propagates_delay_patch(monkeypatch):
+    """After patching a vertex delay in place, ``extra_seeds`` makes the
+    refresh re-sweep the patched vertex's forward cone; without it the
+    r-diff seeding sees no change and returns stale values."""
+    _forced_cone_refresh(monkeypatch)
+    g = random_graph(5, n_vertices=16, n_edges=36)
+    cg = compile_graph(g)
+    r = [0] * cg.n
+    base = delta_sweep(cg, r)
+    # pick a movable vertex and bump its delay
+    target = next(
+        i for i in range(cg.n) if cg.movable[i] and not cg.is_mirror[i]
+    )
+    cg.delay[target] += 3.0
+    full = delta_sweep(cg, r)
+    assert full.delta != base.delta  # the patch is visible
+    stale = refresh(cg, base, r)
+    assert stale is base  # r unchanged: refresh alone cannot see it
+    inc = refresh(cg, base, r, extra_seeds={target})
+    assert inc.delta == full.delta
+    assert inc.pred == full.pred
+    assert inc.period == full.period
+
+
 def test_negative_weight_error_is_identical():
     g = correlator()
     cg = compile_graph(g)

@@ -73,6 +73,56 @@ class TestDiskTier:
         (tmp_path / "bad.json").write_text("{truncated")
         assert cache.get("bad") is None
 
+    def test_corrupt_entry_quarantined_after_first_miss(self, tmp_path):
+        """A corrupt disk entry is renamed aside on the first decode
+        failure, so later lookups never re-read the bad bytes."""
+        cache = ResultCache(tmp_path)
+        (tmp_path / "bad.json").write_text("{truncated")
+        assert cache.get("bad") is None
+        assert cache.corrupt == 1
+        assert not (tmp_path / "bad.json").exists()
+        assert (tmp_path / "bad.json.corrupt").exists()
+        # second miss goes straight through: nothing left to quarantine
+        assert cache.get("bad") is None
+        assert cache.corrupt == 1
+        # a fresh result under the same key is cacheable again
+        cache.put("bad", _result(job_id="bad"))
+        fresh = ResultCache(tmp_path)
+        assert fresh.get("bad") is not None
+
+    def test_non_object_entry_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "odd.json").write_text("[1, 2, 3]")
+        assert cache.get("odd") is None
+        assert cache.corrupt == 1
+        assert (tmp_path / "odd.json.corrupt").exists()
+
+    def test_missing_entry_is_not_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("absent") is None
+        assert cache.corrupt == 0
+
+    def test_stale_tmp_swept_on_construction(self, tmp_path):
+        """A writer hard-killed between temp write and rename leaks a
+        ``.tmp`` file; construction sweeps it."""
+        stale = tmp_path / ".k.json.12345.67890.tmp"
+        stale.write_text('{"partial": true')
+        cache = ResultCache(tmp_path)
+        assert not stale.exists()
+        # sweeping never touches real entries
+        cache.put("k", _result())
+        assert ResultCache(tmp_path).get("k") is not None
+
+    def test_stale_tmp_swept_on_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", _result())
+        stale = tmp_path / ".other.json.999.888.tmp"
+        stale.write_text("junk")
+        (tmp_path / "dead.json.corrupt").write_text("junk")
+        cache.clear()
+        assert not stale.exists()
+        assert list(tmp_path.glob("*")) == []
+
     def test_contains_len_clear(self, tmp_path):
         cache = ResultCache(tmp_path, memory_size=1)
         cache.put("a", _result(job_id="a"))
