@@ -24,7 +24,11 @@ totals reproduce the flow's ``timings`` dict exactly — the CI
 telemetry plane: a traced saturation batch with the worker→supervisor
 telemetry bus attached must stay within 5 % of the same batch with the
 bus disabled (JSONL tracing on in both runs, so the delta isolates the
-bus itself).
+bus itself).  ``--check-explain`` gates the explanation plane
+(:mod:`repro.obs.explain`): certificate extraction must be strictly
+post-hoc, so an ``explain=True`` run minus its recorded ``explain``
+stage must match a plain ``explain=False`` run within 3 % — and the
+explanation it produces must re-validate.
 """
 
 from __future__ import annotations
@@ -49,6 +53,13 @@ OVERHEAD_BUDGET_PCT = 3.0
 
 #: telemetry-bus budget (percent) on traced saturation wall time
 BUS_BUDGET_PCT = 5.0
+
+#: explain-off budget (percent): solve phases of an explained run vs a
+#: plain run — certificate extraction must be entirely post-hoc
+EXPLAIN_BUDGET_PCT = 3.0
+
+#: A/B repeats for the explain gate
+EXPLAIN_REPEATS = 7
 
 #: interleaved repeats per workload (median taken over these)
 DEFAULT_REPEATS = 15
@@ -367,6 +378,96 @@ def check_bus(
 
 
 # --------------------------------------------------------------------- #
+# explanation-plane gate (--check-explain)
+
+
+def check_explain(
+    repeats: int = EXPLAIN_REPEATS,
+    threshold: float = EXPLAIN_BUDGET_PCT,
+    quick: bool = False,
+) -> dict[str, float]:
+    """Gate: requesting an explanation must not tax the solve itself.
+
+    Certificate extraction (:mod:`repro.obs.explain`) is specified as
+    strictly post-hoc — ``mc_retime(explain=True)`` runs the exact same
+    solving phases as ``explain=False`` and only then walks the solved
+    system.  This gate measures that contract from the outside: the
+    wall time of an explained run *minus its recorded ``explain`` stage*
+    must stay within the threshold of a plain run (paired, alternating
+    order, median per-pair ratio — same protocol as the obs overhead
+    gate).  A regression here means explanation capture leaked into the
+    solver hot path.  The explanation produced on the way is also
+    re-validated, so the gate doubles as a certificate smoke test.
+    """
+    import statistics
+
+    from repro.mcretime import mc_retime
+    from repro.synth import build_datapath
+
+    design = "NTT4" if quick else "BFLY8"
+    circuit = build_datapath(design).circuit
+
+    def run(explain: bool) -> tuple[float, object]:
+        t0 = _perf_counter()
+        result = mc_retime(circuit, explain=explain)
+        return _perf_counter() - t0, result
+
+    run(explain=True)  # warm-up: imports, BDD caches, kernels
+    plain_s, solve_s, ratios = [], [], []
+    summary = None
+    for i in range(repeats):
+        if i % 2 == 0:
+            off, _ = run(explain=False)
+            on, res = run(explain=True)
+        else:
+            on, res = run(explain=True)
+            off, _ = run(explain=False)
+        explanation = res.explanation
+        assert explanation is not None and explanation["valid"], (
+            "explained run produced an invalid explanation: "
+            f"{explanation and explanation['errors']}"
+        )
+        summary = explanation
+        solve = on - res.timings.get("explain", 0.0)
+        plain_s.append(off)
+        solve_s.append(solve)
+        ratios.append(solve / off)
+    overhead = 100.0 * (statistics.median(ratios) - 1.0)
+    report = {
+        "plain_s": statistics.median(plain_s),
+        "explained_solve_s": statistics.median(solve_s),
+        "overhead_pct": overhead,
+        "certificates": float(summary["certificates"]),
+    }
+    print(
+        f"explain gate     off {report['plain_s'] * 1e3:8.2f}ms  "
+        f"on-solve {report['explained_solve_s'] * 1e3:8.2f}ms  "
+        f"overhead {overhead:+6.2f}%  "
+        f"({summary['certificates']} certificates valid)"
+    )
+    append_run(
+        "bench.obs.explain",
+        {"plain": report["plain_s"], "explained_solve": report["explained_solve_s"]},
+        config={
+            "design": design,
+            "repeats": repeats,
+            "threshold": threshold,
+            "quick": quick,
+        },
+        metrics={
+            "explain_overhead_pct": overhead,
+            "certificates": report["certificates"],
+        },
+    )
+    if overhead > threshold:
+        raise AssertionError(
+            f"explain-off overhead {overhead:.2f}% > {threshold}%: "
+            "explanation capture leaked into the solver hot path"
+        )
+    return report
+
+
+# --------------------------------------------------------------------- #
 # traced smoke run (the CI obs-smoke contract)
 
 
@@ -417,6 +518,10 @@ def test_overhead_gate_quick():
     check_overhead(repeats=5, threshold=OVERHEAD_BUDGET_PCT, quick=True)
 
 
+def test_explain_gate_quick():
+    check_explain(repeats=3, quick=True)
+
+
 def test_smoke(tmp_path):
     smoke(tmp_path, design="C1", scale=0.3)
 
@@ -428,6 +533,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--check-overhead", action="store_true")
     parser.add_argument("--check-bus", action="store_true")
+    parser.add_argument("--check-explain", action="store_true")
     parser.add_argument("--smoke", action="store_true")
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
@@ -451,13 +557,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=0.3)
     args = parser.parse_args(argv)
 
-    if not (args.check_overhead or args.check_bus or args.smoke):
+    if not (
+        args.check_overhead
+        or args.check_bus
+        or args.check_explain
+        or args.smoke
+    ):
         parser.error(
-            "pick at least one of --check-overhead / --check-bus / --smoke"
+            "pick at least one of --check-overhead / --check-bus / "
+            "--check-explain / --smoke"
         )
     try:
         if args.check_overhead:
             check_overhead(args.repeats, args.threshold, args.quick)
+        if args.check_explain:
+            check_explain(
+                repeats=EXPLAIN_REPEATS if not args.quick else 3,
+                quick=args.quick,
+            )
         if args.check_bus:
             check_bus(
                 args.out_dir / "bus_gate",

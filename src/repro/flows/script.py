@@ -86,6 +86,10 @@ class FlowResult:
     #: how the incremental path answered an :func:`eco_flow` run (plan,
     #: diff, dirty fraction, fallback reason); ``None`` elsewhere
     eco: EcoResult | None = None
+    #: certificate-backed explanation of the retiming result
+    #: (:mod:`repro.obs.explain`, schema ``repro.explain/1``) when the
+    #: flow ran with ``explain=True``; ``None`` elsewhere
+    explain: dict | None = None
 
 
 def _verify_stage(
@@ -158,6 +162,7 @@ def retime_flow(
     semantic_classes: bool = True,
     verify: bool = False,
     verify_cycles: int = 64,
+    explain: bool = False,
 ) -> FlowResult:
     """Baseline flow + ``retime`` + ``remap`` (Table 2 setup).
 
@@ -166,7 +171,9 @@ def retime_flow(
     Pass a precomputed ``mapped`` result to skip re-running the baseline.
     ``verify=True`` appends a timed ``verify`` stage that sequentially
     checks the final netlist against the pre-retiming mapped design and
-    raises :class:`VerificationError` on a mismatch.
+    raises :class:`VerificationError` on a mismatch.  ``explain=True``
+    attaches the certificate-backed explanation of the retiming under
+    ``result.explain`` (see :mod:`repro.obs.explain`).
     """
     base = mapped or baseline_flow(circuit, delay_model)
     clock = StageClock(seed=base.timings)
@@ -177,6 +184,7 @@ def retime_flow(
             objective=objective,
             target_period=target_period,
             semantic_classes=semantic_classes,
+            explain=explain,
         )
     with clock.stage("remap", "flow.remap"):
         final = remap(result.circuit, delay_model=delay_model).circuit
@@ -208,6 +216,7 @@ def retime_flow(
         timings=clock.done(),
         accepted=accepted,
         verify=check,
+        explain=result.explanation,
     )
 
 
@@ -288,6 +297,7 @@ def decomposed_enable_flow(
     semantic_classes: bool = True,
     verify: bool = False,
     verify_cycles: int = 64,
+    explain: bool = False,
 ) -> FlowResult:
     """Decompose load enables first, then the retime flow (Table 3).
 
@@ -308,6 +318,7 @@ def decomposed_enable_flow(
         semantic_classes=semantic_classes,
         verify=verify,
         verify_cycles=verify_cycles,
+        explain=explain,
     )
     result.timings["decompose_en"] = clock.timings["decompose_en"]
     finalize_total(result.timings)
@@ -324,6 +335,7 @@ def pipeline_flow(
     semantic_classes: bool = True,
     verify: bool = False,
     verify_cycles: int = 48,
+    explain: bool = False,
 ) -> FlowResult:
     """Baseline flow + K output register layers + retime + remap.
 
@@ -346,6 +358,7 @@ def pipeline_flow(
             objective=objective,
             target_period=target_period,
             semantic_classes=semantic_classes,
+            explain=explain,
         )
     with clock.stage("remap", "flow.remap"):
         final = remap(result.circuit, delay_model=delay_model).circuit
@@ -373,6 +386,7 @@ def pipeline_flow(
         retime=result,
         timings=clock.done(),
         verify=check,
+        explain=result.explanation,
         transform={
             "kind": "pipeline",
             "stages": stages,
@@ -398,6 +412,7 @@ def cslow_flow(
     semantic_classes: bool = True,
     verify: bool = False,
     verify_cycles: int = 32,
+    explain: bool = False,
 ) -> FlowResult:
     """Baseline flow + C-slow + remap + retime + remap.
 
@@ -429,6 +444,7 @@ def cslow_flow(
             objective=objective,
             target_period=target_period,
             semantic_classes=semantic_classes,
+            explain=explain,
         )
     with clock.stage("remap", "flow.remap"):
         final = remap(result.circuit, delay_model=delay_model).circuit
@@ -453,6 +469,7 @@ def cslow_flow(
         retime=result,
         timings=clock.done(),
         verify=check,
+        explain=result.explanation,
         transform={
             "kind": "cslow",
             "factor": factor,

@@ -73,6 +73,61 @@ def forward_layer_class(graph: RetimingGraph, v: str) -> int | None:
     return cls
 
 
+def backward_block_reason(graph: RetimingGraph, v: str) -> dict | None:
+    """Why a backward mc-step at *v* is invalid, or None when it is valid.
+
+    Mirrors :func:`backward_layer_class`'s None-conditions exactly, but
+    names the concrete blocker: the empty fanout edge, or the pair of
+    fanout edges whose leading register classes disagree.  This is what
+    ``mcretime explain --why-stuck`` reports for a gate clamped at its
+    ``r_max^mc`` bound.
+    """
+    return _block_reason(graph, v, "backward")
+
+
+def forward_block_reason(graph: RetimingGraph, v: str) -> dict | None:
+    """Why a forward mc-step at *v* is invalid, or None when it is valid.
+
+    The ``r_min^mc`` counterpart of :func:`backward_block_reason` (last
+    register of every fanin edge instead of first of every fanout)."""
+    return _block_reason(graph, v, "forward")
+
+
+def _block_reason(graph: RetimingGraph, v: str, direction: str) -> dict | None:
+    _require_mc(graph, v)
+    vertex = graph.vertices[v]
+    if not vertex.movable:
+        return {"direction": direction, "reason": "not_movable", "kind": vertex.kind}
+    outs = graph.out_edges(v)
+    ins = graph.in_edges(v)
+    if not outs:
+        return {"direction": direction, "reason": "no_fanout"}
+    if not ins:
+        return {"direction": direction, "reason": "no_fanin"}
+    edges = outs if direction == "backward" else ins
+    slot = 0 if direction == "backward" else -1
+    cls: int | None = None
+    cls_edge: str | None = None
+    for edge in edges:
+        label = f"{edge.u}->{edge.v}"
+        if edge.regs is None or not edge.regs:
+            return {"direction": direction, "reason": "empty_layer", "edge": label}
+        inst = edge.regs[slot]
+        if cls is None:
+            cls = inst.cls
+            cls_edge = label
+        elif inst.cls != cls:
+            return {
+                "direction": direction,
+                "reason": "class_mismatch",
+                "edges": [
+                    {"edge": cls_edge, "cls": cls},
+                    {"edge": label, "cls": inst.cls},
+                ],
+            }
+    return None  # a step in this direction is valid
+
+
 def move_backward(graph: RetimingGraph, v: str) -> int:
     """Perform one backward mc-step at *v*; returns the moved class."""
     cls = backward_layer_class(graph, v)

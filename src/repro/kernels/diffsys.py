@@ -316,6 +316,53 @@ class CompiledSystem:
             obs.count("bf.rounds", self.n + 1)
         return None  # negative cycle
 
+    def negative_cycle(self) -> list[tuple[int, int, int]] | None:
+        """Negative-cycle certificate as (u, v, bound) id triples.
+
+        Post-hoc predecessor-tracking Bellman-Ford, run only after
+        :meth:`solve` reported infeasibility — the solving rounds stay
+        certificate-free.  Consecutive triples chain ``c[i][1] ==
+        c[i+1][0]`` around the cycle and the bounds sum negative.
+        Returns None when the system is actually feasible.
+        """
+        for (u, v), slot in self.pair.items():
+            if u == v:  # negative self-pair (add() filtered the rest)
+                return [(u, v, self.arc_b[slot])]
+        n = self.n
+        arc_u, arc_v, arc_b = self.arc_u, self.arc_v, self.arc_b
+        m = len(arc_b)
+        dist = [0] * n
+        pred = [-1] * n
+        marked = -1
+        # virtual-source paths have at most n-1 arcs, so a relaxation in
+        # pass n+1 proves a cycle through the relaxed vertex's preds
+        for _ in range(n + 1):
+            updated = -1
+            for slot in range(m):
+                nd = dist[arc_v[slot]] + arc_b[slot]
+                ui = arc_u[slot]
+                if nd < dist[ui]:
+                    dist[ui] = nd
+                    pred[ui] = slot
+                    updated = ui
+            if updated < 0:
+                return None  # converged: feasible
+            marked = updated
+        seen: dict[int, int] = {}
+        trail: list[int] = []
+        node = marked
+        while node not in seen:
+            seen[node] = len(trail)
+            slot = pred[node]
+            if slot < 0:  # defensive: should be unreachable
+                return None
+            trail.append(slot)
+            node = arc_v[slot]
+        return [
+            (arc_u[slot], arc_v[slot], arc_b[slot])
+            for slot in trail[seen[node]:]
+        ]
+
     def normalized(self, dist: list[int]) -> list[int]:
         """Shift a solution so the host variable reads 0."""
         shift = dist[self.host] if self.host >= 0 else 0

@@ -46,7 +46,11 @@ def min_area_kernel(
 
     extended = model.graph
     cg = compile_graph(extended)
-    csys = CompiledSystem.from_system(base_system(extended, bounds), cg)
+    base = base_system(extended, bounds)
+    # tags survive only in the dict system; keep (tag, bound) so the
+    # negative-cycle certificate raised on infeasibility can name them
+    base_tags = {(c.u, c.v): (c.tag, c.bound) for c in base}
+    csys = CompiledSystem.from_system(base, cg)
 
     # dense cost vector in variable order; reject unconstrained costs
     # exactly like the dict engine
@@ -65,9 +69,7 @@ def min_area_kernel(
         for rounds in range(1, MAX_LAZY_ROUNDS + 1):
             r = _solve_lp(csys, supply)
             if r is None:
-                raise InfeasibleError(
-                    f"period {phi} infeasible for {graph.name!r}"
-                )
+                raise _infeasible(graph, phi, csys, base_tags)
             violations = csys.violated(r)
             if violations:  # numerical/duality bug guard: never expected
                 names = csys.names
@@ -110,6 +112,23 @@ def min_area_kernel(
         period=period,
         rounds=rounds,
         constraints=len(csys),
+    )
+
+
+def _infeasible(graph, phi, csys: CompiledSystem, base_tags: dict):
+    """Build the structured infeasibility error with its certificate."""
+    from ..retime.constraints import Constraint, InfeasibleConstraints
+
+    names = csys.names
+    cycle = []
+    for u, v, b in csys.negative_cycle() or ():
+        key = (names[u], names[v])
+        # pairs added or tightened by the lazy loop are period
+        # constraints, matching the dict engine's tag bookkeeping
+        tag, base_bound = base_tags.get(key, ("period", None))
+        cycle.append(Constraint(*key, b, "period" if b != base_bound else tag))
+    return InfeasibleConstraints(
+        f"period {phi} infeasible for {graph.name!r}", cycle, period=phi
     )
 
 

@@ -63,6 +63,9 @@ class MCRetimeResult:
     resolve_attempts: int = 0
     #: achieved min-area register objective (shared model)
     area_registers: int | None = None
+    #: certificate-backed explanation (schema ``repro.explain/1``) when
+    #: the run was made with ``explain=True``; see :mod:`repro.obs.explain`
+    explanation: dict | None = None
 
     def timing_fractions(self) -> dict[str, float]:
         """Phase shares of total runtime (paper Sec. 6 prose)."""
@@ -116,6 +119,7 @@ def mc_retime(
     verify_resets: bool = True,
     use_kernels: bool | None = None,
     intern_key: str | None = None,
+    explain: bool = False,
 ) -> MCRetimeResult:
     """Run multiple-class retiming on *circuit* (non-destructive).
 
@@ -139,6 +143,10 @@ def mc_retime(
             pre-interned snapshot (see :func:`intern_work_graph` and
             :mod:`repro.service.interning`).  Results are bit-identical
             with or without a seed.
+        explain: attach a certificate-backed explanation of the result
+            (:mod:`repro.obs.explain`) under ``result.explanation``.
+            Extraction is entirely post-hoc — the solving phases are
+            untouched when this is off.
 
     Returns:
         :class:`MCRetimeResult`; ``result.circuit`` is a retimed clone.
@@ -198,11 +206,17 @@ def mc_retime(
                         work_graph, phi, work_bounds, use_kernels=use_kernels
                     )
                     if r is None:
-                        from ..retime.constraints import InfeasibleError
+                        from ..retime.constraints import InfeasibleConstraints
+                        from ..retime.minperiod import infeasibility_certificate
 
-                        raise InfeasibleError(
+                        err = infeasibility_certificate(
+                            work_graph, phi, work_bounds
+                        )
+                        raise InfeasibleConstraints(
                             f"target period {phi} infeasible for "
-                            f"{circuit.name!r}"
+                            f"{circuit.name!r}",
+                            err.cycle if err is not None else (),
+                            period=phi,
                         )
                 area_registers = None
             else:
@@ -248,6 +262,24 @@ def mc_retime(
     if verify_resets:
         _verify_reset_requirements(reloc.circuit, reloc.requirements)
 
+    explanation = None
+    if explain:
+        with obs.timed("engine.explain", circuit=circuit.name) as sp:
+            from ..obs.explain import build_explanation
+
+            explanation = build_explanation(
+                work_graph,
+                bounds,
+                transform,
+                work_bounds,
+                r,
+                phi,
+                objective,
+                target_period=target_period,
+                design=circuit.name,
+            )
+        timings["explain"] = sp.duration
+
     result = MCRetimeResult(
         circuit=reloc.circuit,
         r=gate_r,
@@ -262,6 +294,7 @@ def mc_retime(
         timings=timings,
         resolve_attempts=attempts,
         area_registers=area_registers,
+        explanation=explanation,
     )
     return result
 

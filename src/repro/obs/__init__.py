@@ -63,6 +63,13 @@ from .ledger import (
     validate_record,
 )
 from .bus import BusSink, TelemetryBus, job_sink, set_worker_queue
+from .explain import (
+    build_explanation,
+    infeasible_payload,
+    render_explanation,
+    summary_metrics as explain_summary,
+    validate_explanation,
+)
 from .profile import Profile, SamplingProfiler, profile_block
 from .report import (
     chrome_trace_errors,
@@ -126,6 +133,7 @@ __all__ = [
     "TelemetryBus",
     "Tracer",
     "annotate",
+    "build_explanation",
     "build_record",
     "check_records",
     "chrome_trace_errors",
@@ -138,8 +146,10 @@ __all__ = [
     "enabled",
     "environment",
     "evaluate",
+    "explain_summary",
     "finalize_total",
     "gauge",
+    "infeasible_payload",
     "job_sink",
     "job_trace",
     "jsonl_errors",
@@ -149,6 +159,7 @@ __all__ = [
     "record_from_tracer",
     "reevaluate",
     "render_critical_path",
+    "render_explanation",
     "render_status",
     "render_summary",
     "request_timelines",
@@ -161,6 +172,7 @@ __all__ = [
     "stop",
     "timed",
     "validate_chrome_trace",
+    "validate_explanation",
     "validate_jsonl",
     "validate_record",
     "write_chrome",

@@ -102,11 +102,14 @@ def pipeline_retime(
     objective: str = "minperiod",
     target_period: float | None = None,
     semantic_classes: bool = True,
+    explain: bool = False,
 ) -> PipelineResult:
     """Insert *stages* output register layers, then mc-retime to
     balance them (``objective="minperiod"`` by default — balancing is
     the point of pipelining).  ``stages=0`` runs ``mc_retime`` on the
-    input directly."""
+    input directly.  ``explain=True`` attaches the retiming engine's
+    certificate-backed explanation under ``result.retime.explanation``
+    (the explanation covers the post-transform work graph)."""
     clock = StageClock()
     period_before = analyze(circuit, delay_model).max_delay
     ff_before = len(circuit.registers)
@@ -123,6 +126,7 @@ def pipeline_retime(
             target_period=target_period,
             objective=objective,
             semantic_classes=semantic_classes,
+            explain=explain,
         )
     period_after = analyze(result.circuit, delay_model).max_delay
     lower_bound = period_before / (stages + 1)
@@ -152,10 +156,12 @@ def cslow_retime(
     objective: str = "minperiod",
     target_period: float | None = None,
     semantic_classes: bool = True,
+    explain: bool = False,
 ) -> CSlowResult:
     """C-slow by *factor*, then mc-retime to spread the replica chains
     through the logic.  ``factor=1`` runs ``mc_retime`` on the input
-    directly."""
+    directly.  ``explain=True`` rides through to the engine; see
+    :func:`pipeline_retime`."""
     clock = StageClock()
     period_before = analyze(circuit, delay_model).max_delay
     ff_before = len(circuit.registers)
@@ -178,6 +184,7 @@ def cslow_retime(
             target_period=target_period,
             objective=objective,
             semantic_classes=semantic_classes,
+            explain=explain,
         )
     period_after = analyze(result.circuit, delay_model).max_delay
     return CSlowResult(

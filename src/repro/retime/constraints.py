@@ -36,6 +36,59 @@ class Constraint:
     tag: str = ""
 
 
+class InfeasibleConstraints(InfeasibleError):
+    """Infeasibility with a machine-checkable negative-cycle certificate.
+
+    *cycle* is the witness: a list of :class:`Constraint` whose arcs
+    chain into a cycle (``cycle[i].v == cycle[(i+1) % k].u``) and whose
+    bounds sum to a negative number — no assignment can satisfy all of
+    them simultaneously, which is exactly why the system (and therefore
+    the requested period) is infeasible.  The certificate re-validates
+    independently of the solver: sum the bounds, check the chain.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        cycle: Iterable[Constraint] = (),
+        period: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.cycle: list[Constraint] = list(cycle)
+        self.period = period
+
+    @property
+    def total(self) -> int:
+        """Sum of the cycle's bounds (negative for a valid certificate)."""
+        return sum(c.bound for c in self.cycle)
+
+    def certificate(self) -> dict:
+        """JSON-ready negative-cycle certificate."""
+        return {
+            "kind": "negative_cycle",
+            "period": self.period,
+            "sum": self.total,
+            "constraints": [
+                {"u": c.u, "v": c.v, "bound": c.bound, "tag": c.tag}
+                for c in self.cycle
+            ],
+        }
+
+    def summary(self) -> str:
+        """One-line human diagnostic naming the cycle."""
+        if not self.cycle:
+            return str(self)
+        tags: dict[str, int] = {}
+        for c in self.cycle:
+            tags[c.tag or "untagged"] = tags.get(c.tag or "untagged", 0) + 1
+        path = " -> ".join(c.u for c in self.cycle) + f" -> {self.cycle[0].u}"
+        tag_note = ", ".join(f"{t}x{n}" for t, n in sorted(tags.items()))
+        return (
+            f"{self}: {len(self.cycle)}-constraint cycle {path} "
+            f"sums to {self.total} ({tag_note})"
+        )
+
+
 class DifferenceSystem:
     """A deduplicated set of difference constraints over named variables."""
 
@@ -139,6 +192,64 @@ class DifferenceSystem:
             # depth an equivalent round-based Bellman-Ford would need
             obs.count("bf.rounds", max(relax_count, default=0) + 1)
         return {name: dist[index[name]] for name in names}
+
+    def negative_cycle(self) -> list[Constraint] | None:
+        """Extract a negative-cycle certificate from an infeasible system.
+
+        Runs a round-based Bellman-Ford with predecessor tracking (the
+        queue-based :meth:`solve` stays certificate-free so the feasible
+        hot path pays nothing) and walks the predecessor arcs back
+        around the cycle.  Returns the cycle's constraints in arc order
+        — consecutive entries chain ``c[i].v == c[i+1].u`` and the
+        bounds sum to a negative number — or None when the system is in
+        fact feasible.
+        """
+        for (u, v), b in self._bound.items():
+            if u == v:  # negative self-pair recorded by add()
+                return [Constraint(u, v, b, self._tag.get((u, v), ""))]
+        names = list(self._vars)
+        index = {n: i for i, n in enumerate(names)}
+        n = len(names)
+        arcs = [
+            (index[v], index[u], b, key)
+            for key, b in self._bound.items()
+            for (u, v) in (key,)
+        ]
+        dist = [0] * n
+        pred: list[tuple[str, str] | None] = [None] * n
+        marked = -1
+        # all distances start at 0 (virtual source), so shortest paths
+        # have at most n-1 arcs: a relaxation in pass n+1 proves a cycle
+        for _ in range(n + 1):
+            updated = -1
+            for vi, ui, b, key in arcs:
+                nd = dist[vi] + b
+                if nd < dist[ui]:
+                    dist[ui] = nd
+                    pred[ui] = key
+                    updated = ui
+            if updated < 0:
+                return None  # converged: feasible, no certificate
+            marked = updated
+        # walk predecessors until a vertex repeats; that repeat closes
+        # the negative cycle (the prefix before it is an approach tail)
+        seen: dict[int, int] = {}
+        trail: list[tuple[str, str]] = []
+        node = marked
+        while node not in seen:
+            seen[node] = len(trail)
+            key = pred[node]
+            if key is None:  # defensive: should be unreachable
+                return None
+            trail.append(key)
+            node = index[key[1]]
+        cycle_keys = trail[seen[node]:]
+        # each key is (node, pred-node), so consecutive keys already
+        # chain c[i].v == c[i+1].u around the cycle
+        return [
+            Constraint(u, v, self._bound[(u, v)], self._tag.get((u, v), ""))
+            for (u, v) in cycle_keys
+        ]
 
     def check(self, r: dict[str, int]) -> list[Constraint]:
         """Return the constraints violated by assignment *r* (if any)."""

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from .. import obs
 from ..graph.retiming_graph import HOST, RetimingGraph
-from .constraints import DifferenceSystem, InfeasibleError
+from .constraints import DifferenceSystem, InfeasibleConstraints, InfeasibleError
 from .feas import compute_delta
 from .mincostflow import MinCostFlow
 from .minperiod import EPS, MAX_LAZY_ROUNDS, base_system
@@ -52,9 +52,17 @@ class AreaResult:
 
 
 def _solve_lp(
-    system: DifferenceSystem, model: SharingModel
+    system: DifferenceSystem,
+    model: SharingModel,
+    capture: dict | None = None,
 ) -> dict[str, int] | None:
-    """One LP solve: min Σ c·r subject to *system*; None if infeasible."""
+    """One LP solve: min Σ c·r subject to *system*; None if infeasible.
+
+    When *capture* is given, the solved flow network and the full
+    (mirror-inclusive) solution are left in it under ``"flow"`` /
+    ``"full_r"`` — the raw material min-area dual attribution
+    (:mod:`repro.obs.explain`) reads its certificates from.
+    """
     r0 = system.solve()
     if r0 is None:
         return None
@@ -75,7 +83,11 @@ def _solve_lp(
     potentials = flow.potentials()
     r = {v: -int(round(p)) for v, p in potentials.items()}
     shift = r.get(HOST, 0)
-    return {v: val - shift for v, val in r.items()}
+    solution = {v: val - shift for v, val in r.items()}
+    if capture is not None:
+        capture["flow"] = flow
+        capture["full_r"] = solution
+    return solution
 
 
 def min_area(
@@ -145,13 +157,22 @@ def _lazy_lp_rounds(
     system: DifferenceSystem,
     model: SharingModel,
     phi: float,
+    capture: dict | None = None,
 ) -> tuple[dict[str, int], int]:
-    """The lazy LP loop; returns (solution, rounds used)."""
+    """The lazy LP loop; returns (solution, rounds used).
+
+    *capture* is forwarded to :func:`_solve_lp` so a caller can inspect
+    the final round's flow network (min-area dual attribution).
+    """
     best: dict[str, int] | None = None
     for rounds in range(1, MAX_LAZY_ROUNDS + 1):
-        r = _solve_lp(system, model)
+        r = _solve_lp(system, model, capture=capture)
         if r is None:
-            raise InfeasibleError(f"period {phi} infeasible for {graph.name!r}")
+            raise InfeasibleConstraints(
+                f"period {phi} infeasible for {graph.name!r}",
+                system.negative_cycle() or (),
+                period=phi,
+            )
         violations = system.check(r)
         if violations:  # numerical/duality bug guard: never expected
             raise RuntimeError(f"LP solution violates {violations[:3]}")

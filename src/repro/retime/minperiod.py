@@ -210,6 +210,31 @@ def feasible_retiming(
     return check_period(graph, phi, system, use_kernels=use_kernels).r
 
 
+def infeasibility_certificate(
+    graph: RetimingGraph,
+    phi: float,
+    bounds: dict[str, tuple[int, int]] | None = None,
+):
+    """Structured evidence that period *phi* is infeasible, or None.
+
+    Re-runs the dict-engine lazy feasibility loop (the exceptional
+    error path, so speed is irrelevant) and extracts the negative
+    cycle from the resulting over-constrained system.  Returns an
+    unraised :class:`~repro.retime.constraints.InfeasibleConstraints`
+    ready for the caller to raise, or None when *phi* is feasible.
+    """
+    from .constraints import InfeasibleConstraints
+
+    system = base_system(graph, bounds)
+    if _check_period_dict(graph, phi, system).feasible:
+        return None
+    return InfeasibleConstraints(
+        f"period {phi} infeasible for {graph.name!r}",
+        system.negative_cycle() or (),
+        period=phi,
+    )
+
+
 def _min_period_dict(
     graph: RetimingGraph,
     bounds: dict[str, tuple[int, int]] | None,

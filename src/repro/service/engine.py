@@ -169,6 +169,22 @@ class RetimeService:
             "repro_verify_seconds",
             "Wall-clock seconds spent in post-flow verification",
         )
+        self._explain_jobs = m.counter(
+            "repro_explain_jobs_total",
+            "Jobs that attached a certificate-backed explanation",
+        )
+        self._explain_certs = m.counter(
+            "repro_explain_certificates_total",
+            "Certificates re-validated across explained jobs, by verdict",
+        )
+        self._explain_invalid = m.counter(
+            "repro_explain_invalid_total",
+            "Explained jobs whose certificate re-validation failed",
+        )
+        self._explain_seconds = m.histogram(
+            "repro_explain_seconds",
+            "Wall-clock seconds spent extracting explanations",
+        )
         env = obs.environment()
         self._build_info = m.gauge(
             "repro_build_info", "Build and runtime identity (value is always 1)"
@@ -677,6 +693,26 @@ class RetimeService:
             eco = result.metrics.get("eco")
             if eco:
                 self._eco_jobs.inc(plan=str(eco.get("plan", "unknown")))
+            explain = result.metrics.get("explain")
+            if explain:
+                # invalid certificates carry the job exemplar so a bad
+                # verdict points straight back at a re-runnable job
+                run = {"run": job_id[:16]}
+                summary = explain.get("summary") or {}
+                valid = bool(summary.get("valid", False))
+                self._explain_jobs.inc(exemplar=run)
+                certs = float(summary.get("certificates", 0) or 0)
+                if certs:
+                    self._explain_certs.inc(
+                        certs,
+                        exemplar=run,
+                        verdict="valid" if valid else "invalid",
+                    )
+                if not valid:
+                    self._explain_invalid.inc(exemplar=run)
+                seconds = result.metrics.get("timings", {}).get("explain")
+                if seconds is not None:
+                    self._explain_seconds.observe(float(seconds), exemplar=run)
             self.cache.put(job_id, result)
             self._record_final(job_id, result)
             self._ledger_append(job_id, result)
@@ -837,6 +873,33 @@ class RetimeService:
         """Current SLO burn rates (``GET /slo`` / ``mcretime slo``)."""
         return self.slo.status()
 
+    def explanation(self, job: str) -> dict | None:
+        """Explanation payload for one job (``GET /explain/<job>``).
+
+        *job* is a job id or a unique prefix of one (≥8 chars).
+        Returns None when the job is unknown, unfinished, or was run
+        without ``explain=True``.
+        """
+        with self._lock:
+            record = self._jobs.get(job)
+            if record is None and len(job) >= 8:
+                matches = [k for k in self._jobs if k.startswith(job)]
+                record = (
+                    self._jobs[matches[0]] if len(matches) == 1 else None
+                )
+            result = record["result"] if record else None
+        if result is None:
+            return None
+        explain = result.metrics.get("explain")
+        if not explain:
+            return None
+        return {
+            "job_id": result.job_id,
+            "cached": result.cached,
+            "summary": explain.get("summary"),
+            "explanation": explain.get("explanation"),
+        }
+
     def _record_final(self, job_id: str, result: JobResult) -> None:
         with self._lock:
             record = self._jobs.get(job_id)
@@ -855,6 +918,15 @@ class RetimeService:
             if isinstance(value, (int, float)) and not isinstance(value, bool)
         }
         metrics["elapsed"] = result.elapsed
+        explain = result.metrics.get("explain")
+        if explain:
+            # the flat explanation summary becomes diffable run-ledger
+            # fields (certificate count, validity, witness sizes)
+            for key, value in (explain.get("summary") or {}).items():
+                if isinstance(value, bool):
+                    metrics[f"explain_{key}"] = int(value)
+                elif isinstance(value, (int, float)):
+                    metrics[f"explain_{key}"] = value
         with self._lock:
             record = self._jobs.get(job_id) or {}
             config = dict(record.get("options") or {})

@@ -109,6 +109,12 @@ class RetimeJob:
     #: fails the job with a non-retryable ``VerificationError``
     verify: bool = False
     verify_cycles: int = 64
+    #: attach a certificate-backed explanation of the result
+    #: (:mod:`repro.obs.explain`) under ``metrics["explain"]``, served
+    #: back by ``GET /explain/<job>``.  Requesting an explanation
+    #: changes the job's content key — explained and plain runs cache
+    #: separately because their results differ.
+    explain: bool = False
     #: format of ``JobResult.output`` (defaults to the input format)
     output_fmt: str | None = None
     #: optional throughput transform (``"pipeline"`` / ``"cslow"``);
@@ -147,6 +153,8 @@ class RetimeJob:
             raise ValueError(f"unknown output format {self.output_fmt!r}")
         if not isinstance(self.verify, bool):
             raise ValueError(f"verify must be a bool, got {self.verify!r}")
+        if not isinstance(self.explain, bool):
+            raise ValueError(f"explain must be a bool, got {self.explain!r}")
         if (
             not isinstance(self.verify_cycles, int)
             or isinstance(self.verify_cycles, bool)
@@ -217,6 +225,7 @@ class RetimeJob:
             "semantic_classes": self.semantic_classes,
             "verify": self.verify,
             "verify_cycles": self.verify_cycles if self.verify else None,
+            "explain": self.explain,
             "output_fmt": self.resolved_output_fmt(),
             # transform-irrelevant knobs are nulled so e.g. a plain
             # retime job never collides with (or misses) a cache entry
@@ -399,7 +408,21 @@ def _flow_metrics(flow: FlowResult) -> dict[str, object]:
     }
     if flow.retime is not None:
         metrics["retime"] = _retime_metrics(flow.retime)
+    if flow.explain is not None:
+        metrics["explain"] = _explain_metrics(flow.explain)
     return metrics
+
+
+def _explain_metrics(explanation: dict) -> dict[str, object]:
+    """Package an explanation for ``JobResult.metrics["explain"]``:
+    the full certificate payload plus the flat summary the run ledger
+    and the service counters consume."""
+    from ..obs.explain import summary_metrics
+
+    return {
+        "summary": summary_metrics(explanation),
+        "explanation": explanation,
+    }
 
 
 def execute_job(
@@ -623,6 +646,7 @@ def _dispatch_transform(job: RetimeJob, circuit: Circuit, model) -> dict:
                 objective=job.objective,
                 target_period=job.target_period,
                 semantic_classes=job.semantic_classes,
+                explain=job.explain,
             )
         else:
             result = cslow_retime(
@@ -632,6 +656,7 @@ def _dispatch_transform(job: RetimeJob, circuit: Circuit, model) -> dict:
                 objective=job.objective,
                 target_period=job.target_period,
                 semantic_classes=job.semantic_classes,
+                explain=job.explain,
             )
         out_circuit = result.circuit
         check_circuit(out_circuit)
@@ -642,6 +667,8 @@ def _dispatch_transform(job: RetimeJob, circuit: Circuit, model) -> dict:
             "transform": _transform_report(result),
             "timings": dict(result.timings),
         }
+        if result.retime.explanation is not None:
+            metrics["explain"] = _explain_metrics(result.retime.explanation)
     else:  # flow == "retime": the mapped XC4000E flow
         flow_fn = pipeline_flow if job.transform == "pipeline" else cslow_flow
         amount = job.stages if job.transform == "pipeline" else job.factor
@@ -652,6 +679,7 @@ def _dispatch_transform(job: RetimeJob, circuit: Circuit, model) -> dict:
             objective=job.objective,
             target_period=job.target_period,
             semantic_classes=job.semantic_classes,
+            explain=job.explain,
         )
         out_circuit = flow.circuit
         metrics = _flow_metrics(flow)
@@ -668,7 +696,9 @@ def _dispatch_flow(
         return _dispatch_transform(job, circuit, model)
     if job.flow == "mcretime":
         eco_info = None
-        state = _eco_state(job, model)
+        # the warm (ECO) path reuses a prior solve and never rebuilds
+        # the certificate inputs, so explain requests take the cold path
+        state = None if job.explain else _eco_state(job, model)
         if state is not None:
             from ..eco import eco_retime
 
@@ -693,6 +723,7 @@ def _dispatch_flow(
                 objective=job.objective,
                 semantic_classes=job.semantic_classes,
                 intern_key=intern_key,
+                explain=job.explain,
             )
         out_circuit = result.circuit
         check_circuit(out_circuit)
@@ -706,6 +737,8 @@ def _dispatch_flow(
         }
         if eco_info is not None:
             metrics["eco"] = eco_info
+        if result.explanation is not None:
+            metrics["explain"] = _explain_metrics(result.explanation)
     elif job.flow == "baseline":
         flow = baseline_flow(circuit, model)
         out_circuit = flow.circuit
@@ -720,6 +753,7 @@ def _dispatch_flow(
             mapped=base,
             target_period=job.target_period,
             semantic_classes=job.semantic_classes,
+            explain=job.explain,
         )
         out_circuit = flow.circuit
         metrics = _flow_metrics(flow)
@@ -737,6 +771,7 @@ def _dispatch_flow(
             objective=job.objective,
             target_period=job.target_period,
             semantic_classes=job.semantic_classes,
+            explain=job.explain,
         )
         out_circuit = flow.circuit
         metrics = _flow_metrics(flow)

@@ -27,6 +27,9 @@ Endpoints (see ``docs/SERVICE.md`` for the full reference):
 * ``GET /trace/<job>`` — the job's stitched distributed trace
   (front-end + worker timelines merged; live telemetry-bus buffer for
   in-flight jobs).  404 until anything is known about the job.
+* ``GET /explain/<job>`` — the job's certificate-backed explanation
+  (``docs/EXPLAIN.md``; jobs submitted with ``"explain": true``).
+  404 for unknown/unfinished jobs and jobs run without explanations.
 * ``GET /runs?n=N`` — the newest N records of the service run ledger,
   streamed with chunked transfer encoding (404 when the service was
   started without one).
@@ -85,6 +88,7 @@ _JOB_FIELDS = (
     "semantic_classes",
     "verify",
     "verify_cycles",
+    "explain",
     "output_fmt",
     "transform",
     "stages",
@@ -425,6 +429,18 @@ class AsyncRetimeServer:
             if events is None:
                 return _error(404, f"no trace for job {job!r}")
             return _Response(200, {"job": job, "events": events})
+        if path.startswith("/explain/"):
+            job = path[len("/explain/"):]
+            if not job:
+                return _error(400, "missing job id")
+            payload = await self._in_executor(service.explanation, job)
+            if payload is None:
+                return _error(
+                    404,
+                    f"no explanation for job {job!r} (submit with "
+                    '"explain": true)',
+                )
+            return _Response(200, payload)
         if path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
             record = service.status(job_id)

@@ -25,6 +25,17 @@ Two subcommands expose the batch service layer
     mcretime batch designs/ -o retimed/ --workers 4
     mcretime serve --port 8117 --cache-dir ~/.cache/mcretime
 
+``mcretime explain`` answers *why* a retiming result is what it is,
+with machine-checkable certificates (see ``docs/EXPLAIN.md``): the
+critical cycle pinning the period, the mc-bound / class conflict
+clamping a gate, the LP-duality accounting of every register, and a
+verified negative-cycle certificate for infeasible targets::
+
+    mcretime explain design.blif --why-period
+    mcretime explain design.blif --why-stuck gate_name
+    mcretime explain design.blif --why-area --json --out explain.json
+    mcretime explain design.blif --target-period 3 --why-infeasible
+
 Distributed tracing & SLOs (see ``docs/OBSERVABILITY.md``): a served
 system run with ``--trace-dir`` writes per-process traces that
 ``mcretime report --stitch`` merges into one wall-clock timeline;
@@ -90,6 +101,7 @@ from ..netlist import (
     write_verilog,
 )
 from ..pipeline import PipelineError, cslow_retime, pipeline_retime
+from ..retime.constraints import InfeasibleConstraints, InfeasibleError
 from ..timing import UNIT_DELAY, XC4000E_DELAY, analyze
 from ..verify import (
     VerificationError,
@@ -161,6 +173,8 @@ def main(argv: list[str] | None = None) -> int:
         return _fuzz_main(argv[1:])
     if argv and argv[0] == "eco":
         return _eco_main(argv[1:])
+    if argv and argv[0] == "explain":
+        return _explain_main(argv[1:])
     if argv and argv[0] in ("pipeline", "cslow"):
         return _transform_main(argv[0], argv[1:])
     return _retime_main(argv)
@@ -337,6 +351,14 @@ def _retime_main(argv: list[str]) -> int:
                     delay=analyze(retimed, model).max_delay,
                     accepted=accepted,
                 )
+    except InfeasibleError as exc:
+        # InfeasibleConstraints carries a verified negative-cycle
+        # certificate; its one-line summary names the cycle
+        detail = (
+            exc.summary() if isinstance(exc, InfeasibleConstraints)
+            else str(exc)
+        )
+        return _fail(detail + " (run `mcretime explain --why-infeasible`)")
     except VerificationError as exc:
         return _fail(str(exc))
     if trace:
@@ -536,6 +558,160 @@ def _eco_main(argv: list[str]) -> int:
     if args.output is not None:
         save_circuit(result.circuit, args.output)
         print(f"wrote {args.output}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# explain mode: certificate-backed "why" reports (docs/EXPLAIN.md)
+# ---------------------------------------------------------------------------
+
+
+def _explain_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mcretime explain",
+        description=(
+            "Explain a retiming result with machine-checkable "
+            "certificates (docs/EXPLAIN.md): the critical path and "
+            "critical cycle pinning the period, the mc-bound or class "
+            "conflict clamping each gate, the LP-duality accounting of "
+            "every register, and a verified negative-cycle certificate "
+            "when the target period is infeasible.  Every certificate "
+            "is re-validated arithmetically before it is printed."
+        ),
+    )
+    parser.add_argument("input", type=Path, help="input netlist (.blif/.v)")
+    parser.add_argument(
+        "--objective", choices=["minarea", "minperiod"], default="minarea"
+    )
+    parser.add_argument(
+        "--target-period", type=float, default=None,
+        help="explain retiming for this period instead of the minimum",
+    )
+    parser.add_argument(
+        "--map", action="store_true",
+        help="optimise + map to 4-LUTs first and explain the mapped "
+        "retiming (XC4000E flow)",
+    )
+    parser.add_argument(
+        "--delay-model", choices=["unit", "xc4000e"], default=None,
+        help="default: xc4000e when --map is given, unit otherwise",
+    )
+    parser.add_argument(
+        "--syntactic-classes", action="store_true",
+        help="compare control signals by net name instead of BDD function",
+    )
+    parser.add_argument(
+        "--why-period", action="store_true",
+        help="only the period sections: critical-path witness + "
+        "negative-cycle lower bound",
+    )
+    parser.add_argument(
+        "--why-area", action="store_true",
+        help="only the min-area attribution (LP duality, binding "
+        "constraints, per-vertex charges)",
+    )
+    parser.add_argument(
+        "--why-stuck", default=None, metavar="GATE",
+        help="explain why GATE's lag is clamped (mc-bound blocker, "
+        "class conflict, or tight constraint chain)",
+    )
+    parser.add_argument(
+        "--why-infeasible", action="store_true",
+        help="with --target-period: expect infeasibility and print the "
+        "verified negative-cycle certificate (exit 0); without it an "
+        "infeasible target is an error (exit 1)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full explanation as canonical JSON instead of text",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the explanation (JSON) to this file",
+    )
+    args = parser.parse_args(argv)
+
+    from ..obs import explain as obs_explain
+
+    try:
+        circuit = load_circuit(args.input)
+        check_circuit(circuit)
+    except OSError as exc:
+        return _fail(f"cannot read {args.input}: {exc.strerror or exc}")
+    except NetlistError as exc:
+        return _fail(f"{args.input}: {exc}")
+    model_name = args.delay_model or ("xc4000e" if args.map else "unit")
+    model = XC4000E_DELAY if model_name == "xc4000e" else UNIT_DELAY
+
+    sections: set[str] = set()
+    gate = args.why_stuck
+    if args.why_period:
+        sections.add("why-period")
+    if args.why_area:
+        sections.add("why-area")
+    if gate is not None:
+        sections.update(("why-stuck", "lags"))
+
+    try:
+        if args.map:
+            flow = retime_flow(
+                circuit,
+                model,
+                objective=args.objective,
+                target_period=args.target_period,
+                semantic_classes=not args.syntactic_classes,
+                explain=True,
+            )
+            explanation = flow.explain
+        else:
+            result = mc_retime(
+                circuit,
+                delay_model=model,
+                target_period=args.target_period,
+                objective=args.objective,
+                semantic_classes=not args.syntactic_classes,
+                explain=True,
+            )
+            explanation = result.explanation
+    except InfeasibleConstraints as exc:
+        payload = obs_explain.infeasible_payload(exc)
+        text = (
+            obs_explain.to_json(payload) if args.json
+            else obs_explain.render_infeasible(payload)
+        )
+        print(text)
+        if args.out is not None:
+            args.out.write_text(obs_explain.to_json(payload) + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        if not payload["valid"]:
+            return _fail("infeasibility certificate failed validation")
+        return 0 if args.why_infeasible else 1
+    except InfeasibleError as exc:
+        return _fail(str(exc))
+
+    if args.why_infeasible:
+        return _fail(
+            f"--why-infeasible: period "
+            f"{explanation['period'] if args.target_period is None else args.target_period} "
+            "is feasible (nothing to certify)"
+        )
+    if args.json:
+        print(obs_explain.to_json(explanation))
+    else:
+        print(
+            obs_explain.render_explanation(
+                explanation,
+                sections=tuple(sections) if sections else None,
+                gate=gate,
+            )
+        )
+    if args.out is not None:
+        args.out.write_text(obs_explain.to_json(explanation) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if not explanation["valid"]:
+        return _fail(
+            f"{len(explanation['errors'])} certificate(s) failed validation"
+        )
     return 0
 
 
@@ -767,6 +943,12 @@ def _transform_main(kind: str, argv: list[str]) -> int:
                 )
     except PipelineError as exc:
         return _fail(str(exc))
+    except InfeasibleError as exc:
+        detail = (
+            exc.summary() if isinstance(exc, InfeasibleConstraints)
+            else str(exc)
+        )
+        return _fail(detail)
     except VerificationError as exc:
         return _fail(str(exc))
     if trace:
@@ -1098,6 +1280,11 @@ def _report_main(argv: list[str]) -> int:
         "--out", type=Path, default=None,
         help="with --stitch: write the merged Chrome trace_event JSON here",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with --critical-path: emit the per-request attribution as "
+        "JSON (requests + sum) instead of the text table",
+    )
     args = parser.parse_args(argv)
 
     if args.stitch or args.critical_path:
@@ -1167,7 +1354,11 @@ def _report_stitched(args) -> int:
                 file=sys.stderr,
             )
     if args.critical_path:
-        print(obs.render_critical_path(obs.critical_path(stitched)))
+        analysis = obs.critical_path(stitched)
+        if args.json:
+            print(json.dumps(analysis, indent=2, sort_keys=True))
+        else:
+            print(obs.render_critical_path(analysis))
     return 0
 
 

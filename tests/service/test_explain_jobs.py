@@ -1,0 +1,135 @@
+"""Explain-enabled jobs: spec, keys, execution, serving, metrics."""
+
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.service import (
+    RetimeClient,
+    RetimeJob,
+    RetimeService,
+    ServiceError,
+    execute_job,
+    make_server,
+)
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+
+def netlist():
+    return (DATA / "c2_small_mapped.blif").read_text()
+
+
+class TestJobSpec:
+    def test_default_off_and_keyed(self):
+        job = RetimeJob(netlist=netlist())
+        assert job.explain is False
+        assert job.options()["explain"] is False
+
+    def test_explain_changes_canonical_key(self):
+        text = netlist()
+        plain = RetimeJob(netlist=text)
+        explained = RetimeJob(netlist=text, explain=True)
+        assert plain.canonical_key != explained.canonical_key
+
+    def test_non_bool_rejected(self):
+        with pytest.raises(ValueError, match="explain must be a bool"):
+            RetimeJob(netlist=netlist(), explain="yes")
+
+
+class TestExecute:
+    def test_explained_job_carries_summary_and_payload(self):
+        result = execute_job(
+            RetimeJob(netlist=netlist(), name="c2", explain=True)
+        )
+        assert result.status == "done"
+        explain = result.metrics["explain"]
+        summary = explain["summary"]
+        assert summary["valid"] is True
+        assert summary["certificates"] > 0
+        payload = explain["explanation"]
+        assert payload["schema"] == "repro.explain/1"
+        assert payload["valid"] is True
+        assert "explain" in result.metrics["timings"]
+
+    def test_plain_job_has_no_explain_metrics(self):
+        result = execute_job(RetimeJob(netlist=netlist(), name="c2"))
+        assert result.status == "done"
+        assert "explain" not in result.metrics
+        assert "explain" not in result.metrics["timings"]
+
+    def test_transform_job_explains_post_transform_graph(self):
+        result = execute_job(
+            RetimeJob(
+                netlist=netlist(),
+                name="c2",
+                transform="pipeline",
+                stages=2,
+                explain=True,
+            )
+        )
+        assert result.status == "done"
+        assert result.metrics["explain"]["summary"]["valid"] is True
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = RetimeService(workers=2, job_timeout=120.0)
+    httpd = make_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    client = RetimeClient(f"http://127.0.0.1:{httpd.server_address[1]}")
+    yield service, client
+    httpd.shutdown()
+    httpd.server_close()
+    service.close()
+
+
+class TestServing:
+    def test_explain_round_trip(self, server):
+        service, client = server
+        record = client.retime(netlist(), name="c2", explain=True)
+        assert record["state"] == "done"
+        job_id = record["result"]["job_id"]
+
+        served = client._request("GET", f"/explain/{job_id}")
+        assert served["job_id"] == job_id
+        assert served["summary"]["valid"] is True
+        assert served["explanation"]["schema"] == "repro.explain/1"
+        # unique prefixes resolve too (>= 8 chars)
+        assert service.explanation(job_id[:16])["job_id"] == job_id
+
+        text = client.metrics_text()
+        assert "repro_explain_jobs_total" in text
+        assert 'repro_explain_certificates_total{verdict="valid"}' in text
+
+    def test_plain_job_is_404(self, server):
+        service, client = server
+        record = client.retime(netlist(), name="c2")
+        job_id = record["result"]["job_id"]
+        with pytest.raises(ServiceError) as info:
+            client._request("GET", f"/explain/{job_id}")
+        assert info.value.status == 404
+        assert service.explanation(job_id) is None
+
+def test_ledger_gains_explain_fields(tmp_path):
+    import json
+
+    path = tmp_path / "runs.jsonl"
+    service = RetimeService(workers=1, job_timeout=120.0, ledger=path)
+    try:
+        job_id = service.submit(
+            RetimeJob(netlist=netlist(), name="c2", explain=True)
+        )
+        result = service.wait(job_id, timeout=120.0)
+        assert result.status == "done"
+    finally:
+        service.close()
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    job_records = [r for r in records if r.get("kind") == "service.job"]
+    assert job_records
+    metrics = job_records[-1]["metrics"]
+    assert metrics["explain_valid"] == 1
+    assert metrics["explain_certificates"] > 0
+    assert "explain_binding_constraints" in metrics
